@@ -1,0 +1,54 @@
+(* melyctl — run the paper's experiments from the command line. *)
+
+let list_experiments () =
+  List.iter
+    (fun e ->
+      Printf.printf "%-8s %s\n         %s\n" e.Harness.Experiments.id e.title e.description)
+    Harness.Experiments.all;
+  0
+
+let run_one ~quick id =
+  match Harness.Experiments.find id with
+  | None ->
+    Printf.eprintf "unknown experiment %S; try `melyctl list`\n" id;
+    1
+  | Some e ->
+    Printf.printf "== %s ==\n%s\n" e.title e.description;
+    let table = e.run ~quick in
+    print_string (Mstd.Table.render table);
+    flush stdout;
+    0
+
+let run_all ~quick =
+  List.fold_left
+    (fun status e -> max status (run_one ~quick e.Harness.Experiments.id))
+    0 Harness.Experiments.all
+
+open Cmdliner
+
+let quick =
+  let doc = "Shorter virtual durations and sparser sweeps (for CI)." in
+  Arg.(value & flag & info [ "quick" ] ~doc)
+
+let list_cmd =
+  Cmd.v (Cmd.info "list" ~doc:"List the reproducible tables and figures.")
+    Term.(const list_experiments $ const ())
+
+let run_cmd =
+  let ids =
+    let doc = "Experiment ids (e.g. table3 fig7); defaults to all." in
+    Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+  in
+  let run quick ids =
+    match ids with
+    | [] -> run_all ~quick
+    | ids -> List.fold_left (fun status id -> max status (run_one ~quick id)) 0 ids
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run experiments and print their tables.")
+    Term.(const run $ quick $ ids)
+
+let () =
+  let doc = "Mely reproduction: workstealing for multicore event-driven systems" in
+  let info = Cmd.info "melyctl" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd ]))

@@ -1,0 +1,1 @@
+examples/fileserver.ml: Engine Mstd Printf Sfs Workloads

@@ -1,0 +1,1 @@
+examples/secure_pipeline.ml: Array Bytes Crypto Int64 List Printf Rt String

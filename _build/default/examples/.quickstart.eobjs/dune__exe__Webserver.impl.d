@@ -1,0 +1,1 @@
+examples/webserver.ml: Array Comparators Engine Printf Sws Sys Workloads

@@ -1,0 +1,33 @@
+(* Quickstart: event coloring on the real multicore runtime.
+
+   Three independent "sessions" (colors 1, 2, 3) each process a chain of
+   events; a shared audit log is updated under the default color 0, so
+   it needs no lock — color 0 events are serialized by the runtime.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  let rt = Rt.Runtime.create ~workers:3 () in
+  let session_handler = Rt.Runtime.handler rt ~name:"session" ~declared_cycles:50_000 () in
+  let audit_handler = Rt.Runtime.handler rt ~name:"audit" ~declared_cycles:2_000 () in
+  let audit_log = ref [] in
+  (* Color 0 serializes every audit event: the list needs no mutex. *)
+  let audit message (ctx : Rt.Runtime.ctx) =
+    ctx.register ~handler:audit_handler (fun _ -> audit_log := message :: !audit_log)
+  in
+  let rec step session remaining (ctx : Rt.Runtime.ctx) =
+    (* Simulate some per-session work. *)
+    let digest = Crypto.Sha256.digest_hex (Printf.sprintf "session %d step %d" session remaining) in
+    if remaining > 0 then
+      ctx.register ~color:session ~handler:session_handler (step session (remaining - 1))
+    else audit (Printf.sprintf "session %d done (%s)" session (String.sub digest 0 8)) ctx
+  in
+  List.iter
+    (fun session ->
+      Rt.Runtime.register rt ~color:session ~handler:session_handler (step session 5))
+    [ 1; 2; 3 ];
+  Rt.Runtime.run_until_idle rt;
+  Printf.printf "processed %d events on %d workers (%d steals, max same-color concurrency %d)\n"
+    (Rt.Runtime.executed rt) (Rt.Runtime.workers rt) (Rt.Runtime.steals rt)
+    (Rt.Runtime.max_concurrent_same_color rt);
+  List.iter print_endline (List.sort compare !audit_log)

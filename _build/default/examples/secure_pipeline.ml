@@ -1,0 +1,60 @@
+(* A secure message pipeline on the real multicore runtime, using the
+   from-scratch crypto substrate — an SFS-in-miniature.
+
+   Each session owns a color: its messages are encrypted (ChaCha20),
+   authenticated (HMAC-SHA256) and sequenced strictly in order, while
+   different sessions run in parallel across workers. The crypto handler
+   carries the profiling annotations the workstealing heuristics read:
+   big declared cost (worth stealing when queued), no penalty (its data
+   set is the message being produced, not a warm cache footprint).
+
+   Run with: dune exec examples/secure_pipeline.exe *)
+
+type session = {
+  key : string;
+  mutable seq : int;
+  mutable transcript : string list; (* per-session, no lock: color-serialized *)
+}
+
+let () =
+  let rt = Rt.Runtime.create ~workers:4 () in
+  let encrypt_handler =
+    Rt.Runtime.handler rt ~name:"encrypt" ~declared_cycles:400_000 ()
+  in
+  let n_sessions = 6 and messages_per_session = 20 in
+  let sessions =
+    Array.init n_sessions (fun i ->
+        {
+          key = Crypto.Sha256.digest (Printf.sprintf "session key %d" i);
+          seq = 0;
+          transcript = [];
+        })
+  in
+  let nonce_of seq =
+    let raw = Bytes.make 12 '\x00' in
+    Bytes.set_int64_le raw 0 (Int64.of_int seq);
+    Bytes.unsafe_to_string raw
+  in
+  for s = 0 to n_sessions - 1 do
+    for m = 0 to messages_per_session - 1 do
+      Rt.Runtime.register rt ~color:(s + 1) ~handler:encrypt_handler (fun _ctx ->
+          let session = sessions.(s) in
+          let plaintext = Printf.sprintf "session %d message %d" s m in
+          let nonce = nonce_of session.seq in
+          let ciphertext = Crypto.Chacha20.encrypt ~key:session.key ~nonce plaintext in
+          let mac = Crypto.Hmac.sha256 ~key:session.key (nonce ^ ciphertext) in
+          (* Color serialization makes the sequence counter safe. *)
+          session.seq <- session.seq + 1;
+          session.transcript <- Crypto.Sha256.hex (String.sub mac 0 8) :: session.transcript)
+    done
+  done;
+  Rt.Runtime.run_until_idle rt;
+  Array.iteri
+    (fun i session ->
+      assert (session.seq = messages_per_session);
+      Printf.printf "session %d: %d messages, last mac %s\n" i session.seq
+        (List.hd session.transcript))
+    sessions;
+  Printf.printf "total events %d, steals %d, same-color concurrency max %d (must be 1)\n"
+    (Rt.Runtime.executed rt) (Rt.Runtime.steals rt)
+    (Rt.Runtime.max_concurrent_same_color rt)

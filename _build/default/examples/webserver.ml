@@ -1,0 +1,31 @@
+(* The SWS Web server on the simulated 8-core testbed: compare
+   Libasync-smp (with and without workstealing) against Mely with all
+   three heuristics, at one load point.
+
+   Run with: dune exec examples/webserver.exe [-- clients] *)
+
+let () =
+  let clients =
+    if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 1_000
+  in
+  let params =
+    { Sws.Workload.default_params with n_clients = clients; duration_seconds = 0.05 }
+  in
+  Printf.printf "SWS: %d closed-loop clients requesting %d-byte files (%d req/conn)\n%!"
+    clients params.file_bytes params.requests_per_connection;
+  let show name (r : Sws.Workload.result) =
+    Printf.printf "  %-22s %8.1f KReq/s   (%d steals, %.1f L2 misses/event)\n%!" name
+      (r.requests_per_sec /. 1_000.0)
+      r.base.summary.Engine.Summary.steals r.base.summary.Engine.Summary.l2_misses_per_event
+  in
+  show "Libasync-smp"
+    (Sws.Workload.run ~params Workloads.Setup.Libasync Engine.Config.libasync);
+  show "Libasync-smp - WS"
+    (Sws.Workload.run ~params Workloads.Setup.Libasync Engine.Config.libasync_ws);
+  show "Mely - WS" (Sws.Workload.run ~params Workloads.Setup.Mely Engine.Config.mely_ws);
+  let userver = Comparators.Userver.run ~params () in
+  Printf.printf "  %-22s %8.1f KReq/s\n" "userver (N-copy)"
+    (userver.Comparators.Userver.requests_per_sec /. 1_000.0);
+  let apache = Comparators.Apache.run ~workload:params () in
+  Printf.printf "  %-22s %8.1f KReq/s\n" "apache (worker)"
+    (apache.Comparators.Apache.requests_per_sec /. 1_000.0)

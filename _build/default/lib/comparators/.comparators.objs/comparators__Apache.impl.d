@@ -1,0 +1,1 @@
+lib/comparators/apache.ml: Array Hw List Mstd Netsim Queue Sim Sws

@@ -1,0 +1,1 @@
+lib/comparators/apache.mli: Sws

@@ -1,0 +1,1 @@
+lib/comparators/userver.ml: Engine Fun Hw List Mstd Netsim Sim Sws Workloads

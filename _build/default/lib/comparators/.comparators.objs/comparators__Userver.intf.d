@@ -1,0 +1,1 @@
+lib/comparators/userver.mli: Engine Sws

@@ -1,0 +1,85 @@
+type params = {
+  workers_per_core : int;
+  request_service_cycles : int;
+  context_switch_cycles : int;
+  accept_lock_cycles : int;
+}
+
+let default_params =
+  {
+    workers_per_core = 32;
+    request_service_cycles = 72_000;
+    context_switch_cycles = 9_000;
+    accept_lock_cycles = 4_000;
+  }
+
+type result = { requests_completed : int; requests_per_sec : float }
+
+(* A closed queueing model on the simulated machine: connections are
+   bound to a core's worker pool at accept; each request costs the
+   service time plus two blocking boundaries (read, write). *)
+let run ?(params = default_params) ?(workload = Sws.Workload.default_params) () =
+  let p = params and w = workload in
+  let machine = Sim.Machine.create ~seed:w.Sws.Workload.seed Hw.Topology.xeon_e5410 Hw.Cost_model.default in
+  let n = Sim.Machine.n_cores machine in
+  let fabric = Netsim.Fabric.create () in
+  let completed = ref 0 in
+  let queues = Array.init n (fun _ -> Queue.create ()) in
+  let procs = Array.make n None in
+  let per_request =
+    p.request_service_cycles + (2 * p.context_switch_cycles)
+  in
+  let core_proc core =
+    Sim.Exec.core_process machine ~core ~step:(fun () ->
+        match Queue.take_opt queues.(core) with
+        | None -> Sim.Exec.Sleep_forever
+        | Some respond ->
+          Sim.Machine.advance machine ~core per_request;
+          incr completed;
+          respond ~at:(Sim.Machine.now machine ~core);
+          Sim.Exec.Continue)
+  in
+  let push_request ~core ~at respond =
+    Queue.push respond queues.(core);
+    match procs.(core) with Some proc -> Sim.Exec.wake proc ~at | None -> ()
+  in
+  (* Client loop: each client is bound to a core (its connection's
+     worker); requests pay two network latencies per round trip plus a
+     reconnect (accept lock) every [requests_per_connection]. *)
+  let rng = Mstd.Rng.create w.Sws.Workload.seed in
+  let requests_done = Array.make w.Sws.Workload.n_clients 0 in
+  let rec client_request slot ~now =
+    let core = slot mod n in
+    let extra =
+      if requests_done.(slot) mod w.Sws.Workload.requests_per_connection = 0 then
+        (* New connection: serialized accept. *)
+        p.accept_lock_cycles * n / 2
+      else 0
+    in
+    Netsim.Fabric.schedule fabric
+      ~at:(now + w.Sws.Workload.latency_cycles + extra)
+      (fun ~now ->
+        push_request ~core ~at:now (fun ~at ->
+            Netsim.Fabric.schedule fabric ~at:(at + w.Sws.Workload.latency_cycles)
+              (fun ~now ->
+                requests_done.(slot) <- requests_done.(slot) + 1;
+                client_request slot ~now)))
+  in
+  for slot = 0 to w.Sws.Workload.n_clients - 1 do
+    let jitter = Mstd.Rng.int rng 2_000_000 in
+    Netsim.Fabric.schedule fabric ~at:jitter (fun ~now -> client_request slot ~now)
+  done;
+  let processes = List.init n core_proc in
+  List.iteri (fun i proc -> procs.(i) <- Some proc) processes;
+  let exec = Sim.Exec.create (processes @ [ Netsim.Fabric.process fabric ]) in
+  let until =
+    int_of_float
+      (Hw.Cost_model.seconds_to_cycles (Sim.Machine.cost machine)
+         w.Sws.Workload.duration_seconds)
+  in
+  Sim.Exec.run ~until exec;
+  let seconds = Sim.Machine.elapsed_seconds machine in
+  {
+    requests_completed = !completed;
+    requests_per_sec = (if seconds > 0.0 then float_of_int !completed /. seconds else 0.0);
+  }

@@ -1,0 +1,32 @@
+(** The Apache worker-MPM comparator of Figure 7.
+
+    A multithreaded blocking server: a pool of worker threads accepts
+    connections from a shared queue and each worker handles one
+    connection at a time with blocking reads and writes. Modelled on the
+    same simulated machine as a closed queueing system: per-request
+    service cost equals the event-driven pipeline's work plus the
+    threading overheads the event-driven papers measure — kernel
+    scheduling/context switches on every blocking boundary and a
+    contended shared accept queue.
+
+    The paper's Figure 7 shows Apache-worker slightly below
+    Libasync-smp and well below SWS on Mely; this model reproduces that
+    band without building a full preemptive-thread simulator (the
+    comparator is context for the figure, not a contribution under
+    test). *)
+
+type params = {
+  workers_per_core : int;
+  request_service_cycles : int;  (** read+parse+respond, as in SWS *)
+  context_switch_cycles : int;  (** two blocking boundaries per request *)
+  accept_lock_cycles : int;  (** shared accept-queue critical section *)
+}
+
+val default_params : params
+
+type result = {
+  requests_completed : int;
+  requests_per_sec : float;
+}
+
+val run : ?params:params -> ?workload:Sws.Workload.params -> unit -> result

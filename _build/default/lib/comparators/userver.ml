@@ -1,0 +1,47 @@
+type result = {
+  requests_completed : int;
+  requests_per_sec : float;
+  summary : Engine.Summary.t;
+}
+
+let run ?(params = Sws.Workload.default_params) () =
+  let p = params in
+  (* One single-core event loop per core: workstealing off, and every
+     color an instance uses hashes to its own core. *)
+  let sched = Workloads.Setup.make ~seed:p.seed Workloads.Setup.Libasync Engine.Config.libasync in
+  let machine = sched.Engine.Sched.machine in
+  let n = Sim.Machine.n_cores machine in
+  let fabric = Netsim.Fabric.create () in
+  let rng = Mstd.Rng.create p.seed in
+  let servers =
+    List.init n (fun core ->
+        let port =
+          Netsim.Port.create ~latency_cycles:p.latency_cycles
+            ~max_fds:((p.n_clients / n) + 16)
+            ~fd_base:(16 + core) ~fd_stride:n ()
+        in
+        let server =
+          Sws.Server.create ~sched ~port ~n_files:p.n_files ~file_bytes:p.file_bytes
+            ~epoll_color:core
+            ~accept_color:(n + core)
+            ()
+        in
+        let slots =
+          List.filter (fun s -> s mod n = core) (List.init p.n_clients Fun.id)
+        in
+        Sws.Workload.drive_clients p ~fabric ~port ~server ~slots ~rng;
+        server)
+  in
+  let cm = Sim.Machine.cost machine in
+  let until_cycles = int_of_float (Hw.Cost_model.seconds_to_cycles cm p.duration_seconds) in
+  ignore (Engine.Driver.run ~injectors:[ Netsim.Fabric.process fabric ] ~until_cycles sched);
+  let requests_completed =
+    List.fold_left (fun acc s -> acc + Sws.Server.requests_completed s) 0 servers
+  in
+  let seconds = Sim.Machine.elapsed_seconds machine in
+  {
+    requests_completed;
+    requests_per_sec =
+      (if seconds > 0.0 then float_of_int requests_completed /. seconds else 0.0);
+    summary = { (Engine.Summary.of_sched sched) with name = "Userver (N-copy)" };
+  }

@@ -1,0 +1,21 @@
+(** The N-copy comparator of Figure 7: one independent single-core
+    event-driven server instance per core (the multiprocess µserver
+    configuration).
+
+    Each instance owns its listening port, epoll loop and clients; no
+    state is shared, so there is no cross-core locking and no balancing
+    either — the paper's point is that N-copy performs well on this
+    workload but is not generally applicable (no shared mutable state).
+
+    Built on the same engine: instance [i] keeps every one of its colors
+    on core [i] (its epoll, accept and connection colors all hash
+    there), with workstealing disabled. *)
+
+type result = {
+  requests_completed : int;
+  requests_per_sec : float;
+  summary : Engine.Summary.t;
+}
+
+val run : ?params:Sws.Workload.params -> unit -> result
+(** Clients are split round-robin across the instances. *)

@@ -1,0 +1,79 @@
+let mask = 0xFFFFFFFF
+
+let rotl x n = ((x lsl n) lor (x lsr (32 - n))) land mask
+
+(* One ChaCha quarter round on state indices a b c d. *)
+let quarter_round state a b c d =
+  state.(a) <- (state.(a) + state.(b)) land mask;
+  state.(d) <- rotl (state.(d) lxor state.(a)) 16;
+  state.(c) <- (state.(c) + state.(d)) land mask;
+  state.(b) <- rotl (state.(b) lxor state.(c)) 12;
+  state.(a) <- (state.(a) + state.(b)) land mask;
+  state.(d) <- rotl (state.(d) lxor state.(a)) 8;
+  state.(c) <- (state.(c) + state.(d)) land mask;
+  state.(b) <- rotl (state.(b) lxor state.(c)) 7
+
+let word_le s i =
+  Char.code s.[i]
+  lor (Char.code s.[i + 1] lsl 8)
+  lor (Char.code s.[i + 2] lsl 16)
+  lor (Char.code s.[i + 3] lsl 24)
+
+let init_state ~key ~counter ~nonce =
+  if String.length key <> 32 then invalid_arg "Chacha20: key must be 32 bytes";
+  if String.length nonce <> 12 then invalid_arg "Chacha20: nonce must be 12 bytes";
+  let state = Array.make 16 0 in
+  (* "expand 32-byte k" *)
+  state.(0) <- 0x61707865;
+  state.(1) <- 0x3320646e;
+  state.(2) <- 0x79622d32;
+  state.(3) <- 0x6b206574;
+  for i = 0 to 7 do
+    state.(4 + i) <- word_le key (i * 4)
+  done;
+  state.(12) <- counter land mask;
+  for i = 0 to 2 do
+    state.(13 + i) <- word_le nonce (i * 4)
+  done;
+  state
+
+let block ~key ~counter ~nonce =
+  let initial = init_state ~key ~counter ~nonce in
+  let state = Array.copy initial in
+  for _ = 1 to 10 do
+    quarter_round state 0 4 8 12;
+    quarter_round state 1 5 9 13;
+    quarter_round state 2 6 10 14;
+    quarter_round state 3 7 11 15;
+    quarter_round state 0 5 10 15;
+    quarter_round state 1 6 11 12;
+    quarter_round state 2 7 8 13;
+    quarter_round state 3 4 9 14
+  done;
+  let out = Bytes.create 64 in
+  for i = 0 to 15 do
+    let word = (state.(i) + initial.(i)) land mask in
+    Bytes.set out (i * 4) (Char.chr (word land 0xFF));
+    Bytes.set out ((i * 4) + 1) (Char.chr ((word lsr 8) land 0xFF));
+    Bytes.set out ((i * 4) + 2) (Char.chr ((word lsr 16) land 0xFF));
+    Bytes.set out ((i * 4) + 3) (Char.chr ((word lsr 24) land 0xFF))
+  done;
+  Bytes.unsafe_to_string out
+
+let keystream_xor ~key ~nonce ~counter buf =
+  let len = Bytes.length buf in
+  let blocks = ((len - 1) / 64) + 1 in
+  for b = 0 to blocks - 1 do
+    let ks = block ~key ~counter:(counter + b) ~nonce in
+    let offset = b * 64 in
+    let chunk = min 64 (len - offset) in
+    for i = 0 to chunk - 1 do
+      Bytes.set buf (offset + i)
+        (Char.chr (Char.code (Bytes.get buf (offset + i)) lxor Char.code ks.[i]))
+    done
+  done
+
+let encrypt ~key ~nonce ?(counter = 1) input =
+  let buf = Bytes.of_string input in
+  keystream_xor ~key ~nonce ~counter buf;
+  Bytes.unsafe_to_string buf

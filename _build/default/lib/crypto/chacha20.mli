@@ -1,0 +1,18 @@
+(** ChaCha20 stream cipher (RFC 8439), implemented from scratch.
+
+    The real-runtime SFS example encrypts reply blocks with this
+    cipher; it is the CPU-heavy work the workstealing study moves
+    between cores. Encryption and decryption are the same operation. *)
+
+val block : key:string -> counter:int -> nonce:string -> string
+(** [block ~key ~counter ~nonce] is the 64-byte keystream block for a
+    32-byte key and 12-byte nonce. Raises [Invalid_argument] on wrong
+    sizes. *)
+
+val encrypt : key:string -> nonce:string -> ?counter:int -> string -> string
+(** XOR the input with the keystream starting at [counter]
+    (default 1, per RFC 8439 when block 0 is reserved for the MAC
+    one-time key). *)
+
+val keystream_xor : key:string -> nonce:string -> counter:int -> bytes -> unit
+(** In-place variant over a [bytes] buffer. *)

@@ -1,0 +1,1 @@
+lib/engine/driver.ml: Hw Sched Sim

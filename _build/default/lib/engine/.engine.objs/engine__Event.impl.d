@@ -1,0 +1,1 @@
+lib/engine/event.ml: Handler List Mstd

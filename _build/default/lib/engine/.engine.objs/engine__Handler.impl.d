@@ -1,0 +1,1 @@
+lib/engine/handler.ml: Format

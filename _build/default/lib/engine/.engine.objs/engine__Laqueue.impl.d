@@ -1,0 +1,1 @@
+lib/engine/laqueue.ml: Event Hashtbl List

@@ -1,0 +1,1 @@
+lib/engine/libasync_sched.ml: Array Config Event Hashtbl Hw Laqueue List Metrics Runtime_shared Sched Sim

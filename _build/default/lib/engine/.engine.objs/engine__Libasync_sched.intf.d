@@ -1,0 +1,1 @@
+lib/engine/libasync_sched.mli: Config Sched Sim

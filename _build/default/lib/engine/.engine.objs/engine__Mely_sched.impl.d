@@ -1,0 +1,1 @@
+lib/engine/mely_sched.ml: Array Config Event Handler Hashtbl Hw List Melyq Metrics Printf Queue Runtime_shared Sched Sim

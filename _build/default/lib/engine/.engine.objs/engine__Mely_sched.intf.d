@@ -1,0 +1,1 @@
+lib/engine/mely_sched.mli: Config Sched Sim

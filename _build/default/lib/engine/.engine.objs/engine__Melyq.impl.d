@@ -1,0 +1,1 @@
+lib/engine/melyq.ml: Array Event Queue

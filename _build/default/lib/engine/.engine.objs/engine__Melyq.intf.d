@@ -1,0 +1,1 @@
+lib/engine/melyq.mli: Event Queue

@@ -1,0 +1,1 @@
+lib/engine/runtime_shared.ml: Array Config Event Handler Hashtbl List Metrics Sim Trace

@@ -1,0 +1,1 @@
+lib/engine/runtime_shared.mli: Config Event Hashtbl Metrics Sim Trace

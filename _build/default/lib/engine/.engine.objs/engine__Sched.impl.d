@@ -1,0 +1,1 @@
+lib/engine/sched.ml: Config Event Hw Metrics Sim Trace

@@ -1,0 +1,1 @@
+lib/engine/sched.mli: Config Event Metrics Sim Trace

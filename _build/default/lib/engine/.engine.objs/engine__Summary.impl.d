@@ -1,0 +1,1 @@
+lib/engine/summary.ml: Format Hw Metrics Mstd Sched Sim

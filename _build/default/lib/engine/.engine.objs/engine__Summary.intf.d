@@ -1,0 +1,1 @@
+lib/engine/summary.mli: Format Sched

@@ -1,0 +1,31 @@
+let run ?(injectors = []) ?until_cycles sched =
+  let exec = Sim.Exec.create (sched.Sched.processes () @ injectors) in
+  (match until_cycles with
+  | Some until -> Sim.Exec.run ~until exec
+  | None -> Sim.Exec.run exec);
+  exec
+
+let run_for_seconds ?injectors sched seconds =
+  let cm = Sim.Machine.cost sched.Sched.machine in
+  let until_cycles = int_of_float (Hw.Cost_model.seconds_to_cycles cm seconds) in
+  run ?injectors ~until_cycles sched
+
+let periodic_injector ~name ~period ?(start_at = 0) ?stop_after f =
+  assert (period > 0);
+  let fired = ref 0 in
+  Sim.Exec.timed_process ~name ~start_at ~step:(fun ~now ->
+      match stop_after with
+      | Some limit when !fired >= limit -> Sim.Exec.Stop
+      | _ ->
+        f ~now;
+        incr fired;
+        (match stop_after with
+        | Some limit when !fired >= limit -> Sim.Exec.Stop
+        | _ -> Sim.Exec.Sleep_until (now + period)))
+
+let drain_watcher sched ~poll_period ~on_drained =
+  assert (poll_period > 0);
+  Sim.Exec.timed_process ~name:"drain-watcher" ~start_at:poll_period ~step:(fun ~now ->
+      if sched.Sched.pending () > 0 then Sim.Exec.Sleep_until (now + poll_period)
+      else if on_drained ~now then Sim.Exec.Sleep_until (now + poll_period)
+      else Sim.Exec.Stop)

@@ -1,0 +1,28 @@
+(** Running a runtime to completion or for a fixed virtual duration. *)
+
+val run :
+  ?injectors:Sim.Exec.process list -> ?until_cycles:int -> Sched.t -> Sim.Exec.t
+(** Build the simulation (core processes plus any injector processes)
+    and run it. Without [until_cycles] the run ends at quiescence: all
+    events drained, every core parked and every injector stopped.
+    Returns the executor for step-count inspection. *)
+
+val run_for_seconds : ?injectors:Sim.Exec.process list -> Sched.t -> float -> Sim.Exec.t
+(** [run] bounded by a virtual duration converted through the machine's
+    clock rate. *)
+
+val periodic_injector :
+  name:string ->
+  period:int ->
+  ?start_at:int ->
+  ?stop_after:int ->
+  (now:int -> unit) ->
+  Sim.Exec.process
+(** An injector that fires [f ~now] every [period] cycles, [stop_after]
+    times (default: forever). *)
+
+val drain_watcher : Sched.t -> poll_period:int -> on_drained:(now:int -> bool) -> Sim.Exec.process
+(** Polls the runtime every [poll_period] cycles; when no events are
+    pending, calls [on_drained], which returns [true] to keep watching
+    (it registered more work) or [false] to stop. Used by the fork/join
+    microbenchmarks to start the next round. *)

@@ -1,0 +1,39 @@
+type data_ref = { data_id : int; bytes : int; write : bool }
+
+type t = {
+  mutable seq : int;
+  handler : Handler.t;
+  color : int;
+  cost : int;
+  data : data_ref list;
+  action : ctx -> unit;
+  core_hint : int option;
+  mutable stolen : bool;
+}
+
+and ctx = {
+  ctx_core : int;
+  ctx_now : unit -> int;
+  ctx_register : t -> unit;
+  ctx_rng : Mstd.Rng.t;
+}
+
+let default_color = 0
+
+let make ~handler ~color ?cost ?(data = []) ?core_hint ?(action = fun _ -> ()) () =
+  let cost = match cost with Some c -> c | None -> handler.Handler.declared_cycles in
+  assert (cost >= 0);
+  assert (color >= 0);
+  { seq = -1; handler; color; cost; data; action; core_hint; stolen = false }
+
+let data_ref ?(write = false) ~data_id ~bytes () =
+  assert (bytes >= 0);
+  { data_id; bytes; write }
+
+let data_id_counter = ref 0
+
+let fresh_data_id () =
+  incr data_id_counter;
+  !data_id_counter
+
+let total_data_bytes t = List.fold_left (fun acc d -> acc + d.bytes) 0 t.data

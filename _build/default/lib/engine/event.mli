@@ -1,0 +1,61 @@
+(** Events: the unit of work of an event-coloring runtime.
+
+    An event pairs a handler with a continuation. In Libasync-smp the
+    continuation is a closure over C state; here it is modelled by three
+    things: a nominal execution cost in cycles, a list of data sets the
+    handler touches (driving the cache model), and an [action] callback
+    that runs when the event executes and may register further events —
+    this is how the applications (SWS, SFS) and microbenchmarks express
+    their event graphs.
+
+    The color (a short integer, as in the paper) is the concurrency
+    annotation: same color implies serial execution, different colors
+    may run in parallel. Color {!default_color} (0) is the color of
+    unannotated events, which are therefore all serialized. *)
+
+type data_ref = {
+  data_id : int;  (** identity of the touched object (array, buffer, connection state) *)
+  bytes : int;  (** size of the touch *)
+  write : bool;  (** writes invalidate remote cached copies *)
+}
+
+type t = {
+  mutable seq : int;  (** registration sequence number, assigned by the runtime *)
+  handler : Handler.t;
+  color : int;
+  cost : int;  (** nominal CPU cycles of this particular event *)
+  data : data_ref list;
+  action : ctx -> unit;
+  core_hint : int option;
+      (** force initial placement on a given core (used by benchmarks to
+          create imbalance); colors already mapped to a core ignore it *)
+  mutable stolen : bool;  (** set when the event migrates to another core *)
+}
+
+and ctx = {
+  ctx_core : int;  (** core executing the handler *)
+  ctx_now : unit -> int;  (** current virtual time *)
+  ctx_register : t -> unit;  (** register a new event from inside the handler *)
+  ctx_rng : Mstd.Rng.t;  (** deterministic per-core stream *)
+}
+
+val default_color : int
+
+val make :
+  handler:Handler.t ->
+  color:int ->
+  ?cost:int ->
+  ?data:data_ref list ->
+  ?core_hint:int ->
+  ?action:(ctx -> unit) ->
+  unit ->
+  t
+(** [cost] defaults to the handler's declared cycles; [action] defaults
+    to a no-op; [data] to []. *)
+
+val data_ref : ?write:bool -> data_id:int -> bytes:int -> unit -> data_ref
+
+val fresh_data_id : unit -> int
+(** Process-wide unique data-set identity. *)
+
+val total_data_bytes : t -> int

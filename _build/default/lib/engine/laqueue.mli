@@ -1,0 +1,37 @@
+(** The Libasync-smp per-core event queue.
+
+    One FIFO linked list of events per core, plus the per-color pending
+    counters the runtime maintains (footnote 1 of the paper). The
+    structure reports how many list links each operation traverses so
+    the scheduler can charge the paper's measured ~190 cycles per
+    scanned event — this cost is the heart of why the baseline
+    workstealing collapses on queues holding 1000+ events. *)
+
+type t
+
+val create : unit -> t
+val length : t -> int
+val is_empty : t -> bool
+val distinct_colors : t -> int
+val color_count : t -> int -> int
+
+val push : t -> Event.t -> unit
+val pop : t -> Event.t option
+(** FIFO order. *)
+
+val peek_colors : t -> int list
+(** Colors present, unordered; test helper. *)
+
+val choose_color_to_steal : t -> exclude:int option -> (int * int) option * int
+(** The baseline color choice: the first color in the pending-counter
+    table that (i) is not [exclude] and (ii) has fewer than half of the
+    queued events. Result: [Some (color, count)] or [None] if no such
+    color, paired with the number of entries inspected (each costs the
+    paper's ~190 cycles of cold pointer chasing). *)
+
+val extract_color : t -> int -> Event.t list * int
+(** Remove and return all events of a color, in order, paired with the
+    number of links scanned (the scan stops after the last matching
+    event, which the pending counter makes possible). *)
+
+val iter : (Event.t -> unit) -> t -> unit

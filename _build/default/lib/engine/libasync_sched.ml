@@ -1,0 +1,212 @@
+type core_state = {
+  queue : Laqueue.t;
+  lock : Sim.Lock.t;
+  mutable current_color : int option;
+}
+
+type state = {
+  shared : Runtime_shared.t;
+  cores : core_state array;
+  color_owner : (int, int) Hashtbl.t;
+}
+
+let n_cores st = Array.length st.cores
+let machine st = st.shared.Runtime_shared.machine
+let cost_model st = Sim.Machine.cost (machine st)
+
+(* The paper's "simple hashing function on colors". *)
+let hash_core st color = color mod n_cores st
+
+let owner_of st event =
+  let color = event.Event.color in
+  match Hashtbl.find_opt st.color_owner color with
+  | Some core -> core
+  | None ->
+    let core =
+      match event.Event.core_hint with Some c -> c | None -> hash_core st color
+    in
+    Hashtbl.add st.color_owner color core;
+    core
+
+(* Registration from a handler: the producing core pays for the map
+   lookup, the victim lock and the queue insertion. *)
+let register_from st ~core event =
+  let cm = cost_model st in
+  Runtime_shared.charge st.shared ~core cm.Hw.Cost_model.color_map_op;
+  let target = owner_of st event in
+  let target_state = st.cores.(target) in
+  Sim.Lock.with_lock target_state.lock (machine st) ~core (fun () ->
+      Runtime_shared.charge st.shared ~core cm.Hw.Cost_model.queue_op;
+      Laqueue.push target_state.queue event);
+  Runtime_shared.assign_seq st.shared event;
+  Runtime_shared.note_enqueued st.shared ~target ~at:(Sim.Machine.now (machine st) ~core)
+
+(* Registration from outside the machine (injectors): enters the queue
+   at virtual time [at] without charging any core. *)
+let register_external st ~at event =
+  let target = owner_of st event in
+  Laqueue.push st.cores.(target).queue event;
+  Runtime_shared.assign_seq st.shared event;
+  Runtime_shared.note_enqueued st.shared ~target ~at
+
+(* Pop one event from the core's own queue and run it. Returns [false]
+   when the queue was empty (possible if a thief emptied it). *)
+let process_next st ~core =
+  let cs = st.cores.(core) in
+  let m = machine st in
+  let cm = cost_model st in
+  let event =
+    Sim.Lock.with_lock cs.lock m ~core (fun () ->
+        Runtime_shared.charge st.shared ~core cm.Hw.Cost_model.queue_op;
+        Laqueue.pop cs.queue)
+  in
+  match event with
+  | None -> false
+  | Some event ->
+    let color = event.Event.color in
+    cs.current_color <- Some color;
+    Runtime_shared.note_dequeued st.shared;
+    Runtime_shared.execute st.shared ~core
+      ~register:(fun ~core e -> register_from st ~core e)
+      ~enqueued_on:core event;
+    (* Drop the color -> core mapping once the color has fully drained,
+       so recycled colors (connection fds) re-hash freshly. Done after
+       the action ran: a handler re-registering its own color keeps the
+       mapping alive and stays serialized. *)
+    if color >= st.shared.Runtime_shared.config.Config.persistent_colors
+       && Laqueue.color_count cs.queue color = 0
+       && Hashtbl.find_opt st.color_owner color = Some core
+    then begin
+      Hashtbl.remove st.color_owner color;
+      Runtime_shared.note_color_quiesced st.shared ~color ~at:(Sim.Machine.now m ~core)
+    end;
+    true
+
+(* One full workstealing attempt, straight from Figure 2. *)
+let try_steal st ~core =
+  let cm = cost_model st in
+  let m = machine st in
+  Metrics.on_steal_attempt st.shared.Runtime_shared.metrics;
+  if st.shared.Runtime_shared.pending = 0 then Sim.Exec.Sleep_forever
+  else begin
+    let t_start = Sim.Machine.now m ~core in
+    let spin_start = Sim.Machine.spin_cycles m ~core in
+    (* construct_core_set: read every queue length, most loaded first,
+       then successive core numbers. *)
+    Runtime_shared.charge st.shared ~core cm.Hw.Cost_model.steal_fixed;
+    let n = n_cores st in
+    let most_loaded = ref 0 and best_len = ref (-1) in
+    for c = 0 to n - 1 do
+      let len = Laqueue.length st.cores.(c).queue in
+      if len > !best_len then begin
+        best_len := len;
+        most_loaded := c
+      end
+    done;
+    let core_set =
+      List.filter
+        (fun c -> c <> core)
+        (List.init n (fun i -> (!most_loaded + i) mod n))
+    in
+    let stolen = ref None in
+    let rec visit = function
+      | [] -> ()
+      | victim :: rest ->
+        let vs = st.cores.(victim) in
+        Sim.Lock.with_lock vs.lock m ~core (fun () ->
+            (* can_be_stolen: at least two distinct colors queued. *)
+            Runtime_shared.charge st.shared ~core cm.Hw.Cost_model.color_map_op;
+            if Laqueue.distinct_colors vs.queue >= 2 then begin
+              let choice, inspected =
+                Laqueue.choose_color_to_steal vs.queue ~exclude:vs.current_color
+              in
+              Runtime_shared.charge st.shared ~core
+                (inspected * cm.Hw.Cost_model.scan_per_event);
+              match choice with
+              | None -> ()
+              | Some (color, _count) ->
+                let events, scanned = Laqueue.extract_color vs.queue color in
+                Runtime_shared.charge st.shared ~core
+                  (scanned * cm.Hw.Cost_model.scan_per_event);
+                if events <> [] then stolen := Some (color, events)
+            end);
+        if !stolen = None then visit rest
+    in
+    visit core_set;
+    match !stolen with
+    | Some (color, events) ->
+      (* migrate: append under the thief's own lock. *)
+      let self = st.cores.(core) in
+      Sim.Lock.with_lock self.lock m ~core (fun () ->
+          List.iter
+            (fun e ->
+              Runtime_shared.charge st.shared ~core cm.Hw.Cost_model.queue_op;
+              e.Event.stolen <- true;
+              Laqueue.push self.queue e)
+            events);
+      Hashtbl.replace st.color_owner color core;
+      let stolen_cost = List.fold_left (fun acc e -> acc + e.Event.cost) 0 events in
+      let thief_cycles = Sim.Machine.now m ~core - t_start in
+      let spin = Sim.Machine.spin_cycles m ~core - spin_start in
+      Metrics.on_steal_success st.shared.Runtime_shared.metrics ~thief_cycles
+        ~work_cycles:(thief_cycles - spin)
+        ~events:(List.length events) ~stolen_cost;
+      (* Start on the loot immediately — in the real runtime the thief's
+         loop pops right after migrating, leaving no window in which
+         another thief could bounce the freshly-stolen color away. *)
+      ignore (process_next st ~core);
+      Sim.Exec.Continue
+    | None ->
+      Metrics.on_steal_failure st.shared.Runtime_shared.metrics
+        ~thief_cycles:(Sim.Machine.now m ~core - t_start);
+      (* A failed sweep returns to the main loop, which polls I/O
+         (select/epoll) before the next stealing pass — a short natural
+         pause between sweeps. *)
+      if st.shared.Runtime_shared.pending > 0 then
+        Sim.Exec.Sleep_until
+          (Sim.Machine.now m ~core
+          + st.shared.Runtime_shared.config.Config.failed_steal_backoff)
+      else Sim.Exec.Sleep_forever
+  end
+
+let step st ~core () =
+  let cs = st.cores.(core) in
+  if Laqueue.is_empty cs.queue then begin
+    cs.current_color <- None;
+    if st.shared.Runtime_shared.config.Config.ws_enabled then try_steal st ~core
+    else Sim.Exec.Sleep_forever
+  end
+  else begin
+    ignore (process_next st ~core);
+    Sim.Exec.Continue
+  end
+
+let create machine config =
+  let shared = Runtime_shared.create machine config in
+  let st =
+    {
+      shared;
+      cores =
+        Array.init (Sim.Machine.n_cores machine) (fun _ ->
+            { queue = Laqueue.create (); lock = Sim.Lock.create machine; current_color = None });
+      color_owner = Hashtbl.create 1024;
+    }
+  in
+  let procs =
+    Array.init (n_cores st) (fun core ->
+        Sim.Exec.core_process machine ~core ~step:(step st ~core))
+  in
+  shared.Runtime_shared.procs <- procs;
+  {
+    Sched.name = (if config.Config.ws_enabled then "Libasync-smp - WS" else "Libasync-smp");
+    machine;
+    config;
+    metrics = shared.Runtime_shared.metrics;
+    trace = shared.Runtime_shared.trace;
+    register_external = (fun ~at e -> register_external st ~at e);
+    register_from = (fun ~core e -> register_from st ~core e);
+    processes = (fun () -> Array.to_list procs);
+    pending = (fun () -> shared.Runtime_shared.pending);
+    queue_length = (fun ~core -> Laqueue.length st.cores.(core).queue);
+    current_color = (fun ~core -> st.cores.(core).current_color);
+  }

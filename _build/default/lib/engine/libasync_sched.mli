@@ -1,0 +1,25 @@
+(** The Libasync-smp runtime (Section II of the paper).
+
+    One FIFO event queue and one thread per core; colors dispatched to
+    cores by hashing; queues protected by per-core spinlocks. The
+    workstealing algorithm is the paper's Figure 2 pseudo-code,
+    faithfully including its cost structure:
+
+    - [construct_core_set]: the most-loaded core first, then successive
+      core numbers (no cache-topology awareness);
+    - [can_be_stolen]: the victim holds events of at least two distinct
+      colors (the currently-processed color cannot migrate);
+    - [choose_color_to_steal]: scan from the queue head for the first
+      color that is not being processed and covers less than half of the
+      queue — each scanned list link costs ~190 cycles;
+    - [construct_event_set]: extract every event of that color,
+      scanning (and paying) up to the last occurrence;
+    - [migrate]: append the set to the thief's queue under its lock.
+
+    Victim checks happen under the victim's spinlock, which is why idle
+    thieves hammering a loaded core inflate its locking time to the
+    paper's measured 39.73%. *)
+
+val create : Sim.Machine.t -> Config.t -> Sched.t
+(** Build a Libasync-smp runtime on a simulated machine. Use
+    {!Config.libasync} or {!Config.libasync_ws}. *)

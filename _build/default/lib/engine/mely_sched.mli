@@ -1,0 +1,28 @@
+(** The Mely runtime (Section IV of the paper).
+
+    Per-color queues chained into per-core core-queues make steal
+    extraction an O(1) splice; a per-core stealing-queue of worthy
+    colors (three time-left intervals) drives the time-left heuristic;
+    the color map tracks where each live color resides so registrations
+    follow stolen colors; a batch threshold (default 10) bounds how many
+    events of one color run before the core rotates to the next
+    color-queue, preventing starvation.
+
+    The three heuristics of Section III are independently switchable
+    through {!Config.heuristics}:
+    - {e locality-aware}: victims are visited in cache-distance order
+      ({!Hw.Topology.cores_by_distance});
+    - {e time-left}: only worthy colors — cumulative weighted time above
+      the online steal-cost estimate — are candidates, best interval
+      first; without it the baseline "first color under half the queue"
+      rule runs on Mely's structures ("Mely - base WS" in the tables);
+    - {e penalty-aware}: a handler's declared time is divided by its
+      workstealing penalty when accumulating a color's perceived time.
+
+    With [ws_enabled = false] this is "Mely" alone: the color-queue
+    management overhead (insert/remove of short-lived colors) is
+    faithfully charged, reproducing the paper's observation that bare
+    Mely runs slightly behind bare Libasync-smp on many-color loads. *)
+
+val create : Sim.Machine.t -> Config.t -> Sched.t
+(** Use {!Config.mely}, {!Config.mely_base_ws} or {!Config.mely_ws}. *)

@@ -1,0 +1,54 @@
+(** State and helpers shared by the two scheduler implementations:
+    the pending-event count (with the wake-on-new-work protocol), event
+    sequence numbering, cycle charging, and handler execution. *)
+
+type t = {
+  machine : Sim.Machine.t;
+  config : Config.t;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  mutable procs : Sim.Exec.process array;  (** one per core; set after creation *)
+  mutable pending : int;
+  mutable seq : int;
+  quiesce : (int, int) Hashtbl.t;
+      (** color -> virtual end time of its previous life; see
+          {!note_color_quiesced} *)
+}
+
+val create : Sim.Machine.t -> Config.t -> t
+
+val assign_seq : t -> Event.t -> unit
+(** Number the event and count the registration. *)
+
+val charge : t -> core:int -> int -> unit
+(** Busy cycles on a core's clock. *)
+
+val wake_core : t -> core:int -> at:int -> unit
+
+val note_enqueued : t -> target:int -> at:int -> unit
+(** Pending-count bookkeeping for a registration: wakes the target, and
+    on an empty-to-nonempty transition wakes every core so idle thieves
+    re-attempt stealing (with workstealing disabled only the target is
+    woken). *)
+
+val note_dequeued : t -> unit
+
+val note_color_quiesced : t -> color:int -> at:int -> unit
+(** Record that a color fully drained and was unmapped at virtual time
+    [at]. If the color is later recreated and handed to a core whose
+    clock lags [at], {!execute} idles that core forward first — without
+    this, atomic-step clock skew could let the recreated color's first
+    event overlap, in virtual time, the last event of its previous
+    life, violating the mutual-exclusion timeline. *)
+
+val execute :
+  t ->
+  core:int ->
+  register:(core:int -> Event.t -> unit) ->
+  enqueued_on:int ->
+  Event.t ->
+  unit
+(** Run one event on a core: enforce the color's quiescence time,
+    advance the nominal cost, touch the data sets through the cache
+    model, record metrics and trace, then invoke the event's action
+    with a context whose registrations charge this core. *)

@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  machine : Sim.Machine.t;
+  config : Config.t;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  register_external : at:int -> Event.t -> unit;
+  register_from : core:int -> Event.t -> unit;
+  processes : unit -> Sim.Exec.process list;
+  pending : unit -> int;
+  queue_length : core:int -> int;
+  current_color : core:int -> int option;
+}
+
+let events_per_second t =
+  let seconds = Sim.Machine.elapsed_seconds t.machine in
+  if seconds <= 0.0 then 0.0 else float_of_int (Metrics.executed t.metrics) /. seconds
+
+let locking_ratio t =
+  let n = Sim.Machine.n_cores t.machine in
+  let spin = ref 0 and total = ref 0 in
+  for core = 0 to n - 1 do
+    spin := !spin + Sim.Machine.spin_cycles t.machine ~core;
+    total := !total + Sim.Machine.total_cycles t.machine ~core
+  done;
+  if !total = 0 then 0.0 else float_of_int !spin /. float_of_int !total
+
+let l2_misses_per_event t =
+  let executed = Metrics.executed t.metrics in
+  if executed = 0 then 0.0
+  else begin
+    let misses = Hw.Cache.l2_miss_count (Sim.Machine.cache t.machine) in
+    float_of_int misses /. float_of_int executed
+  end
+
+let make_ctx t ~core =
+  {
+    Event.ctx_core = core;
+    ctx_now = (fun () -> Sim.Machine.now t.machine ~core);
+    ctx_register = (fun event -> t.register_from ~core event);
+    ctx_rng = Sim.Machine.rng t.machine ~core;
+  }

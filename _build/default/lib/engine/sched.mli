@@ -1,0 +1,37 @@
+(** Common shape of a simulated event-coloring runtime.
+
+    Both {!Libasync_sched} and {!Mely_sched} produce a value of this
+    type; workloads, applications and the experiment harness program
+    against it, so an experiment can swap runtimes with one line. *)
+
+type t = {
+  name : string;
+  machine : Sim.Machine.t;
+  config : Config.t;
+  metrics : Metrics.t;
+  trace : Trace.t option;
+  register_external : at:int -> Event.t -> unit;
+      (** Registration from outside the machine (a load injector): the
+          event enters the target queue at virtual time [at] without
+          charging any core. *)
+  register_from : core:int -> Event.t -> unit;
+      (** Registration from a handler running on [core]; the lock,
+          queue and map costs are charged to that core's clock. *)
+  processes : unit -> Sim.Exec.process list;
+      (** One process per simulated core, for {!Sim.Exec.run}. *)
+  pending : unit -> int;  (** events queued and not yet executed *)
+  queue_length : core:int -> int;
+  current_color : core:int -> int option;
+}
+
+val events_per_second : t -> float
+(** Executed events divided by elapsed virtual seconds. *)
+
+val locking_ratio : t -> float
+(** Spin cycles / total cycles over all cores — the paper's "Locking
+    time" column. *)
+
+val l2_misses_per_event : t -> float
+
+val make_ctx : t -> core:int -> Event.ctx
+(** Handler execution context bound to a core. *)

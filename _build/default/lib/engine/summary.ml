@@ -1,0 +1,42 @@
+type t = {
+  name : string;
+  executed : int;
+  elapsed_seconds : float;
+  events_per_sec : float;
+  locking_ratio : float;
+  l2_misses : int;
+  l2_misses_per_event : float;
+  steal_attempts : int;
+  steals : int;
+  stolen_events : int;
+  avg_steal_cycles : float;
+  avg_stolen_cost : float;
+}
+
+let of_sched sched =
+  let metrics = sched.Sched.metrics in
+  {
+    name = sched.Sched.name;
+    executed = Metrics.executed metrics;
+    elapsed_seconds = Sim.Machine.elapsed_seconds sched.Sched.machine;
+    events_per_sec = Sched.events_per_second sched;
+    locking_ratio = Sched.locking_ratio sched;
+    l2_misses = Hw.Cache.l2_miss_count (Sim.Machine.cache sched.Sched.machine);
+    l2_misses_per_event = Sched.l2_misses_per_event sched;
+    steal_attempts = Metrics.steal_attempts metrics;
+    steals = Metrics.steals metrics;
+    stolen_events = Metrics.stolen_events metrics;
+    avg_steal_cycles = Metrics.avg_steal_cycles metrics;
+    avg_stolen_cost = Metrics.avg_stolen_cost metrics;
+  }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "%s: %d events in %.3fs (%s KEvents/s), locking %s, %.1f L2 misses/event, %d/%d steals \
+     (avg cost %s, avg stolen %s)"
+    t.name t.executed t.elapsed_seconds
+    (Mstd.Units.kevents_per_sec t.events_per_sec)
+    (Mstd.Units.percent t.locking_ratio)
+    t.l2_misses_per_event t.steals t.steal_attempts
+    (Mstd.Units.cycles t.avg_steal_cycles)
+    (Mstd.Units.cycles t.avg_stolen_cost)

@@ -1,0 +1,20 @@
+(** One-shot measurement snapshot of a finished run, carrying exactly
+    the quantities the paper's tables report. *)
+
+type t = {
+  name : string;
+  executed : int;
+  elapsed_seconds : float;
+  events_per_sec : float;
+  locking_ratio : float;  (** spin cycles / total cycles *)
+  l2_misses : int;
+  l2_misses_per_event : float;
+  steal_attempts : int;
+  steals : int;
+  stolen_events : int;
+  avg_steal_cycles : float;  (** the paper's "stealing time" *)
+  avg_stolen_cost : float;  (** the paper's "stolen time" *)
+}
+
+val of_sched : Sched.t -> t
+val pp : Format.formatter -> t -> unit

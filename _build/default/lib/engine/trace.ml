@@ -1,0 +1,76 @@
+type entry = {
+  event_seq : int;
+  color : int;
+  handler : string;
+  core : int;
+  t_start : int;
+  t_end : int;
+  stolen : bool;
+}
+
+type t = { mutable entries : entry list; mutable length : int }
+
+let create () = { entries = []; length = 0 }
+
+let record t e =
+  t.entries <- e :: t.entries;
+  t.length <- t.length + 1
+
+let entries t = List.rev t.entries
+let length t = t.length
+
+let by_color t =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun e ->
+      let existing = try Hashtbl.find tbl e.color with Not_found -> [] in
+      Hashtbl.replace tbl e.color (e :: existing))
+    t.entries;
+  (* Entries were prepended twice, so each bucket is back in recording
+     order. *)
+  tbl
+
+let check_mutual_exclusion t =
+  let tbl = by_color t in
+  let bad = ref None in
+  Hashtbl.iter
+    (fun _color entries ->
+      if !bad = None then begin
+        let sorted =
+          List.sort (fun a b -> compare (a.t_start, a.t_end) (b.t_start, b.t_end)) entries
+        in
+        let rec scan = function
+          | a :: (b :: _ as rest) ->
+            if a.t_start < b.t_end && b.t_start < a.t_end && a.t_start <> a.t_end
+               && b.t_start <> b.t_end
+            then bad := Some (a, b)
+            else scan rest
+          | _ -> ()
+        in
+        scan sorted
+      end)
+    tbl;
+  !bad
+
+let check_fifo_per_color t =
+  let tbl = by_color t in
+  let bad = ref None in
+  Hashtbl.iter
+    (fun _color entries ->
+      if !bad = None then begin
+        let rec scan = function
+          | a :: (b :: _ as rest) ->
+            if b.event_seq < a.event_seq then bad := Some (a, b) else scan rest
+          | _ -> ()
+        in
+        scan entries
+      end)
+    tbl;
+  !bad
+
+let steal_ratio t =
+  if t.length = 0 then 0.0
+  else begin
+    let stolen = List.fold_left (fun acc e -> if e.stolen then acc + 1 else acc) 0 t.entries in
+    float_of_int stolen /. float_of_int t.length
+  end

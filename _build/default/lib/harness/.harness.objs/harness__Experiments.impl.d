@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Comparators Engine Hw List Mstd Printf Sfs Sws Workloads

@@ -1,0 +1,407 @@
+type t = {
+  id : string;
+  title : string;
+  description : string;
+  run : quick:bool -> Mstd.Table.t;
+}
+
+let micro_duration ~quick = if quick then 0.02 else 0.25
+let server_duration ~quick = if quick then 0.02 else 0.05
+
+let sweep_clients ~quick =
+  if quick then [ 400; 1200; 2000 ] else [ 200; 400; 600; 800; 1000; 1200; 1400; 1600; 1800; 2000 ]
+
+let heur locality time_left penalty = { Engine.Config.locality; time_left; penalty }
+
+let tl_config = Engine.Config.with_heuristics Engine.Config.mely_ws (heur false true false)
+let tp_config = Engine.Config.with_heuristics Engine.Config.mely_ws (heur false true true)
+let loc_config = Engine.Config.with_heuristics Engine.Config.mely_ws (heur true false false)
+
+let kev s = Mstd.Units.kevents_per_sec s.Engine.Summary.events_per_sec
+let pct s = Mstd.Units.percent s.Engine.Summary.locking_ratio
+let cyc v = Mstd.Units.cycles v
+
+(* ------------------------------------------------------------------ *)
+
+let table1 ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:[ "System"; "Stealing time (cycles)"; "Stolen time (cycles)"; "Paper" ]
+  in
+  let sfs =
+    Sfs.Workload.run
+      ~params:{ Sfs.Workload.default_params with duration_seconds = server_duration ~quick }
+      Workloads.Setup.Libasync Engine.Config.libasync_ws
+  in
+  let sws =
+    Sws.Workload.run
+      ~params:
+        {
+          Sws.Workload.default_params with
+          n_clients = 1000;
+          duration_seconds = server_duration ~quick;
+        }
+      Workloads.Setup.Libasync Engine.Config.libasync_ws
+  in
+  let row name (summary : Engine.Summary.t) paper =
+    Mstd.Table.add_row table
+      [ name; cyc summary.avg_steal_cycles; cyc summary.avg_stolen_cost; paper ]
+  in
+  row "SFS" sfs.base.summary "4.8K vs 1200K";
+  row "Web server" sws.base.summary "197K vs 20K";
+  table
+
+let table2 ~quick =
+  ignore quick;
+  let topo = Hw.Topology.xeon_e5410 in
+  let cm = Hw.Cost_model.default in
+  let cache = Hw.Cache.create topo cm in
+  let line = cm.Hw.Cost_model.cache_line in
+  (* One-line probes: cold (memory), hot same core (L1), hot from the
+     L2 neighbour (shared L2). *)
+  let cold = Hw.Cache.access cache ~core:0 ~data:1 ~bytes:line ~write:false in
+  let l1 = Hw.Cache.access cache ~core:0 ~data:1 ~bytes:line ~write:false in
+  let l2 = Hw.Cache.access cache ~core:1 ~data:1 ~bytes:line ~write:false in
+  let table =
+    Mstd.Table.create ~headers:[ "Memory hierarchy level"; "Access time (cycles)"; "Paper" ]
+  in
+  Mstd.Table.add_row table [ "L1 cache"; string_of_int l1.Hw.Cache.cost; "4" ];
+  Mstd.Table.add_row table [ "L2 cache"; string_of_int l2.Hw.Cache.cost; "15" ];
+  Mstd.Table.add_row table [ "Main memory"; string_of_int cold.Hw.Cache.cost; "110" ];
+  table
+
+let unbalanced_run ~quick kind config =
+  let params =
+    { Workloads.Unbalanced.default_params with duration_seconds = micro_duration ~quick }
+  in
+  (Workloads.Unbalanced.run ~params kind config).summary
+
+let table3 ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:[ "Configuration"; "KEvents/s"; "Locking time"; "WS cost (cycles)"; "Paper KEv/s" ]
+  in
+  let row name kind config paper =
+    let s = unbalanced_run ~quick kind config in
+    let ws_cost = if s.Engine.Summary.steals = 0 then "-" else cyc s.avg_steal_cycles in
+    Mstd.Table.add_row table [ name; kev s; pct s; ws_cost; paper ]
+  in
+  row "Libasync-smp" Workloads.Setup.Libasync Engine.Config.libasync "1310";
+  row "Libasync-smp - WS" Workloads.Setup.Libasync Engine.Config.libasync_ws "122";
+  row "Mely" Workloads.Setup.Mely Engine.Config.mely "1265";
+  row "Mely - base WS" Workloads.Setup.Mely Engine.Config.mely_base_ws "1195";
+  table
+
+let table4 ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:[ "Configuration"; "KEvents/s"; "Stolen time (cycles)"; "Paper KEv/s" ]
+  in
+  let row name kind config paper =
+    let s = unbalanced_run ~quick kind config in
+    let stolen = if s.Engine.Summary.steals = 0 then "-" else cyc s.avg_stolen_cost in
+    Mstd.Table.add_row table [ name; kev s; stolen; paper ]
+  in
+  row "Libasync-smp" Workloads.Setup.Libasync Engine.Config.libasync "1310";
+  row "Libasync-smp - WS" Workloads.Setup.Libasync Engine.Config.libasync_ws "122";
+  row "Mely - base WS" Workloads.Setup.Mely Engine.Config.mely_base_ws "1195";
+  row "Mely - time-aware WS" Workloads.Setup.Mely tl_config "2042";
+  table
+
+let penalty_run ~quick kind config =
+  let params =
+    { Workloads.Penalty.default_params with duration_seconds = micro_duration ~quick /. 2.0 }
+  in
+  (Workloads.Penalty.run ~params kind config).summary
+
+let table5 ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:[ "Configuration"; "KEvents/s"; "L2 misses/event"; "Paper KEv/s (misses)" ]
+  in
+  let row name kind config paper =
+    let s = penalty_run ~quick kind config in
+    Mstd.Table.add_row table
+      [ name; kev s; Printf.sprintf "%.1f" s.Engine.Summary.l2_misses_per_event; paper ]
+  in
+  row "Libasync-smp" Workloads.Setup.Libasync Engine.Config.libasync "1103 (29)";
+  row "Libasync-smp - WS" Workloads.Setup.Libasync Engine.Config.libasync_ws "190 (167K)";
+  row "Mely - base WS" Workloads.Setup.Mely Engine.Config.mely_base_ws "1386 (42K)";
+  row "Mely - penalty-aware WS" Workloads.Setup.Mely tp_config "2122 (2K)";
+  table
+
+let cache_efficient_run ~quick kind config =
+  let params =
+    {
+      Workloads.Cache_efficient.default_params with
+      duration_seconds = micro_duration ~quick /. 2.0;
+    }
+  in
+  (Workloads.Cache_efficient.run ~params kind config).summary
+
+let table6 ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:[ "Configuration"; "KEvents/s"; "L2 misses/event"; "Paper KEv/s (misses)" ]
+  in
+  let row name kind config paper =
+    let s = cache_efficient_run ~quick kind config in
+    Mstd.Table.add_row table
+      [ name; kev s; Printf.sprintf "%.1f" s.Engine.Summary.l2_misses_per_event; paper ]
+  in
+  row "Libasync-smp" Workloads.Setup.Libasync Engine.Config.libasync "1156 (0)";
+  row "Libasync-smp - WS" Workloads.Setup.Libasync Engine.Config.libasync_ws "1497 (13)";
+  row "Mely - base WS" Workloads.Setup.Mely Engine.Config.mely_base_ws "1426 (12)";
+  row "Mely - locality-aware WS" Workloads.Setup.Mely loc_config "1869 (2)";
+  table
+
+let sfs_run ~quick kind config =
+  Sfs.Workload.run
+    ~params:{ Sfs.Workload.default_params with duration_seconds = server_duration ~quick }
+    kind config
+
+let fig3 ~quick =
+  let table =
+    Mstd.Table.create ~headers:[ "Configuration"; "Throughput (MB/s)"; "Paper MB/s" ]
+  in
+  let row name kind config paper =
+    let r = sfs_run ~quick kind config in
+    Mstd.Table.add_row table [ name; Printf.sprintf "%.1f" r.mb_per_sec; paper ]
+  in
+  row "Libasync-smp" Workloads.Setup.Libasync Engine.Config.libasync "~95";
+  row "Libasync-smp - WS" Workloads.Setup.Libasync Engine.Config.libasync_ws "~128 (+35%)";
+  table
+
+let fig8 ~quick =
+  let table =
+    Mstd.Table.create ~headers:[ "Configuration"; "Throughput (MB/s)"; "Paper MB/s" ]
+  in
+  let row name kind config paper =
+    let r = sfs_run ~quick kind config in
+    Mstd.Table.add_row table [ name; Printf.sprintf "%.1f" r.mb_per_sec; paper ]
+  in
+  row "Libasync-smp" Workloads.Setup.Libasync Engine.Config.libasync "~95";
+  row "Libasync-smp - WS" Workloads.Setup.Libasync Engine.Config.libasync_ws "~128";
+  row "Mely - WS" Workloads.Setup.Mely Engine.Config.mely_ws "~128 (no regression)";
+  table
+
+let sws_params ~quick n =
+  {
+    Sws.Workload.default_params with
+    n_clients = n;
+    duration_seconds = server_duration ~quick;
+  }
+
+let fig4 ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:[ "Clients"; "Libasync-smp (KReq/s)"; "Libasync-smp - WS (KReq/s)"; "WS effect" ]
+  in
+  List.iter
+    (fun n ->
+      let base =
+        Sws.Workload.run ~params:(sws_params ~quick n) Workloads.Setup.Libasync
+          Engine.Config.libasync
+      in
+      let ws =
+        Sws.Workload.run ~params:(sws_params ~quick n) Workloads.Setup.Libasync
+          Engine.Config.libasync_ws
+      in
+      Mstd.Table.add_row table
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" (base.requests_per_sec /. 1000.0);
+          Printf.sprintf "%.1f" (ws.requests_per_sec /. 1000.0);
+          Mstd.Units.ratio ((ws.requests_per_sec /. base.requests_per_sec) -. 1.0);
+        ])
+    (sweep_clients ~quick);
+  Mstd.Table.add_separator table;
+  Mstd.Table.add_row table [ "paper"; "rises to ~190, flat"; "up to -33% below"; "" ];
+  table
+
+let fig7 ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:
+        [
+          "Clients";
+          "Mely - WS";
+          "Userver";
+          "Libasync-smp";
+          "Libasync-smp - WS";
+          "Apache";
+        ]
+  in
+  List.iter
+    (fun n ->
+      let params = sws_params ~quick n in
+      let k r = Printf.sprintf "%.1f" (r /. 1000.0) in
+      let mely = Sws.Workload.run ~params Workloads.Setup.Mely Engine.Config.mely_ws in
+      let userver = Comparators.Userver.run ~params () in
+      let la = Sws.Workload.run ~params Workloads.Setup.Libasync Engine.Config.libasync in
+      let la_ws = Sws.Workload.run ~params Workloads.Setup.Libasync Engine.Config.libasync_ws in
+      let apache = Comparators.Apache.run ~workload:params () in
+      Mstd.Table.add_row table
+        [
+          string_of_int n;
+          k mely.requests_per_sec;
+          k userver.Comparators.Userver.requests_per_sec;
+          k la.requests_per_sec;
+          k la_ws.requests_per_sec;
+          k apache.Comparators.Apache.requests_per_sec;
+        ])
+    (sweep_clients ~quick);
+  Mstd.Table.add_separator table;
+  Mstd.Table.add_row table
+    [ "paper"; "highest (+25% vs LA)"; "high"; "middle"; "lowest of event-driven"; "lowest" ];
+  table
+
+(* Ablations beyond the paper's tables: every heuristic combination on
+   the unbalanced microbenchmark, and the locality heuristic across
+   cache topologies. *)
+
+let ablation_heuristics ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:[ "Heuristics (L/T/P)"; "KEvents/s"; "Steals"; "Stolen time"; "Locking" ]
+  in
+  List.iter
+    (fun (locality, time_left, penalty) ->
+      let config =
+        Engine.Config.with_heuristics Engine.Config.mely_ws { locality; time_left; penalty }
+      in
+      let s = unbalanced_run ~quick Workloads.Setup.Mely config in
+      let flag b = if b then "x" else "-" in
+      Mstd.Table.add_row table
+        [
+          Printf.sprintf "%s/%s/%s" (flag locality) (flag time_left) (flag penalty);
+          kev s;
+          string_of_int s.Engine.Summary.steals;
+          (if s.Engine.Summary.steals = 0 then "-" else cyc s.avg_stolen_cost);
+          pct s;
+        ])
+    [
+      (false, false, false);
+      (true, false, false);
+      (false, true, false);
+      (false, false, true);
+      (true, true, false);
+      (false, true, true);
+      (true, false, true);
+      (true, true, true);
+    ];
+  table
+
+let ablation_topology ~quick =
+  let table =
+    Mstd.Table.create
+      ~headers:[ "Topology"; "Configuration"; "KEvents/s"; "L2 misses/event" ]
+  in
+  let params =
+    {
+      Workloads.Cache_efficient.default_params with
+      duration_seconds = micro_duration ~quick /. 2.0;
+    }
+  in
+  List.iter
+    (fun (name, topo) ->
+      List.iter
+        (fun (cname, config) ->
+          let r = Workloads.Cache_efficient.run ~params ~topo Workloads.Setup.Mely config in
+          Mstd.Table.add_row table
+            [
+              name;
+              cname;
+              kev r.summary;
+              Printf.sprintf "%.1f" r.summary.Engine.Summary.l2_misses_per_event;
+            ])
+        [ ("Mely - base WS", Engine.Config.mely_base_ws); ("Mely - locality WS", loc_config) ];
+      Mstd.Table.add_separator table)
+    [ ("Intel 2x2x2", Hw.Topology.xeon_e5410); ("AMD 1x4x4", Hw.Topology.amd_16core) ];
+  table
+
+let all =
+  [
+    {
+      id = "table1";
+      title = "Table I: time spent stealing vs executing stolen events";
+      description =
+        "Average thief cycles per steal and average processing time of the stolen sets, \
+         for SFS and the Web server under the Libasync-smp workstealing.";
+      run = table1;
+    };
+    {
+      id = "table2";
+      title = "Table II: memory access times";
+      description = "Cache-model probe: L1, shared L2 and memory latencies per line.";
+      run = table2;
+    };
+    {
+      id = "table3";
+      title = "Table III: impact of the base workstealing (unbalanced)";
+      description =
+        "Events/s, lock time and steal cost for Libasync-smp and Mely, with and without \
+         the baseline workstealing.";
+      run = table3;
+    };
+    {
+      id = "table4";
+      title = "Table IV: impact of the time-left heuristic (unbalanced)";
+      description = "The time-left heuristic steals only worthy colors.";
+      run = table4;
+    };
+    {
+      id = "table5";
+      title = "Table V: impact of penalty-aware stealing (penalty)";
+      description = "Stealing penalties steer thieves away from warm B-chains.";
+      run = table5;
+    };
+    {
+      id = "table6";
+      title = "Table VI: impact of locality-aware stealing (cache efficient)";
+      description = "Victims ordered by cache distance keep sorted halves in the shared L2.";
+      run = table6;
+    };
+    {
+      id = "fig3";
+      title = "Figure 3: SFS throughput with and without workstealing";
+      description = "Coarse-grain crypto events make workstealing profitable.";
+      run = fig3;
+    };
+    {
+      id = "fig4";
+      title = "Figure 4: SWS throughput, Libasync-smp with and without workstealing";
+      description = "Short handlers make baseline workstealing counter-productive.";
+      run = fig4;
+    };
+    {
+      id = "fig7";
+      title = "Figure 7: SWS throughput across runtimes and comparators";
+      description = "Mely-WS vs N-copy userver vs Libasync-smp vs Apache-worker.";
+      run = fig7;
+    };
+    {
+      id = "fig8";
+      title = "Figure 8: SFS throughput across runtimes";
+      description = "Mely's workstealing does not regress coarse-grain workloads.";
+      run = fig8;
+    };
+    {
+      id = "ablation-heuristics";
+      title = "Ablation: every heuristic combination (unbalanced)";
+      description =
+        "Beyond the paper's tables: the three heuristics toggled independently, showing \
+         that time-left carries the unbalanced workload and the others are neutral there.";
+      run = ablation_heuristics;
+    };
+    {
+      id = "ablation-topology";
+      title = "Ablation: locality-aware stealing across cache topologies";
+      description =
+        "The cache-efficient microbenchmark on the paper's Xeon (pairs sharing L2) and the \
+         AMD 16-core layout (quads sharing L3).";
+      run = ablation_topology;
+    };
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all

@@ -1,0 +1,29 @@
+(** The experiment registry: one entry per table and figure of the
+    paper's evaluation (Section V). Each experiment regenerates its
+    table/series on the simulated testbed and prints the paper's
+    numbers alongside for comparison.
+
+    [quick] shrinks virtual durations and sweep densities for test
+    runs; the shapes survive, absolute noise grows. *)
+
+type t = {
+  id : string;  (** e.g. ["table3"], ["fig7"] *)
+  title : string;
+  description : string;
+  run : quick:bool -> Mstd.Table.t;
+}
+
+val all : t list
+(** In paper order — table1..table6, fig3, fig4, fig7, fig8 — followed
+    by two ablations beyond the paper: ablation-heuristics (every
+    heuristic combination on the unbalanced microbenchmark) and
+    ablation-topology (locality-aware stealing on the Intel pair-L2 and
+    AMD quad-L3 layouts). *)
+
+val find : string -> t option
+
+(** Durations used by the experiments, exposed for tests. *)
+
+val micro_duration : quick:bool -> float
+val server_duration : quick:bool -> float
+val sweep_clients : quick:bool -> int list

@@ -1,0 +1,1 @@
+lib/httpkit/request.ml: List Option Result String

@@ -1,0 +1,1 @@
+lib/httpkit/response.ml: Buffer Hashtbl List Printf String

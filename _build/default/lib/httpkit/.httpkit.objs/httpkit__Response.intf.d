@@ -1,0 +1,1 @@
+lib/httpkit/response.mli: Hashtbl

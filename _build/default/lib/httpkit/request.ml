@@ -1,0 +1,98 @@
+type meth = GET | HEAD | POST | Other of string
+
+type t = {
+  meth : meth;
+  target : string;
+  version : int * int;
+  headers : (string * string) list;
+}
+
+type error = Incomplete | Malformed of string
+
+let method_of_string = function
+  | "GET" -> GET
+  | "HEAD" -> HEAD
+  | "POST" -> POST
+  | other -> Other other
+
+let method_to_string = function
+  | GET -> "GET"
+  | HEAD -> "HEAD"
+  | POST -> "POST"
+  | Other s -> s
+
+(* Find the end of the header block: CRLFCRLF (tolerating bare LFLF). *)
+let find_terminator buf =
+  let n = String.length buf in
+  let rec scan i =
+    if i + 3 < n && buf.[i] = '\r' && buf.[i + 1] = '\n' && buf.[i + 2] = '\r'
+       && buf.[i + 3] = '\n'
+    then Some (i, i + 4)
+    else if i + 1 < n && buf.[i] = '\n' && buf.[i + 1] = '\n' then Some (i, i + 2)
+    else if i >= n then None
+    else scan (i + 1)
+  in
+  scan 0
+
+let split_lines block =
+  String.split_on_char '\n' block
+  |> List.map (fun line ->
+         let len = String.length line in
+         if len > 0 && line.[len - 1] = '\r' then String.sub line 0 (len - 1) else line)
+  |> List.filter (fun line -> line <> "")
+
+let parse_version s =
+  match s with
+  | "HTTP/1.1" -> Ok (1, 1)
+  | "HTTP/1.0" -> Ok (1, 0)
+  | _ -> Error (Malformed ("bad version: " ^ s))
+
+let parse_request_line line =
+  match String.split_on_char ' ' line with
+  | [ meth; target; version ] when meth <> "" && target <> "" ->
+    Result.map
+      (fun version -> (method_of_string meth, target, version))
+      (parse_version version)
+  | _ -> Error (Malformed ("bad request line: " ^ line))
+
+let parse_header line =
+  match String.index_opt line ':' with
+  | None -> Error (Malformed ("bad header: " ^ line))
+  | Some i ->
+    let name = String.lowercase_ascii (String.trim (String.sub line 0 i)) in
+    let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+    if name = "" then Error (Malformed "empty header name") else Ok (name, value)
+
+let parse buf =
+  match find_terminator buf with
+  | None -> Error Incomplete
+  | Some (header_end, consumed) -> (
+    let block = String.sub buf 0 header_end in
+    match split_lines block with
+    | [] -> Error (Malformed "empty request")
+    | request_line :: header_lines -> (
+      match parse_request_line request_line with
+      | Error e -> Error e
+      | Ok (meth, target, version) ->
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | line :: rest -> (
+            match parse_header line with
+            | Ok header -> collect (header :: acc) rest
+            | Error e -> Error e)
+        in
+        Result.map
+          (fun headers -> ({ meth; target; version; headers }, consumed))
+          (collect [] header_lines)))
+
+let header t name =
+  let name = String.lowercase_ascii name in
+  List.assoc_opt name t.headers
+
+let keep_alive t =
+  let connection = Option.map String.lowercase_ascii (header t "connection") in
+  match (t.version, connection) with
+  | _, Some "close" -> false
+  | (1, 1), _ -> true
+  | _, Some "keep-alive" -> true
+  | _ -> false

@@ -1,0 +1,34 @@
+(** HTTP/1.1 request parsing — the subset SWS serves (Section V-C1:
+    static content, a subset of HTTP/1.1).
+
+    The parser is incremental-friendly (it reports how many bytes a
+    complete request consumed) and strict about the request line while
+    tolerant about unknown headers, which matches how the paper-era
+    servers behaved. *)
+
+type meth = GET | HEAD | POST | Other of string
+
+type t = {
+  meth : meth;
+  target : string;  (** path as sent, e.g. ["/file42.html"] *)
+  version : int * int;  (** (1,0) or (1,1) *)
+  headers : (string * string) list;  (** names lowercased, in order *)
+}
+
+type error =
+  | Incomplete  (** need more bytes: no blank line yet *)
+  | Malformed of string  (** irrecoverable syntax error *)
+
+val parse : string -> (t * int, error) result
+(** [parse buf] parses one request from the start of [buf]; on success
+    returns it with the number of bytes consumed (including the blank
+    line). *)
+
+val header : t -> string -> string option
+(** Case-insensitive header lookup. *)
+
+val keep_alive : t -> bool
+(** Connection persistence: HTTP/1.1 defaults to keep-alive unless
+    [Connection: close]; 1.0 requires an explicit keep-alive. *)
+
+val method_to_string : meth -> string

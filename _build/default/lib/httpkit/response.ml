@@ -1,0 +1,34 @@
+type status = OK | Not_found | Bad_request | Internal_error
+
+let status_code = function
+  | OK -> 200
+  | Not_found -> 404
+  | Bad_request -> 400
+  | Internal_error -> 500
+
+let status_reason = function
+  | OK -> "OK"
+  | Not_found -> "Not Found"
+  | Bad_request -> "Bad Request"
+  | Internal_error -> "Internal Server Error"
+
+let build ?(status = OK) ?(content_type = "text/html") ?(keep_alive = true)
+    ?(extra_headers = []) ~body () =
+  let buf = Buffer.create (String.length body + 128) in
+  Buffer.add_string buf
+    (Printf.sprintf "HTTP/1.1 %d %s\r\n" (status_code status) (status_reason status));
+  Buffer.add_string buf (Printf.sprintf "Content-Type: %s\r\n" content_type);
+  Buffer.add_string buf (Printf.sprintf "Content-Length: %d\r\n" (String.length body));
+  Buffer.add_string buf
+    (Printf.sprintf "Connection: %s\r\n" (if keep_alive then "keep-alive" else "close"));
+  List.iter
+    (fun (name, value) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" name value))
+    extra_headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf body;
+  Buffer.contents buf
+
+let prebuild_cache ~files =
+  let cache = Hashtbl.create (List.length files) in
+  List.iter (fun (path, body) -> Hashtbl.replace cache path (build ~body ())) files;
+  cache

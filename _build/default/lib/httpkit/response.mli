@@ -1,0 +1,27 @@
+(** HTTP/1.1 response building.
+
+    SWS pre-builds complete responses at start-up (the Flash
+    optimization the paper keeps) and serves them from an in-memory
+    map; this module renders those byte strings. *)
+
+type status = OK | Not_found | Bad_request | Internal_error
+
+val status_code : status -> int
+val status_reason : status -> string
+
+val build :
+  ?status:status ->
+  ?content_type:string ->
+  ?keep_alive:bool ->
+  ?extra_headers:(string * string) list ->
+  body:string ->
+  unit ->
+  string
+(** A full response with status line, [Content-Length], [Content-Type]
+    (default [text/html]), [Connection] and any extra headers, ending
+    with the blank line and the body. *)
+
+val prebuild_cache :
+  files:(string * string) list -> (string, string) Hashtbl.t
+(** The start-up response cache: path -> complete response bytes, as
+    SWS's CheckInCache expects. *)

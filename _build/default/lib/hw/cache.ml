@@ -1,0 +1,123 @@
+(* Per-cache LRU residency, implemented with an intrusive doubly-linked
+   list so touch / evict are O(1) amortized. *)
+module Lru = struct
+  type node = {
+    data : int;
+    mutable bytes : int;
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type t = {
+    tbl : (int, node) Hashtbl.t;
+    mutable head : node option; (* most recently used *)
+    mutable tail : node option; (* least recently used *)
+    mutable total : int;
+    capacity : int;
+  }
+
+  let create capacity =
+    { tbl = Hashtbl.create 64; head = None; tail = None; total = 0; capacity }
+
+  let unlink t n =
+    (match n.prev with Some p -> p.next <- n.next | None -> t.head <- n.next);
+    (match n.next with Some s -> s.prev <- n.prev | None -> t.tail <- n.prev);
+    n.prev <- None;
+    n.next <- None
+
+  let push_front t n =
+    n.next <- t.head;
+    n.prev <- None;
+    (match t.head with Some h -> h.prev <- Some n | None -> t.tail <- Some n);
+    t.head <- Some n
+
+  let resident t data =
+    match Hashtbl.find_opt t.tbl data with Some n -> n.bytes | None -> 0
+
+  let remove t data =
+    match Hashtbl.find_opt t.tbl data with
+    | None -> ()
+    | Some n ->
+      unlink t n;
+      t.total <- t.total - n.bytes;
+      Hashtbl.remove t.tbl data
+
+  let evict_overflow t =
+    while t.total > t.capacity do
+      match t.tail with
+      | None -> assert false (* total > 0 implies a tail node exists *)
+      | Some lru ->
+        unlink t lru;
+        t.total <- t.total - lru.bytes;
+        Hashtbl.remove t.tbl lru.data
+    done
+
+  (* Install [bytes] of [data] as MRU; residency only grows. *)
+  let touch t data bytes =
+    let bytes = min bytes t.capacity in
+    (match Hashtbl.find_opt t.tbl data with
+    | Some n ->
+      unlink t n;
+      if bytes > n.bytes then begin
+        t.total <- t.total + (bytes - n.bytes);
+        n.bytes <- bytes
+      end;
+      push_front t n
+    | None ->
+      let n = { data; bytes; prev = None; next = None } in
+      Hashtbl.add t.tbl data n;
+      t.total <- t.total + bytes;
+      push_front t n);
+    evict_overflow t
+end
+
+type access = { l1_lines : int; l2_lines : int; mem_lines : int; cost : int }
+
+type t = {
+  topo : Topology.t;
+  cost : Cost_model.t;
+  l1 : Lru.t array; (* indexed by core *)
+  l2 : Lru.t array; (* indexed by group *)
+  mutable l2_misses : int;
+}
+
+let create topo cost =
+  {
+    topo;
+    cost;
+    l1 = Array.init (Topology.n_cores topo) (fun _ -> Lru.create cost.Cost_model.l1_capacity);
+    l2 = Array.init (Topology.n_groups topo) (fun _ -> Lru.create cost.Cost_model.l2_capacity);
+    l2_misses = 0;
+  }
+
+let access t ~core ~data ~bytes ~write =
+  assert (bytes >= 0);
+  let cm = t.cost in
+  let group = Topology.group_of t.topo core in
+  let l1 = t.l1.(core) and l2 = t.l2.(group) in
+  let served_l1 = min (Lru.resident l1 data) bytes in
+  let served_l2 = max 0 (min (Lru.resident l2 data) bytes - served_l1) in
+  let served_mem = bytes - served_l1 - served_l2 in
+  let l1_lines = Cost_model.lines cm served_l1 in
+  let l2_lines = Cost_model.lines cm served_l2 in
+  let mem_lines = Cost_model.lines cm served_mem in
+  let cost =
+    (l1_lines * cm.l1_cycles) + (l2_lines * cm.l2_cycles) + (mem_lines * cm.mem_cycles)
+  in
+  t.l2_misses <- t.l2_misses + mem_lines;
+  Lru.touch l1 data bytes;
+  Lru.touch l2 data bytes;
+  if write then begin
+    Array.iteri (fun c cache -> if c <> core then Lru.remove cache data) t.l1;
+    Array.iteri (fun g cache -> if g <> group then Lru.remove cache data) t.l2
+  end;
+  { l1_lines; l2_lines; mem_lines; cost }
+
+let evict t ~data =
+  Array.iter (fun cache -> Lru.remove cache data) t.l1;
+  Array.iter (fun cache -> Lru.remove cache data) t.l2
+
+let resident_in_group t ~group ~data = Lru.resident t.l2.(group) data
+let group_load t ~group = t.l2.(group).Lru.total
+let l2_miss_count t = t.l2_misses
+let reset_counters t = t.l2_misses <- 0

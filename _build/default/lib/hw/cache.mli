@@ -1,0 +1,48 @@
+(** Cache residency model.
+
+    The paper attributes the Libasync-smp workstealing collapse partly
+    to cache behaviour: stolen events drag their data sets across L2
+    domains (+146% L2 misses on the Web server), and the penalty- and
+    locality-aware heuristics exist to avoid exactly that. To reproduce
+    the L2-misses-per-event columns of Tables V and VI we track, per L2
+    group and per core L1, which event data sets are resident.
+
+    The model is deliberately object-granular rather than line-granular:
+    an event's continuation references a data set identified by an
+    integer [data] id with a byte size. Residency is a per-cache LRU map
+    from data id to the number of bytes of that object currently held.
+    Accessing an object serves bytes from L1, then the local L2 group,
+    then memory, charges the Table II per-line costs, and installs the
+    object as most-recently-used (evicting LRU objects past capacity).
+    Writes invalidate copies held by other cores/groups, modelling
+    coherence traffic when a stolen event mutates its continuation. *)
+
+type t
+
+type access = {
+  l1_lines : int;  (** lines served by the local L1 *)
+  l2_lines : int;  (** lines served by the local shared L2 *)
+  mem_lines : int;  (** lines that had to come from memory = L2 misses *)
+  cost : int;  (** total cycles charged for the access *)
+}
+
+val create : Topology.t -> Cost_model.t -> t
+
+val access : t -> core:int -> data:int -> bytes:int -> write:bool -> access
+(** Touch [bytes] of object [data] from [core]. [bytes] may differ from
+    call to call (partial touches); residency grows to the largest touch.
+    [write] invalidates remote copies. *)
+
+val evict : t -> data:int -> unit
+(** Drop an object from every cache, e.g. when its buffer is freed. *)
+
+val resident_in_group : t -> group:int -> data:int -> int
+(** Bytes of the object currently resident in a group's L2 (0 if absent). *)
+
+val group_load : t -> group:int -> int
+(** Total bytes resident in a group's L2; never exceeds capacity. *)
+
+val l2_miss_count : t -> int
+(** Cumulative L2 miss lines charged since creation. *)
+
+val reset_counters : t -> unit

@@ -1,0 +1,45 @@
+type t = {
+  l1_cycles : int;
+  l2_cycles : int;
+  mem_cycles : int;
+  cache_line : int;
+  l1_capacity : int;
+  l2_capacity : int;
+  clock_hz : float;
+  scan_per_event : int;
+  lock_acquire : int;
+  lock_remote_penalty : int;
+  lock_handoff : int;
+  queue_op : int;
+  color_queue_op : int;
+  color_map_op : int;
+  steal_fixed : int;
+  idle_poll : int;
+}
+
+let default =
+  {
+    l1_cycles = 4;
+    l2_cycles = 15;
+    mem_cycles = 110;
+    cache_line = 64;
+    l1_capacity = 32 * 1024;
+    l2_capacity = 6 * 1024 * 1024;
+    clock_hz = 2.33e9;
+    scan_per_event = 190;
+    lock_acquire = 60;
+    lock_remote_penalty = 150;
+    lock_handoff = 400;
+    queue_op = 30;
+    color_queue_op = 90;
+    color_map_op = 25;
+    steal_fixed = 400;
+    idle_poll = 200;
+  }
+
+let cycles_to_seconds t c = c /. t.clock_hz
+let seconds_to_cycles t s = s *. t.clock_hz
+
+let lines t bytes =
+  assert (bytes >= 0);
+  if bytes = 0 then 0 else ((bytes - 1) / t.cache_line) + 1

@@ -1,0 +1,49 @@
+(** Cycle costs of the simulated machine.
+
+    Every constant in [default] comes from a measurement reported in the
+    paper: the memory-access latencies are Table II, the 190-cycle
+    per-event queue-scan cost and the 2.33 GHz clock are from Sections II
+    and V-A. The remaining micro-costs (lock acquisition, queue
+    operations) are set so that the runtime-level aggregates the paper
+    reports (28 Kcycle Libasync steals, ~2.3 Kcycle Mely steals) emerge
+    from the simulation rather than being hard-coded. *)
+
+type t = {
+  l1_cycles : int;  (** per-cache-line access served by the local L1 *)
+  l2_cycles : int;  (** per-line access served by the shared L2 *)
+  mem_cycles : int;  (** per-line access served by main memory *)
+  cache_line : int;  (** line size in bytes *)
+  l1_capacity : int;  (** per-core L1 data capacity in bytes *)
+  l2_capacity : int;  (** per-group shared L2 capacity in bytes *)
+  clock_hz : float;  (** core frequency, for cycles <-> seconds *)
+  scan_per_event : int;
+      (** cycles to follow one link of a Libasync event list and check the
+          color of the event (paper: ~190) *)
+  lock_acquire : int;  (** uncontended spinlock acquire + release *)
+  lock_remote_penalty : int;
+      (** extra cycles to acquire a lock whose line lives in a remote
+          cache group *)
+  lock_handoff : int;
+      (** per-spinner cycles added to a contended acquisition: while N
+          cores spin on a test-and-set lock, the cache line bounces
+          through each of them before the winner proceeds, so handing
+          the lock over degrades roughly linearly with the number of
+          spinners (the non-scalable-locks effect) *)
+  queue_op : int;  (** FIFO enqueue or dequeue *)
+  color_queue_op : int;
+      (** Mely: inserting/removing a color-queue in a core-queue, or a
+          stealing-queue update *)
+  color_map_op : int;  (** Mely: color -> queue map lookup/update *)
+  steal_fixed : int;  (** fixed per-steal-attempt bookkeeping *)
+  idle_poll : int;  (** cycles burned per idle poll when no work exists *)
+}
+
+val default : t
+(** The paper's Intel Xeon E5410 testbed. *)
+
+val cycles_to_seconds : t -> float -> float
+val seconds_to_cycles : t -> float -> float
+
+val lines : t -> int -> int
+(** [lines t bytes] is the number of cache lines covering [bytes]
+    (at least 1 for a positive size, 0 for 0). *)

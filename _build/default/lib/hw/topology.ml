@@ -1,0 +1,67 @@
+type t = {
+  packages : int;
+  groups_per_package : int;
+  cores_per_group : int;
+}
+
+let create ~packages ~groups_per_package ~cores_per_group =
+  assert (packages > 0);
+  assert (groups_per_package > 0);
+  assert (cores_per_group > 0);
+  { packages; groups_per_package; cores_per_group }
+
+let xeon_e5410 = create ~packages:2 ~groups_per_package:2 ~cores_per_group:2
+let amd_16core = create ~packages:1 ~groups_per_package:4 ~cores_per_group:4
+let single_core = create ~packages:1 ~groups_per_package:1 ~cores_per_group:1
+
+let n_cores t = t.packages * t.groups_per_package * t.cores_per_group
+let n_groups t = t.packages * t.groups_per_package
+let n_packages t = t.packages
+
+let check_core t c =
+  assert (c >= 0 && c < n_cores t)
+
+let group_of t c =
+  check_core t c;
+  c / t.cores_per_group
+
+let package_of t c =
+  check_core t c;
+  c / (t.cores_per_group * t.groups_per_package)
+
+let cores_in_group t g =
+  assert (g >= 0 && g < n_groups t);
+  List.init t.cores_per_group (fun i -> (g * t.cores_per_group) + i)
+
+let same_group t a b = group_of t a = group_of t b
+
+type distance = Same_core | Same_group | Same_package | Cross_package
+
+let distance t a b =
+  check_core t a;
+  check_core t b;
+  if a = b then Same_core
+  else if group_of t a = group_of t b then Same_group
+  else if package_of t a = package_of t b then Same_package
+  else Cross_package
+
+let distance_rank = function
+  | Same_core -> 0
+  | Same_group -> 1
+  | Same_package -> 2
+  | Cross_package -> 3
+
+let cores_by_distance t c =
+  check_core t c;
+  let others =
+    List.filter (fun x -> x <> c) (List.init (n_cores t) Fun.id)
+  in
+  let compare_by_distance a b =
+    let da = distance_rank (distance t c a) and db = distance_rank (distance t c b) in
+    if da <> db then compare da db else compare a b
+  in
+  Array.of_list (List.sort compare_by_distance others)
+
+let pp fmt t =
+  Format.fprintf fmt "%d package(s) x %d group(s) x %d core(s) = %d cores"
+    t.packages t.groups_per_package t.cores_per_group (n_cores t)

@@ -1,0 +1,56 @@
+(** Multicore machine topology: which cores share which caches.
+
+    The paper's testbed is an 8-core machine built from two quad-core
+    Intel Xeon E5410 packages; within a package, cores are grouped in
+    pairs and each pair shares a 6 MB L2 cache (Section V-A). The
+    locality-aware stealing heuristic (Section III-A) orders steal
+    victims by their distance in this hierarchy, so the topology is a
+    first-class object of the reproduction.
+
+    A topology is a three-level tree: packages contain groups (cache
+    domains), groups contain cores. Core ids are dense integers laid out
+    group-by-group, package-by-package, exactly like Linux's
+    /sys/devices/system/cpu reification that Mely reads at startup. *)
+
+type t
+
+val create : packages:int -> groups_per_package:int -> cores_per_group:int -> t
+(** All three arguments must be positive. *)
+
+val xeon_e5410 : t
+(** The paper's testbed: 2 packages x 2 groups x 2 cores = 8 cores,
+    pairs sharing an L2. *)
+
+val amd_16core : t
+(** The AMD machine mentioned in Section III-A: 4 groups of 4 cores
+    sharing an L3 (modelled as one package of 4 groups). *)
+
+val single_core : t
+(** Degenerate 1-core machine, useful in tests. *)
+
+val n_cores : t -> int
+val n_groups : t -> int
+val n_packages : t -> int
+
+val group_of : t -> int -> int
+(** Cache-domain (L2 group) index of a core. *)
+
+val package_of : t -> int -> int
+
+val cores_in_group : t -> int -> int list
+(** Cores belonging to a cache domain, in increasing id order. *)
+
+val same_group : t -> int -> int -> bool
+
+type distance = Same_core | Same_group | Same_package | Cross_package
+
+val distance : t -> int -> int -> distance
+val distance_rank : distance -> int
+(** [Same_core] is 0; increases with distance. *)
+
+val cores_by_distance : t -> int -> int array
+(** All cores other than the argument, ordered by increasing distance
+    from it; ties broken by ascending core id. This is exactly the
+    victim order used by the locality-aware [construct_core_set]. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/mstd/histogram.ml: Array Buffer Float Printf String

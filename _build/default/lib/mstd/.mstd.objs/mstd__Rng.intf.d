@@ -1,0 +1,1 @@
+lib/mstd/rng.mli:

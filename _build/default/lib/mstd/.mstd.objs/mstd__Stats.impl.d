@@ -1,0 +1,1 @@
+lib/mstd/stats.ml: Array Float

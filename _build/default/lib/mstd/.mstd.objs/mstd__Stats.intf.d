@@ -1,0 +1,1 @@
+lib/mstd/stats.mli:

@@ -1,0 +1,1 @@
+lib/mstd/table.ml: Array Buffer List String

@@ -1,0 +1,1 @@
+lib/mstd/units.ml: Float Printf

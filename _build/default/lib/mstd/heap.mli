@@ -1,0 +1,14 @@
+(** A minimal binary min-heap, used for timer wheels (client wake-ups in
+    the simulated network fabric). Entries with equal keys pop in
+    insertion order, keeping simulations deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> 'a -> unit
+val peek_key : 'a t -> int option
+val pop : 'a t -> (int * 'a) option
+(** Smallest key first; ties in insertion order. *)

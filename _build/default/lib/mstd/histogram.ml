@@ -1,0 +1,71 @@
+type t = {
+  base : float;
+  log_base : float;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ?(base = 2.0) ?(buckets = 64) () =
+  assert (base > 1.0);
+  assert (buckets > 0);
+  { base; log_base = log base; counts = Array.make buckets 0; total = 0 }
+
+let bucket_of t v =
+  if v < 1.0 then 0
+  else begin
+    let b = int_of_float (log v /. t.log_base) in
+    if b >= Array.length t.counts then Array.length t.counts - 1 else max 0 b
+  end
+
+let add t v =
+  let b = bucket_of t v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1
+
+let count t = t.total
+let bucket_count t = Array.length t.counts
+
+let bucket_range t i =
+  let lo = if i = 0 then 0.0 else t.base ** float_of_int i in
+  let hi = t.base ** float_of_int (i + 1) in
+  (lo, hi)
+
+let bucket_value t i = t.counts.(i)
+
+let quantile t q =
+  assert (q >= 0.0 && q <= 1.0);
+  if t.total = 0 then 0.0
+  else begin
+    let target = int_of_float (Float.ceil (q *. float_of_int t.total)) in
+    let target = max 1 target in
+    let rec walk i seen =
+      if i >= Array.length t.counts then fst (bucket_range t (Array.length t.counts - 1))
+      else begin
+        let seen = seen + t.counts.(i) in
+        if seen >= target then snd (bucket_range t i) else walk (i + 1) seen
+      end
+    in
+    walk 0 0
+  end
+
+let fold f t init =
+  let acc = ref init in
+  Array.iteri (fun i c -> if c > 0 then acc := f i c !acc) t.counts;
+  !acc
+
+let render t ~width =
+  let max_count = Array.fold_left max 0 t.counts in
+  if max_count = 0 then "(empty histogram)"
+  else begin
+    let buf = Buffer.create 256 in
+    Array.iteri
+      (fun i c ->
+        if c > 0 then begin
+          let lo, hi = bucket_range t i in
+          let bar = c * width / max_count in
+          Buffer.add_string buf
+            (Printf.sprintf "[%12.0f, %12.0f) %8d %s\n" lo hi c (String.make (max bar 1) '#'))
+        end)
+      t.counts;
+    Buffer.contents buf
+  end

@@ -1,0 +1,34 @@
+(** Logarithmically-bucketed histograms for cycle counts and latencies.
+
+    Buckets grow geometrically so a single histogram covers the 100-cycle
+    handlers and the million-cycle crypto operations of the paper without
+    tuning. *)
+
+type t
+
+val create : ?base:float -> ?buckets:int -> unit -> t
+(** [create ~base ~buckets ()]: bucket [i] covers values in
+    [[base^i, base^(i+1))]. Defaults: base 2.0, 64 buckets. *)
+
+val add : t -> float -> unit
+(** Record one observation. Negative observations count in bucket 0. *)
+
+val count : t -> int
+val bucket_count : t -> int
+
+val bucket_range : t -> int -> float * float
+(** Inclusive-exclusive value range covered by a bucket index. *)
+
+val bucket_value : t -> int -> int
+(** Number of observations recorded in a bucket. *)
+
+val quantile : t -> float -> float
+(** [quantile t q] with [q] in [0,1]: upper bound of the bucket holding
+    the q-th observation; [0.] when empty. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f t init] folds [f bucket_index count] over non-empty
+    buckets, in increasing bucket order. *)
+
+val render : t -> width:int -> string
+(** ASCII bar rendering of the non-empty region, for debug output. *)

@@ -1,0 +1,29 @@
+(** Streaming and batch statistics used by the measurement harness. *)
+
+type t
+(** A streaming accumulator (Welford's algorithm): mean, variance, min,
+    max and count in O(1) memory. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val total : t -> float
+val mean : t -> float
+(** Mean of the observations; [0.] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [0.] with fewer than two observations. *)
+
+val stddev : t -> float
+val min_value : t -> float
+val max_value : t -> float
+val merge : t -> t -> t
+(** [merge a b] is the accumulator describing the union of both
+    observation sets (Chan's parallel update). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [0,100]: linear-interpolation
+    percentile of a (not necessarily sorted) non-empty array. *)
+
+val coefficient_of_variation : t -> float
+(** stddev / mean, the paper's "standard deviation below 1%" check. *)

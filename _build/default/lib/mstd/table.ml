@@ -1,0 +1,92 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  headers : string list;
+  mutable alignments : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~headers =
+  let alignments =
+    List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; alignments; rows = [] }
+
+let set_alignments t alignments = t.alignments <- alignments
+
+let add_row t cells =
+  let n = List.length t.headers in
+  let k = List.length cells in
+  if k > n then invalid_arg "Table.add_row: too many cells";
+  let cells = cells @ List.init (n - k) (fun _ -> "") in
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let widths t =
+  let n = List.length t.headers in
+  let w = Array.make n 0 in
+  let consider cells =
+    List.iteri (fun i c -> if String.length c > w.(i) then w.(i) <- String.length c) cells
+  in
+  consider t.headers;
+  List.iter (function Cells c -> consider c | Separator -> ()) t.rows;
+  w
+
+let pad align width s =
+  let gap = width - String.length s in
+  if gap <= 0 then s
+  else
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+
+let render t =
+  let w = widths t in
+  let aligns = Array.of_list t.alignments in
+  let align_of i = if i < Array.length aligns then aligns.(i) else Right in
+  let buf = Buffer.create 512 in
+  let rule () =
+    Buffer.add_char buf '+';
+    Array.iter
+      (fun width ->
+        Buffer.add_string buf (String.make (width + 2) '-');
+        Buffer.add_char buf '+')
+      w;
+    Buffer.add_char buf '\n'
+  in
+  let line cells =
+    Buffer.add_char buf '|';
+    List.iteri
+      (fun i c ->
+        Buffer.add_char buf ' ';
+        Buffer.add_string buf (pad (align_of i) w.(i) c);
+        Buffer.add_string buf " |")
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  rule ();
+  line t.headers;
+  rule ();
+  List.iter
+    (function Cells c -> line c | Separator -> rule ())
+    (List.rev t.rows);
+  rule ();
+  Buffer.contents buf
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv t =
+  let buf = Buffer.create 256 in
+  let line cells =
+    Buffer.add_string buf (String.concat "," (List.map escape_csv cells));
+    Buffer.add_char buf '\n'
+  in
+  line t.headers;
+  List.iter (function Cells c -> line c | Separator -> ()) (List.rev t.rows);
+  Buffer.contents buf

@@ -1,0 +1,30 @@
+(** ASCII table rendering for experiment reports.
+
+    The benchmark harness prints tables with the same rows and columns as
+    the paper's Tables I–VI; this module owns the formatting so every
+    experiment reports uniformly. *)
+
+type align = Left | Right
+
+type t
+
+val create : headers:string list -> t
+(** Table with the given column headers. Columns default to
+    right-alignment except the first, which is left-aligned (matching the
+    paper's "Configuration | metrics..." layout). *)
+
+val set_alignments : t -> align list -> unit
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header list are padded with empty cells; longer
+    rows raise [Invalid_argument]. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+(** Render with a box border, one line per row. *)
+
+val render_csv : t -> string
+(** Same data as comma-separated values (header line first), for
+    machine consumption / plotting. *)

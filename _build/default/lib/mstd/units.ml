@@ -1,0 +1,21 @@
+let cycles c =
+  let a = Float.abs c in
+  if a < 1_000.0 then Printf.sprintf "%.0f" c
+  else if a < 1_000_000.0 then Printf.sprintf "%.1fK" (c /. 1_000.0)
+  else if a < 1_000_000_000.0 then Printf.sprintf "%.1fM" (c /. 1_000_000.0)
+  else Printf.sprintf "%.2fG" (c /. 1_000_000_000.0)
+
+let kevents_per_sec v = Printf.sprintf "%.0f" (v /. 1_000.0)
+let krequests_per_sec v = Printf.sprintf "%.1f" (v /. 1_000.0)
+let mb_per_sec v = Printf.sprintf "%.1f" (v /. 1_000_000.0)
+let percent v = Printf.sprintf "%.2f%%" (v *. 100.0)
+
+let ratio v =
+  let pct = v *. 100.0 in
+  if pct >= 0.0 then Printf.sprintf "+%.0f%%" pct else Printf.sprintf "%.0f%%" pct
+
+let bytes n =
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if n < 1024 * 1024 then Printf.sprintf "%dKB" (n / 1024)
+  else if n < 1024 * 1024 * 1024 then Printf.sprintf "%dMB" (n / (1024 * 1024))
+  else Printf.sprintf "%dGB" (n / (1024 * 1024 * 1024))

@@ -1,0 +1,21 @@
+(** Formatting of the units used throughout the paper's evaluation:
+    cycles, Kcycles, KEvents/s, KRequests/s, MB/s. *)
+
+val cycles : float -> string
+(** ["484 cycles"], ["4.8K"], ["1200K"], ["28.3M"] — matches the paper's
+    K-cycles notation above 1000 cycles. *)
+
+val kevents_per_sec : float -> string
+(** Events-per-second rendered in KEvents/s, e.g. ["1310"]. *)
+
+val krequests_per_sec : float -> string
+val mb_per_sec : float -> string
+val percent : float -> string
+(** [percent 0.3973] is ["39.73%"]. *)
+
+val ratio : float -> string
+(** Signed percentage change, e.g. [ratio 0.73] is ["+73%"],
+    [ratio (-0.33)] is ["-33%"]. *)
+
+val bytes : int -> string
+(** ["64B"], ["6MB"], ["200MB"]. *)

@@ -1,0 +1,1 @@
+lib/netsim/conn.ml: Engine Queue

@@ -1,0 +1,1 @@
+lib/netsim/conn.mli: Queue

@@ -1,0 +1,1 @@
+lib/netsim/port.ml: Conn List Queue

@@ -1,0 +1,1 @@
+lib/netsim/port.mli: Conn

@@ -1,0 +1,28 @@
+type msg = Bytes of int | Eof
+
+type t = {
+  slot : int;
+  buffer_data : int;
+  mutable fd : int;
+  mutable client : int;
+  inbox : msg Queue.t;
+  mutable ready_pending : bool;
+  mutable established : bool;
+}
+
+let make ~slot =
+  {
+    slot;
+    buffer_data = Engine.Event.fresh_data_id ();
+    fd = -1;
+    client = slot;
+    inbox = Queue.create ();
+    ready_pending = false;
+    established = false;
+  }
+
+let is_open t = t.established
+
+let color t =
+  assert (t.fd >= 0);
+  t.fd

@@ -1,0 +1,24 @@
+(** A simulated TCP connection between a virtual client and the server.
+
+    The connection's file-descriptor number doubles as its event color,
+    exactly like SWS ("we use the file descriptor number of the socket
+    as the color"). Fds are recycled through a free list, as a kernel
+    would, so colors are reused across connections — which is why the
+    runtimes unmap drained colors. *)
+
+type msg = Bytes of int  (** payload of that many bytes *) | Eof
+
+type t = {
+  slot : int;  (** stable identity (client index) *)
+  buffer_data : int;  (** stable data-set id for this slot's socket buffers *)
+  mutable fd : int;  (** current fd = event color; -1 when not established *)
+  mutable client : int;
+  inbox : msg Queue.t;  (** bytes sent by the client, not yet read by the server *)
+  mutable ready_pending : bool;  (** already sitting in the epoll ready list *)
+  mutable established : bool;
+}
+
+val make : slot:int -> t
+val is_open : t -> bool
+val color : t -> int
+(** The fd; raises if the connection is not established. *)

@@ -1,0 +1,38 @@
+type t = {
+  timers : (now:int -> unit) Mstd.Heap.t;
+  mutable proc : Sim.Exec.process option;
+}
+
+let create () = { timers = Mstd.Heap.create (); proc = None }
+
+let process t =
+  match t.proc with
+  | Some p -> p
+  | None ->
+    let p =
+      Sim.Exec.timed_process ~name:"net-fabric" ~start_at:0 ~step:(fun ~now ->
+          (* Fire everything due; one step may run several callbacks
+             that share a deadline. *)
+          let rec fire () =
+            match Mstd.Heap.peek_key t.timers with
+            | Some key when key <= now -> (
+              match Mstd.Heap.pop t.timers with
+              | Some (_, callback) ->
+                callback ~now;
+                fire ()
+              | None -> ())
+            | _ -> ()
+          in
+          fire ();
+          match Mstd.Heap.peek_key t.timers with
+          | Some key -> Sim.Exec.Sleep_until key
+          | None -> Sim.Exec.Sleep_forever)
+    in
+    t.proc <- Some p;
+    p
+
+let schedule t ~at callback =
+  Mstd.Heap.push t.timers ~key:at callback;
+  match t.proc with Some p -> Sim.Exec.wake p ~at | None -> ()
+
+let pending t = Mstd.Heap.length t.timers

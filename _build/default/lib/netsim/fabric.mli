@@ -1,0 +1,30 @@
+(** The client-side event fabric: a timer wheel living outside the
+    simulated server machine.
+
+    Load injection in the paper is closed-loop: a set of client machines
+    each runs virtual clients that wait for the server's response before
+    issuing their next request (Section V-C, following Schroeder et
+    al.'s open-vs-closed guidance). The fabric holds every pending
+    client-side action (a connect, a request transmission, a response
+    arrival) in one deterministic timer heap, driven by a single
+    simulator process — so thousands of virtual clients cost one
+    process, not thousands.
+
+    Server handlers and client callbacks talk to each other exclusively
+    through {!schedule}, which models the network latency by scheduling
+    the peer's reaction in the future. *)
+
+type t
+
+val create : unit -> t
+
+val process : t -> Sim.Exec.process
+(** The driving process. Create it once and pass it to the simulation's
+    injector list. *)
+
+val schedule : t -> at:int -> (now:int -> unit) -> unit
+(** Run a callback at virtual time >= [at] (client side). Wakes the
+    fabric process if it is parked. Callbacks at equal times run in
+    scheduling order. *)
+
+val pending : t -> int

@@ -1,0 +1,99 @@
+type t = {
+  latency : int;
+  accept_q : Conn.t Queue.t;
+  ready : Conn.t Queue.t;
+  mutable epoll_armed : bool;
+  fd_free : int Queue.t;
+  mutable trigger : (at:int -> unit) option;
+}
+
+let create ~latency_cycles ~max_fds ?(fd_base = 8) ?(fd_stride = 1) () =
+  assert (latency_cycles >= 0);
+  assert (max_fds > 0);
+  assert (fd_stride >= 1);
+  let fd_free = Queue.create () in
+  (* Colors 0 and 1 belong to the Epoll and Accept handler families;
+     fd_base keeps connection colors clear of them. A stride lets an
+     N-copy instance allot only fds that hash to its own core. *)
+  for i = 0 to max_fds - 1 do
+    Queue.push (fd_base + (i * fd_stride)) fd_free
+  done;
+  {
+    latency = latency_cycles;
+    accept_q = Queue.create ();
+    ready = Queue.create ();
+    epoll_armed = false;
+    fd_free;
+    trigger = None;
+  }
+
+let latency t = t.latency
+
+let set_epoll_trigger t f = t.trigger <- Some f
+
+let arm t ~at =
+  if not t.epoll_armed then begin
+    t.epoll_armed <- true;
+    match t.trigger with
+    | Some trigger -> trigger ~at
+    | None -> failwith "Netsim.Port: epoll trigger not set"
+  end
+
+let connect t ~at conn =
+  assert (not conn.Conn.established);
+  Queue.push conn t.accept_q;
+  arm t ~at
+
+let send t ~at conn msg =
+  assert conn.Conn.established;
+  Queue.push msg conn.Conn.inbox;
+  if not conn.Conn.ready_pending then begin
+    conn.Conn.ready_pending <- true;
+    Queue.push conn t.ready
+  end;
+  arm t ~at
+
+let accepts_pending t = Queue.length t.accept_q
+let ready_pending t = Queue.length t.ready
+
+let take_accepts t ~max =
+  let rec take acc n =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.accept_q with
+      | None -> List.rev acc
+      | Some conn ->
+        (match Queue.take_opt t.fd_free with
+        | None ->
+          (* Out of fds: leave the connection queued (SYN backlog). *)
+          Queue.push conn t.accept_q;
+          List.rev acc
+        | Some fd ->
+          conn.Conn.fd <- fd;
+          conn.Conn.established <- true;
+          take (conn :: acc) (n - 1))
+  in
+  take [] max
+
+let take_ready t ~max =
+  let rec take acc n =
+    if n = 0 then List.rev acc
+    else
+      match Queue.take_opt t.ready with
+      | None -> List.rev acc
+      | Some conn ->
+        conn.Conn.ready_pending <- false;
+        take (conn :: acc) (n - 1)
+  in
+  take [] max
+
+let close t conn =
+  assert conn.Conn.established;
+  Queue.push conn.Conn.fd t.fd_free;
+  conn.Conn.fd <- -1;
+  conn.Conn.established <- false;
+  Queue.clear conn.Conn.inbox
+
+let epoll_done t ~at =
+  t.epoll_armed <- false;
+  if accepts_pending t > 0 || ready_pending t > 0 then arm t ~at

@@ -1,0 +1,47 @@
+(** The server's listening port and epoll readiness machinery.
+
+    Clients push connects and request bytes in from the fabric side;
+    the server's Epoll handler drains readiness in batches. The [arm]
+    hook bridges to the runtime: whenever readiness appears while no
+    Epoll event is in flight, the port registers one (color 0) through
+    the hook, and the server's Epoll handler re-arms itself as long as
+    work remains — one in-flight Epoll event at a time, like a
+    level-triggered epoll loop. *)
+
+type t
+
+val create : latency_cycles:int -> max_fds:int -> ?fd_base:int -> ?fd_stride:int -> unit -> t
+
+val latency : t -> int
+
+val set_epoll_trigger : t -> (at:int -> unit) -> unit
+(** Must be set before any traffic; called whenever the (disarmed)
+    epoll needs an Epoll event registered at the given time. *)
+
+(** Client side. *)
+
+val connect : t -> at:int -> Conn.t -> unit
+(** Queue a connection request (SYN arrives at [at]). *)
+
+val send : t -> at:int -> Conn.t -> Conn.msg -> unit
+(** Deliver request bytes (or EOF) into the server-side socket buffer. *)
+
+(** Server side (called from handler actions). *)
+
+val accepts_pending : t -> int
+val ready_pending : t -> int
+
+val take_accepts : t -> max:int -> Conn.t list
+(** Pop up to [max] pending connects, assigning each a recycled fd.
+    Returns the (now established) connections. *)
+
+val take_ready : t -> max:int -> Conn.t list
+(** Pop up to [max] readable connections (their [ready_pending] flag is
+    cleared; re-sends will re-queue them). *)
+
+val close : t -> Conn.t -> unit
+(** Server-side close: recycle the fd. *)
+
+val epoll_done : t -> at:int -> unit
+(** The Epoll handler finished a drain batch: re-arms (through the
+    trigger) if readiness remains, otherwise parks the epoll. *)

@@ -1,0 +1,1 @@
+lib/rt/runtime.ml: Array Atomic Domain Hashtbl List Queue Spinlock

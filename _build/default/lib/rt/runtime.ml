@@ -1,0 +1,347 @@
+type handler = { name : string; declared : int; penalty : int }
+
+type ctx = { worker : int; register : ?color:int -> handler:handler -> (ctx -> unit) -> unit }
+
+type event = { ev_handler : handler; ev_color : int; ev_run : ctx -> unit }
+
+(* Per-color queue, chained into its owner's core-queue through an
+   intrusive doubly-linked list (the Mely structure, Section IV-A). *)
+type color_queue = {
+  color : int;
+  q : event Queue.t;
+  running : int Atomic.t;  (** concurrent executions; must never exceed 1 *)
+  mutable weighted : int;
+  mutable owner : int;
+  mutable chained : bool;
+  mutable worthy : bool;  (** on the owner's stealing list *)
+  mutable prev : color_queue option;
+  mutable next : color_queue option;
+}
+
+type worker_state = {
+  lock : Spinlock.t;
+  mutable head : color_queue option;
+  mutable tail : color_queue option;
+  mutable n_colors : int;
+  mutable n_events : int;
+  mutable current_color : int; (* -1 = none *)
+  mutable batch_color : int;
+  mutable batch_remaining : int;
+  stealing : color_queue Queue.t; (* lazily-validated worthy colors *)
+}
+
+type ws_config = { enabled : bool; locality : bool; time_left : bool; penalty : bool }
+
+let default_ws = { enabled = true; locality = true; time_left = true; penalty = true }
+
+type t = {
+  n : int;
+  ws : ws_config;
+  batch : int;
+  worthy_threshold : int;
+  states : worker_state array;
+  map_lock : Spinlock.t;
+  map : (int, color_queue) Hashtbl.t;
+  pending : int Atomic.t;  (** queued events *)
+  active : int Atomic.t;  (** events being executed *)
+  executed : int Atomic.t;
+  steal_count : int Atomic.t;
+  attempt_count : int Atomic.t;
+  max_same_color : int Atomic.t;
+  mutable running : bool;
+}
+
+let default_color = 0
+
+let create ?workers ?(ws = default_ws) ?(batch_threshold = 10) () =
+  let n =
+    match workers with
+    | Some n ->
+      if n < 1 then invalid_arg "Rt.Runtime.create: workers must be >= 1";
+      n
+    | None -> max 1 (Domain.recommended_domain_count () - 1)
+  in
+  {
+    n;
+    ws;
+    batch = batch_threshold;
+    worthy_threshold = 2_000;
+    states =
+      Array.init n (fun _ ->
+          {
+            lock = Spinlock.create ();
+            head = None;
+            tail = None;
+            n_colors = 0;
+            n_events = 0;
+            current_color = -1;
+            batch_color = -1;
+            batch_remaining = 0;
+            stealing = Queue.create ();
+          });
+    map_lock = Spinlock.create ();
+    map = Hashtbl.create 256;
+    pending = Atomic.make 0;
+    active = Atomic.make 0;
+    executed = Atomic.make 0;
+    steal_count = Atomic.make 0;
+    attempt_count = Atomic.make 0;
+    max_same_color = Atomic.make 0;
+    running = false;
+  }
+
+let workers t = t.n
+
+let handler _t ~name ?(declared_cycles = 1_000) ?(penalty = 1) () =
+  if penalty < 1 then invalid_arg "Rt.Runtime.handler: penalty must be >= 1";
+  { name; declared = declared_cycles; penalty }
+
+let weighted_of t h =
+  if t.ws.penalty then max 1 (h.declared / h.penalty) else max 1 h.declared
+
+(* Core-queue chaining; caller holds the owner's lock. *)
+
+let chain ws cq =
+  assert (not cq.chained);
+  cq.prev <- ws.tail;
+  cq.next <- None;
+  (match ws.tail with Some tl -> tl.next <- Some cq | None -> ws.head <- Some cq);
+  ws.tail <- Some cq;
+  cq.chained <- true;
+  ws.n_colors <- ws.n_colors + 1;
+  ws.n_events <- ws.n_events + Queue.length cq.q
+
+let unchain ws cq =
+  assert cq.chained;
+  (match cq.prev with Some p -> p.next <- cq.next | None -> ws.head <- cq.next);
+  (match cq.next with Some s -> s.prev <- cq.prev | None -> ws.tail <- cq.prev);
+  cq.prev <- None;
+  cq.next <- None;
+  cq.chained <- false;
+  ws.n_colors <- ws.n_colors - 1;
+  ws.n_events <- ws.n_events - Queue.length cq.q
+
+let note_worthy t ws cq =
+  if t.ws.time_left && not cq.worthy && cq.weighted > t.worthy_threshold then begin
+    cq.worthy <- true;
+    Queue.push cq ws.stealing
+  end
+
+(* Locate or create the color-queue for a color; the map lock is never
+   held together with a worker lock. *)
+let locate t color =
+  Spinlock.with_lock t.map_lock (fun () ->
+      match Hashtbl.find_opt t.map color with
+      | Some cq -> cq
+      | None ->
+        let cq =
+          {
+            color;
+            q = Queue.create ();
+            running = Atomic.make 0;
+            weighted = 0;
+            owner = color mod t.n;
+            chained = false;
+            worthy = false;
+            prev = None;
+            next = None;
+          }
+        in
+        Hashtbl.replace t.map color cq;
+        cq)
+
+let rec enqueue t event =
+  let cq = locate t event.ev_color in
+  let owner = cq.owner in
+  let ws = t.states.(owner) in
+  let retry =
+    Spinlock.with_lock ws.lock (fun () ->
+        if cq.owner <> owner then true (* stolen while we raced; retry *)
+        else begin
+          Queue.push event cq.q;
+          cq.weighted <- cq.weighted + weighted_of t event.ev_handler;
+          if cq.chained then ws.n_events <- ws.n_events + 1 else chain ws cq;
+          note_worthy t ws cq;
+          false
+        end)
+  in
+  if retry then enqueue t event
+  else Atomic.incr t.pending
+
+let register t ?(color = default_color) ~handler run =
+  if color < 0 then invalid_arg "Rt.Runtime.register: color must be >= 0";
+  enqueue t { ev_handler = handler; ev_color = color; ev_run = run }
+
+(* Pop one event from the head color-queue of worker [w]. *)
+let pop_next t w =
+  let ws = t.states.(w) in
+  Spinlock.with_lock ws.lock (fun () ->
+      match ws.head with
+      | None ->
+        ws.current_color <- -1;
+        None
+      | Some cq ->
+        if ws.batch_color <> cq.color then begin
+          ws.batch_color <- cq.color;
+          ws.batch_remaining <- t.batch
+        end;
+        let event = Queue.take_opt cq.q in
+        (match event with
+        | None -> ()
+        | Some e ->
+          ws.n_events <- ws.n_events - 1;
+          cq.weighted <- max 0 (cq.weighted - weighted_of t e.ev_handler);
+          ws.batch_remaining <- ws.batch_remaining - 1;
+          ws.current_color <- cq.color;
+          if Queue.is_empty cq.q then begin
+            unchain ws cq;
+            cq.worthy <- false
+          end
+          else if ws.batch_remaining <= 0 then begin
+            (* Rotate to the next color to prevent starvation. *)
+            unchain ws cq;
+            chain ws cq;
+            ws.batch_color <- -1
+          end);
+        event)
+
+(* Remove a drained color from the map (only if it is still this
+   queue), so recycled colors re-hash cleanly. *)
+let forget_if_drained t cq =
+  Spinlock.with_lock t.map_lock (fun () ->
+      match Hashtbl.find_opt t.map cq.color with
+      | Some current when current == cq && Queue.is_empty cq.q && not cq.chained ->
+        Hashtbl.remove t.map cq.color
+      | _ -> ())
+
+let execute t w event =
+  let cq = locate t event.ev_color in
+  let concurrent = 1 + Atomic.fetch_and_add cq.running 1 in
+  (* Record the worst concurrency ever observed for the invariant test. *)
+  let rec bump () =
+    let seen = Atomic.get t.max_same_color in
+    if concurrent > seen && not (Atomic.compare_and_set t.max_same_color seen concurrent)
+    then bump ()
+  in
+  bump ();
+  let ctx =
+    {
+      worker = w;
+      register =
+        (fun ?(color = default_color) ~handler run ->
+          register t ~color ~handler run);
+    }
+  in
+  (match event.ev_run ctx with () -> () | exception e -> Atomic.decr cq.running; raise e);
+  Atomic.decr cq.running;
+  Atomic.incr t.executed;
+  forget_if_drained t cq
+
+let victim_order t w =
+  if t.ws.locality then List.init (t.n - 1) (fun i -> (w + 1 + i) mod t.n)
+  else begin
+    (* Most loaded first, then successive ids. *)
+    let most = ref 0 and best = ref (-1) in
+    for v = 0 to t.n - 1 do
+      let len = t.states.(v).n_events in
+      if len > !best then begin
+        best := len;
+        most := v
+      end
+    done;
+    List.filter (fun v -> v <> w) (List.init t.n (fun i -> (!most + i) mod t.n))
+  end
+
+(* Steal one color-queue from [victim] into [w]; returns true on
+   success. Never holds two worker locks at once. *)
+let steal_from t w victim =
+  let vs = t.states.(victim) in
+  let stolen =
+    if not (Spinlock.try_acquire vs.lock) then None
+    else begin
+      let result =
+        if t.ws.time_left then begin
+          (* Pop the first validated worthy color. *)
+          let rec pick budget =
+            if budget = 0 then None
+            else
+              match Queue.take_opt vs.stealing with
+              | None -> None
+              | Some cq ->
+                if cq.chained && cq.owner = victim && cq.worthy
+                   && cq.color <> vs.current_color
+                then Some cq
+                else begin
+                  cq.worthy <- cq.worthy && cq.chained && cq.owner = victim;
+                  pick (budget - 1)
+                end
+          in
+          pick (Queue.length vs.stealing)
+        end
+        else begin
+          (* Baseline: first color that is not current and holds fewer
+             than half of the victim's events. *)
+          let total = vs.n_events in
+          let rec walk = function
+            | None -> None
+            | Some cq ->
+              if cq.color <> vs.current_color && Queue.length cq.q * 2 < total then Some cq
+              else walk cq.next
+          in
+          walk vs.head
+        end
+      in
+      (match result with
+      | Some cq ->
+        unchain vs cq;
+        cq.worthy <- false
+      | None -> ());
+      Spinlock.release vs.lock;
+      result
+    end
+  in
+  match stolen with
+  | None -> false
+  | Some cq ->
+    let ws = t.states.(w) in
+    Spinlock.with_lock ws.lock (fun () ->
+        cq.owner <- w;
+        chain ws cq;
+        note_worthy t ws cq);
+    Atomic.incr t.steal_count;
+    true
+
+let try_steal t w =
+  Atomic.incr t.attempt_count;
+  List.exists (fun victim -> steal_from t w victim) (victim_order t w)
+
+let worker_loop t w =
+  let rec loop () =
+    match pop_next t w with
+    | Some event ->
+      Atomic.incr t.active;
+      Atomic.decr t.pending;
+      execute t w event;
+      Atomic.decr t.active;
+      loop ()
+    | None ->
+      if t.ws.enabled && Atomic.get t.pending > 0 && try_steal t w then loop ()
+      else if Atomic.get t.pending > 0 || Atomic.get t.active > 0 then begin
+        Domain.cpu_relax ();
+        loop ()
+      end
+  (* both zero: quiescent, exit *)
+  in
+  loop ()
+
+let run_until_idle t =
+  if t.running then invalid_arg "Rt.Runtime.run_until_idle: already running";
+  t.running <- true;
+  let domains = List.init t.n (fun w -> Domain.spawn (fun () -> worker_loop t w)) in
+  List.iter Domain.join domains;
+  t.running <- false
+
+let executed t = Atomic.get t.executed
+let steals t = Atomic.get t.steal_count
+let steal_attempts t = Atomic.get t.attempt_count
+let max_concurrent_same_color t = Atomic.get t.max_same_color

@@ -1,0 +1,37 @@
+type t = { flag : bool Atomic.t; contended : int Atomic.t }
+
+let create () = { flag = Atomic.make false; contended = Atomic.make 0 }
+
+let rec spin_until_clear t =
+  if Atomic.get t.flag then begin
+    Domain.cpu_relax ();
+    spin_until_clear t
+  end
+
+let acquire t =
+  if Atomic.compare_and_set t.flag false true then ()
+  else begin
+    Atomic.incr t.contended;
+    let rec retry () =
+      spin_until_clear t;
+      if not (Atomic.compare_and_set t.flag false true) then retry ()
+    in
+    retry ()
+  end
+
+let release t = Atomic.set t.flag false
+
+let try_acquire t =
+  (not (Atomic.get t.flag)) && Atomic.compare_and_set t.flag false true
+
+let with_lock t f =
+  acquire t;
+  match f () with
+  | result ->
+    release t;
+    result
+  | exception e ->
+    release t;
+    raise e
+
+let contended_acquires t = Atomic.get t.contended

@@ -1,0 +1,14 @@
+(** Test-and-test-and-set spinlock over [Atomic], one per worker —
+    the real-parallelism counterpart of the simulator's {!Sim.Lock}.
+    Critical sections in this runtime are queue manipulations of a few
+    hundred nanoseconds, the regime where spinning beats parking. *)
+
+type t
+
+val create : unit -> t
+val acquire : t -> unit
+val release : t -> unit
+val try_acquire : t -> bool
+val with_lock : t -> (unit -> 'a) -> 'a
+val contended_acquires : t -> int
+(** Acquisitions that found the lock held at least once. *)

@@ -1,0 +1,1 @@
+lib/sfs/server.ml: Array Engine Hashtbl List Netsim Queue

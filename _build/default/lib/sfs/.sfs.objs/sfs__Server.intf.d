@@ -1,0 +1,1 @@
+lib/sfs/server.mli: Engine Netsim

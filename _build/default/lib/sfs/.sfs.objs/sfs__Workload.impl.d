@@ -1,0 +1,1 @@
+lib/sfs/workload.ml: Array Engine Hw Netsim Server Sim Workloads

@@ -1,0 +1,1 @@
+lib/sfs/workload.mli: Engine Workloads

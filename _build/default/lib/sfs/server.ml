@@ -1,0 +1,184 @@
+type costs = {
+  epoll_base : int;
+  epoll_per_event : int;
+  rpc_dispatch : int;
+  crypto_block : int;
+  send_reply : int;
+}
+
+(* Crypto dominates (>60% of server CPU, Section V-C2): one 8 KB block
+   costs ~110 cycles/byte of decrypt+encrypt+MAC on the paper-era
+   OpenSSL, i.e. ~900 Kcycles — the coarse-grain events that make
+   workstealing profitable for SFS. *)
+let default_costs =
+  {
+    epoll_base = 4_000;
+    epoll_per_event = 600;
+    rpc_dispatch = 12_000;
+    crypto_block = 900_000;
+    send_reply = 18_000;
+  }
+
+type handlers = {
+  h_epoll : Engine.Handler.t;
+  h_dispatch : Engine.Handler.t;
+  h_crypto : Engine.Handler.t;
+  h_send : Engine.Handler.t;
+}
+
+type session = {
+  color : int;
+  state_data : int;  (** session keys and cipher state, warm and small *)
+  block_ring : int array;  (** ring of buffer-cache block identities *)
+  mutable ring_pos : int;
+}
+
+type t = {
+  sched : Engine.Sched.t;
+  port : Netsim.Port.t;
+  costs : costs;
+  handlers : handlers;
+  epoll_batch : int;
+  block_bytes : int;
+  sessions : (int, session) Hashtbl.t;  (** by connection slot *)
+  mutable blocks : int;
+  mutable reply_hook : (conn:Netsim.Conn.t -> at:int -> bytes:int -> unit) option;
+  mutable accepted_hook : (conn:Netsim.Conn.t -> at:int -> unit) option;
+}
+
+let epoll_color = Engine.Event.default_color
+
+(* A representative hash outcome for 16 sessions on 8 cores: cores 1
+   and 2 get four sessions, 3 and 5 get three, 6 and 7 one each, and
+   cores 0 and 4 none — core 0 keeps the protocol backbone. Without
+   workstealing the loaded cores saturate while 0 and 4 idle; with it
+   the crypto spreads. *)
+let session_core_layout = [| 1; 2; 3; 5; 1; 2; 3; 5; 1; 2; 3; 5; 1; 2; 6; 7 |]
+
+let session_color t ~slot =
+  ignore t;
+  let n = Array.length session_core_layout in
+  let core = session_core_layout.(slot mod n) in
+  (* color mod 8 = core; distinct colors per session. *)
+  core + (8 * (slot + 1))
+
+let session t conn =
+  let slot = conn.Netsim.Conn.slot in
+  match Hashtbl.find_opt t.sessions slot with
+  | Some s -> s
+  | None ->
+    let s =
+      {
+        color = session_color t ~slot;
+        state_data = Engine.Event.fresh_data_id ();
+        block_ring = Array.init 64 (fun _ -> Engine.Event.fresh_data_id ());
+        ring_pos = 0;
+      }
+    in
+    Hashtbl.add t.sessions slot s;
+    s
+
+let rec dispatch_action t (ctx : Engine.Event.ctx) conn =
+  if conn.Netsim.Conn.established then
+    match Queue.take_opt conn.Netsim.Conn.inbox with
+    | None | Some Netsim.Conn.Eof -> ()
+    | Some (Netsim.Conn.Bytes _request) ->
+      let s = session t conn in
+      (* Serve the block from the buffer cache; crypto runs under the
+         session color. *)
+      let block = s.block_ring.(s.ring_pos) in
+      s.ring_pos <- (s.ring_pos + 1) mod Array.length s.block_ring;
+      ctx.Engine.Event.ctx_register
+        (Engine.Event.make ~handler:t.handlers.h_crypto ~color:s.color
+           ~cost:t.costs.crypto_block
+           ~data:
+             [
+               Engine.Event.data_ref ~data_id:s.state_data ~bytes:1_024 ~write:true ();
+               Engine.Event.data_ref ~data_id:block ~bytes:t.block_bytes ();
+             ]
+           ~action:(fun ctx -> crypto_action t ctx conn)
+           ())
+
+and crypto_action t ctx conn =
+  ctx.Engine.Event.ctx_register
+    (Engine.Event.make ~handler:t.handlers.h_send ~color:epoll_color
+       ~cost:t.costs.send_reply
+       ~data:[ Engine.Event.data_ref ~data_id:conn.Netsim.Conn.buffer_data ~bytes:2_048 ~write:true () ]
+       ~action:(fun ctx -> send_action t ctx conn)
+       ())
+
+and send_action t ctx conn =
+  if conn.Netsim.Conn.established then begin
+    t.blocks <- t.blocks + 1;
+    match t.reply_hook with
+    | Some hook -> hook ~conn ~at:(ctx.Engine.Event.ctx_now ()) ~bytes:t.block_bytes
+    | None -> ()
+  end
+
+let epoll_action t (ctx : Engine.Event.ctx) =
+  let conns = Netsim.Port.take_accepts t.port ~max:16 in
+  List.iter
+    (fun conn ->
+      ignore (session t conn);
+      match t.accepted_hook with
+      | Some hook -> hook ~conn ~at:(ctx.Engine.Event.ctx_now ())
+      | None -> ())
+    conns;
+  let ready = Netsim.Port.take_ready t.port ~max:t.epoll_batch in
+  List.iter
+    (fun conn ->
+      (* One dispatch event per pending request on the connection. *)
+      let pending = Queue.length conn.Netsim.Conn.inbox in
+      for _ = 1 to pending do
+        ctx.Engine.Event.ctx_register
+          (Engine.Event.make ~handler:t.handlers.h_dispatch ~color:epoll_color
+             ~cost:t.costs.rpc_dispatch
+             ~data:
+               [ Engine.Event.data_ref ~data_id:conn.Netsim.Conn.buffer_data ~bytes:1_024 () ]
+             ~action:(fun ctx -> dispatch_action t ctx conn)
+             ())
+      done)
+    ready;
+  Netsim.Port.epoll_done t.port ~at:(ctx.Engine.Event.ctx_now ())
+
+let register_epoll t ~at =
+  let n_ready =
+    min t.epoll_batch (Netsim.Port.ready_pending t.port)
+    + min 1 (Netsim.Port.accepts_pending t.port)
+  in
+  t.sched.Engine.Sched.register_external ~at
+    (Engine.Event.make ~handler:t.handlers.h_epoll ~color:epoll_color
+       ~cost:(t.costs.epoll_base + (t.costs.epoll_per_event * max 1 n_ready))
+       ~action:(fun ctx -> epoll_action t ctx)
+       ())
+
+let create ~sched ~port ?(costs = default_costs) ?(epoll_batch = 32) ~block_bytes () =
+  let handlers =
+    {
+      h_epoll = Engine.Handler.make ~declared_cycles:costs.epoll_base "sfs.Epoll";
+      h_dispatch = Engine.Handler.make ~declared_cycles:costs.rpc_dispatch "sfs.RpcDispatch";
+      h_crypto = Engine.Handler.make ~declared_cycles:costs.crypto_block "sfs.Crypto";
+      h_send = Engine.Handler.make ~declared_cycles:costs.send_reply "sfs.SendReply";
+    }
+  in
+  let t =
+    {
+      sched;
+      port;
+      costs;
+      handlers;
+      epoll_batch;
+      block_bytes;
+      sessions = Hashtbl.create 32;
+      blocks = 0;
+      reply_hook = None;
+      accepted_hook = None;
+    }
+  in
+  Netsim.Port.set_epoll_trigger port (fun ~at -> register_epoll t ~at);
+  t
+
+let blocks_served t = t.blocks
+let bytes_served t = t.blocks * t.block_bytes
+let on_reply t hook = t.reply_hook <- Some hook
+let on_accepted t hook = t.accepted_hook <- Some hook

@@ -1,0 +1,53 @@
+(** SFS — the secure NFS-like file server of Section V-C2.
+
+    The server speaks an encrypted, authenticated RPC protocol over
+    persistent TCP connections; the paper measures that more than 60% of
+    its CPU time is cryptographic work. Following the Libasync-smp
+    coloring scheme, {e only the CPU-intensive handlers are colored}:
+
+    - [Epoll] and [RpcDispatch] run under the default color 0 — the
+      protocol backbone stays serialized, as in the original SFS whose
+      event loop is single-threaded apart from crypto;
+    - [Crypto] (decrypt request + encrypt/MAC the 8 KB reply block) is
+      colored per client session, so different clients' blocks encrypt
+      in parallel;
+    - [SendReply] returns to color 0 to write to the socket.
+
+    Requests are block reads served from the in-memory buffer cache (the
+    benchmark keeps the file resident, as in the paper). *)
+
+type t
+
+type costs = {
+  epoll_base : int;
+  epoll_per_event : int;
+  rpc_dispatch : int;  (** parse + buffer-cache lookup, color 0 *)
+  crypto_block : int;  (** decrypt request + encrypt and MAC one block *)
+  send_reply : int;  (** socket write, color 0 *)
+}
+
+val default_costs : costs
+
+val create :
+  sched:Engine.Sched.t ->
+  port:Netsim.Port.t ->
+  ?costs:costs ->
+  ?epoll_batch:int ->
+  block_bytes:int ->
+  unit ->
+  t
+(** Wires the handler graph and plugs the Epoll trigger into the port.
+    A client's session color is fixed at accept time from the
+    connection's slot via {!session_color}. *)
+
+val session_color : t -> slot:int -> int
+(** The color assigned to a client session. The mapping reproduces a
+    representative hash outcome on the paper's testbed: 16 sessions land
+    unevenly on the 8 cores (some cores get 4 sessions, two get none),
+    which is the imbalance the workstealing evaluation exercises. *)
+
+val blocks_served : t -> int
+val bytes_served : t -> int
+
+val on_reply : t -> (conn:Netsim.Conn.t -> at:int -> bytes:int -> unit) -> unit
+val on_accepted : t -> (conn:Netsim.Conn.t -> at:int -> unit) -> unit

@@ -1,0 +1,84 @@
+type params = {
+  n_clients : int;
+  window : int;
+  block_bytes : int;
+  file_bytes : int;
+  request_bytes : int;
+  latency_cycles : int;
+  duration_seconds : float;
+  seed : int64;
+}
+
+let default_params =
+  {
+    n_clients = 16;
+    window = 8;
+    block_bytes = 8 * 1024;
+    file_bytes = 200 * 1024 * 1024;
+    request_bytes = 256;
+    latency_cycles = 120_000;
+    duration_seconds = 0.05;
+    seed = 42L;
+  }
+
+type result = { base : Workloads.Setup.result; blocks : int; mb_per_sec : float }
+
+type client = { conn : Netsim.Conn.t; mutable blocks_requested : int; mutable blocks_read : int }
+
+let run ?(params = default_params) kind config =
+  let p = params in
+  let sched = Workloads.Setup.make ~seed:p.seed kind config in
+  let machine = sched.Engine.Sched.machine in
+  let fabric = Netsim.Fabric.create () in
+  let port = Netsim.Port.create ~latency_cycles:p.latency_cycles ~max_fds:(p.n_clients + 8) () in
+  let server = Server.create ~sched ~port ~block_bytes:p.block_bytes () in
+  let blocks_per_file = p.file_bytes / p.block_bytes in
+  let clients =
+    Array.init p.n_clients (fun slot ->
+        { conn = Netsim.Conn.make ~slot; blocks_requested = 0; blocks_read = 0 })
+  in
+  let request_block client ~now =
+    if client.blocks_requested < blocks_per_file then begin
+      client.blocks_requested <- client.blocks_requested + 1;
+      Netsim.Port.send port ~at:(now + p.latency_cycles) client.conn
+        (Netsim.Conn.Bytes p.request_bytes)
+    end
+  in
+  Server.on_accepted server (fun ~conn ~at ->
+      let client = clients.(conn.Netsim.Conn.slot) in
+      Netsim.Fabric.schedule fabric ~at:(at + p.latency_cycles) (fun ~now ->
+          (* Fill the readahead window. *)
+          for _ = 1 to p.window do
+            request_block client ~now
+          done));
+  Server.on_reply server (fun ~conn ~at ~bytes:_ ->
+      let client = clients.(conn.Netsim.Conn.slot) in
+      Netsim.Fabric.schedule fabric ~at:(at + p.latency_cycles) (fun ~now ->
+          client.blocks_read <- client.blocks_read + 1;
+          if client.blocks_read >= blocks_per_file then begin
+            (* File done: restart (the benchmark loops re-reading). *)
+            client.blocks_requested <- 0;
+            client.blocks_read <- 0
+          end;
+          request_block client ~now));
+  Array.iteri
+    (fun i client ->
+      Netsim.Fabric.schedule fabric ~at:(i * 10_000) (fun ~now ->
+          Netsim.Port.connect port ~at:(now + p.latency_cycles) client.conn))
+    clients;
+  let cm = Sim.Machine.cost machine in
+  let until_cycles = int_of_float (Hw.Cost_model.seconds_to_cycles cm p.duration_seconds) in
+  let exec =
+    Engine.Driver.run ~injectors:[ Netsim.Fabric.process fabric ] ~until_cycles sched
+  in
+  let base = Workloads.Setup.finish sched exec in
+  let seconds = Sim.Machine.elapsed_seconds machine in
+  let blocks = Server.blocks_served server in
+  {
+    base;
+    blocks;
+    mb_per_sec =
+      (if seconds > 0.0 then
+         float_of_int (blocks * p.block_bytes) /. (1024.0 *. 1024.0) /. seconds
+       else 0.0);
+  }

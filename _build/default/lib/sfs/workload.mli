@@ -1,0 +1,27 @@
+(** The multio-style read benchmark of Section V-C2 / Figures 3 and 8.
+
+    16 clients each read a 200 MB file over a persistent connection; the
+    file stays in the server's buffer cache, and each client keeps a
+    small window of outstanding 8 KB block reads (NFS-style readahead).
+    The reported metric is aggregate throughput in MB/s. *)
+
+type params = {
+  n_clients : int;  (** paper: 16 *)
+  window : int;  (** outstanding block requests per client *)
+  block_bytes : int;  (** 8 KB NFS read size *)
+  file_bytes : int;  (** paper: 200 MB *)
+  request_bytes : int;
+  latency_cycles : int;
+  duration_seconds : float;
+  seed : int64;
+}
+
+val default_params : params
+
+type result = {
+  base : Workloads.Setup.result;
+  blocks : int;
+  mb_per_sec : float;
+}
+
+val run : ?params:params -> Workloads.Setup.runtime_kind -> Engine.Config.t -> result

@@ -1,0 +1,1 @@
+lib/sim/exec.ml: List Machine Printf

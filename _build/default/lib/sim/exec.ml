@@ -1,0 +1,110 @@
+type outcome = Continue | Sleep_until of int | Sleep_forever | Stop
+
+type state = Runnable | Sleeping of int option (* None = until woken *) | Stopped
+
+type process = {
+  name : string;
+  time : unit -> int;
+  advance_to : int -> unit;
+  step : unit -> outcome;
+  mutable state : state;
+  mutable last_time : int;
+  mutable stuck_steps : int;
+}
+
+let process ~name ~time ~advance_to ~step =
+  { name; time; advance_to; step; state = Runnable; last_time = min_int; stuck_steps = 0 }
+
+let core_process machine ~core ~step =
+  process
+    ~name:(Printf.sprintf "core-%d" core)
+    ~time:(fun () -> Machine.now machine ~core)
+    ~advance_to:(fun at -> Machine.advance_to_idle machine ~core at)
+    ~step
+
+let timed_process ~name ~start_at ~step =
+  let now = ref start_at in
+  process ~name
+    ~time:(fun () -> !now)
+    ~advance_to:(fun at -> if at > !now then now := at)
+    ~step:(fun () ->
+      match step ~now:!now with
+      | Sleep_until t ->
+        (* A timed process advances only through its sleep times; clamp
+           to guarantee progress. *)
+        let t = max t (!now + 1) in
+        now := t;
+        Sleep_until t
+      | other -> other)
+
+let wake p ~at =
+  match p.state with
+  | Sleeping None -> p.state <- Sleeping (Some at)
+  | Sleeping (Some t) -> if at < t then p.state <- Sleeping (Some at)
+  | Runnable | Stopped -> ()
+
+type t = {
+  mutable procs : process list;
+  mutable stop_requested : bool;
+  mutable steps : int;
+}
+
+let create procs = { procs; stop_requested = false; steps = 0 }
+let add t p = t.procs <- t.procs @ [ p ]
+let request_stop t = t.stop_requested <- true
+let steps_executed t = t.steps
+
+(* Effective wake-up time of a live process; [None] for stopped or
+   sleeping-forever processes. *)
+let effective_time p =
+  match p.state with
+  | Stopped -> None
+  | Runnable -> Some (p.time ())
+  | Sleeping (Some at) -> Some (max at (p.time ()))
+  | Sleeping None -> None
+
+let stuck_limit = 10_000_000
+
+let run ?(until = max_int) t =
+  let rec loop () =
+    if t.stop_requested then ()
+    else begin
+      let best = ref None in
+      List.iter
+        (fun p ->
+          match effective_time p with
+          | None -> ()
+          | Some time -> (
+            match !best with
+            | Some (_, bt) when bt <= time -> ()
+            | _ -> best := Some (p, time)))
+        t.procs;
+      match !best with
+      | None -> () (* all stopped or quiescent *)
+      | Some (p, time) ->
+        if time > until then ()
+        else begin
+          if time > p.time () then p.advance_to time;
+          p.state <- Runnable;
+          t.steps <- t.steps + 1;
+          let outcome = p.step () in
+          let now = p.time () in
+          if now = p.last_time then begin
+            p.stuck_steps <- p.stuck_steps + 1;
+            if p.stuck_steps > stuck_limit then
+              failwith (Printf.sprintf "Sim.Exec: process %s made no progress" p.name)
+          end
+          else begin
+            p.last_time <- now;
+            p.stuck_steps <- 0
+          end;
+          (match outcome with
+          | Continue -> ()
+          | Sleep_until at -> p.state <- Sleeping (Some at)
+          | Sleep_forever -> p.state <- Sleeping None
+          | Stop -> p.state <- Stopped);
+          loop ()
+        end
+    end
+  in
+  loop ()

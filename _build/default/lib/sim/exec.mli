@@ -1,0 +1,62 @@
+(** The simulation loop.
+
+    The loop repeatedly steps the live process with the smallest virtual
+    time (ties broken by registration order, making runs deterministic).
+    A process is either a simulated core — its time is the core's clock —
+    or a timed auxiliary process such as a load injector or a fork/join
+    round controller.
+
+    A step must advance the process's time or put it to sleep; sleeping
+    processes are woken either by their deadline or explicitly by
+    another process (e.g. registering an event on an idle core wakes that
+    core).
+
+    Known approximation: a step is atomic even when it takes several
+    locks, so two lock acquisitions by different cores can commit in an
+    order that differs from their arrival times by at most one step
+    length. This does not break mutual exclusion of critical sections
+    and keeps the cycle accounting intact; it is the standard
+    optimistic-stepping trade-off for this style of simulator. *)
+
+type outcome =
+  | Continue  (** runnable immediately at the new current time *)
+  | Sleep_until of int  (** park until the given absolute time, or a wake *)
+  | Sleep_forever  (** park until an explicit wake *)
+  | Stop  (** this process is finished *)
+
+type process
+
+val process :
+  name:string -> time:(unit -> int) -> advance_to:(int -> unit) -> step:(unit -> outcome) -> process
+(** A generic process. [time] reports its current virtual time;
+    [advance_to] is called to burn idle time up to the wake moment before
+    a step following a sleep; [step] performs one bounded unit of work. *)
+
+val core_process : Machine.t -> core:int -> step:(unit -> outcome) -> process
+(** A process whose clock is a machine core's clock; idle time between a
+    sleep and its wake is accounted to the core's idle cycles. *)
+
+val timed_process : name:string -> start_at:int -> step:(now:int -> outcome) -> process
+(** An auxiliary process with a private clock. When its step returns
+    [Continue] its time is unchanged, so the step itself must return
+    [Sleep_until] to make progress; this is enforced. *)
+
+val wake : process -> at:int -> unit
+(** Make a sleeping process runnable no later than [at]. No effect on a
+    running or stopped process beyond tightening its wake time. *)
+
+type t
+
+val create : process list -> t
+val add : t -> process -> unit
+
+val run : ?until:int -> t -> unit
+(** Run until every process has stopped, every live process sleeps
+    forever (global quiescence), or the smallest live time exceeds
+    [until] (default: unbounded). *)
+
+val request_stop : t -> unit
+(** May be called from inside a step: the loop exits before the next
+    step. *)
+
+val steps_executed : t -> int

@@ -1,0 +1,99 @@
+type t = {
+  mutable free_at : int;
+  mutable held : bool;
+  mutable last_holder : int; (* core id; -1 when never held *)
+  mutable acquires : int;
+  mutable contended : int;
+  mutable grant_time : int; (* when the current holder entered the CS *)
+  mutable avg_hold : float; (* EWMA of critical-section lengths *)
+}
+
+let create (_ : Machine.t) =
+  {
+    free_at = 0;
+    held = false;
+    last_holder = -1;
+    acquires = 0;
+    contended = 0;
+    grant_time = 0;
+    avg_hold = 200.0;
+  }
+
+(* Spinner estimate: how many cores were queued on this lock while we
+   waited. Each predecessor occupied the lock for its critical section
+   plus its own acquisition and handoff, so dividing by that full
+   per-predecessor cost keeps the estimate self-consistent (no feedback
+   spiral from counting handoffs as extra predecessors). *)
+let estimated_spinners t machine ~wait =
+  let cm = Machine.cost machine in
+  let n = Machine.n_cores machine in
+  let per_predecessor =
+    Float.max 1.0
+      (t.avg_hold
+      +. float_of_int (cm.Hw.Cost_model.lock_acquire + cm.Hw.Cost_model.lock_handoff))
+  in
+  min (n - 1) (int_of_float (float_of_int wait /. per_predecessor))
+
+let acquire t machine ~core =
+  assert (not t.held);
+  let now = Machine.now machine ~core in
+  let cm = Machine.cost machine in
+  (* Physical bound on spinning: these runtimes hold their queue locks
+     only for queue manipulation, never across handler execution, so a
+     spinner can never be queued behind more than every other core's
+     critical section (plus acquisition and handoff each). Raw waits
+     beyond that are clock-divergence artifacts of atomic-step
+     simulation (a long handler commits its end-of-step registration
+     timestamp into a lagging core's past) and are clamped. *)
+  let max_wait =
+    Machine.n_cores machine
+    * (int_of_float t.avg_hold + cm.Hw.Cost_model.lock_acquire + cm.Hw.Cost_model.lock_handoff)
+  in
+  let wait = min (max 0 (t.free_at - now)) max_wait in
+  if wait > 0 then begin
+    Machine.advance_spin machine ~core wait;
+    t.contended <- t.contended + 1
+  end;
+  let transfer =
+    if t.last_holder >= 0
+       && not (Hw.Topology.same_group (Machine.topo machine) t.last_holder core)
+    then cm.Hw.Cost_model.lock_remote_penalty
+    else 0
+  in
+  (* Contended handoff: the lock line visits every spinner before the
+     winner proceeds. Accounted as spin (it happens before the critical
+     section starts), so it cannot feed back into the hold-length
+     estimate. *)
+  let handoff = estimated_spinners t machine ~wait * cm.Hw.Cost_model.lock_handoff in
+  if handoff > 0 then Machine.advance_spin machine ~core handoff;
+  Machine.advance machine ~core (cm.Hw.Cost_model.lock_acquire + transfer);
+  t.held <- true;
+  t.last_holder <- core;
+  t.acquires <- t.acquires + 1;
+  t.grant_time <- Machine.now machine ~core
+
+let hold_ewma_alpha = 0.1
+
+let release t machine ~core =
+  assert t.held;
+  t.held <- false;
+  let now = Machine.now machine ~core in
+  (* A clamped-wait acquirer can release before an already-recorded
+     future hold; keep the later timestamp for future acquirers. *)
+  t.free_at <- max t.free_at now;
+  let hold = float_of_int (max 0 (now - t.grant_time)) in
+  t.avg_hold <- ((1.0 -. hold_ewma_alpha) *. t.avg_hold) +. (hold_ewma_alpha *. hold)
+
+let with_lock t machine ~core f =
+  acquire t machine ~core;
+  match f () with
+  | result ->
+    release t machine ~core;
+    result
+  | exception e ->
+    release t machine ~core;
+    raise e
+
+let free_at t = t.free_at
+let contended_acquires t = t.contended
+let acquires t = t.acquires

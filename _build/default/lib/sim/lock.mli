@@ -1,0 +1,38 @@
+(** Simulated per-core spinlocks.
+
+    Libasync-smp and Mely both protect each core's queues with one
+    spinlock (Sections II-A and IV-A); there is no yielding because each
+    core runs exactly one thread. Contention on these locks is the
+    paper's headline pathology: Table III reports 39.73% of all cycles
+    spent spinning when the baseline workstealing runs on an unbalanced
+    fine-grain load.
+
+    Semantics: a lock records when it becomes free. Acquiring at core
+    time [t] spins for [max 0 (free_at - t)] cycles (accounted as spin
+    time), then pays the acquire cost, plus a remote-transfer penalty
+    when the previous holder was in a different cache group — spinlock
+    cache-line bouncing. Locks must be released within the same
+    scheduler step that acquired them (single-step critical sections);
+    this keeps the min-time interleaving of the simulator coherent. *)
+
+type t
+
+val create : Machine.t -> t
+
+val acquire : t -> Machine.t -> core:int -> unit
+(** Spin until free, then take the lock, advancing the core's clock.
+    Raises [Assert_failure] if the lock is already held (critical
+    sections may not span scheduler steps). *)
+
+val release : t -> Machine.t -> core:int -> unit
+(** Release at the core's current time. *)
+
+val with_lock : t -> Machine.t -> core:int -> (unit -> 'a) -> 'a
+(** Acquire, run the critical section (which advances the core clock),
+    release. *)
+
+val free_at : t -> int
+val contended_acquires : t -> int
+(** Number of acquisitions that had to spin. *)
+
+val acquires : t -> int

@@ -1,0 +1,71 @@
+type core = {
+  mutable now : int;
+  mutable busy : int;
+  mutable spin : int;
+  mutable idle : int;
+  rng : Mstd.Rng.t;
+}
+
+type t = {
+  topo : Hw.Topology.t;
+  cost : Hw.Cost_model.t;
+  cache : Hw.Cache.t;
+  cores : core array;
+  machine_rng : Mstd.Rng.t;
+}
+
+let create ?(seed = 42L) topo cost =
+  let root = Mstd.Rng.create seed in
+  let cores =
+    Array.init (Hw.Topology.n_cores topo) (fun _ ->
+        { now = 0; busy = 0; spin = 0; idle = 0; rng = Mstd.Rng.split root })
+  in
+  { topo; cost; cache = Hw.Cache.create topo cost; cores; machine_rng = Mstd.Rng.split root }
+
+let topo t = t.topo
+let cost t = t.cost
+let cache t = t.cache
+let n_cores t = Array.length t.cores
+
+let now t ~core = t.cores.(core).now
+
+let global_now t =
+  Array.fold_left (fun acc c -> max acc c.now) 0 t.cores
+
+let advance t ~core n =
+  assert (n >= 0);
+  let c = t.cores.(core) in
+  c.now <- c.now + n;
+  c.busy <- c.busy + n
+
+let advance_spin t ~core n =
+  assert (n >= 0);
+  let c = t.cores.(core) in
+  c.now <- c.now + n;
+  c.spin <- c.spin + n
+
+let advance_idle t ~core n =
+  assert (n >= 0);
+  let c = t.cores.(core) in
+  c.now <- c.now + n;
+  c.idle <- c.idle + n
+
+let advance_to_idle t ~core at =
+  let c = t.cores.(core) in
+  if at > c.now then advance_idle t ~core (at - c.now)
+
+let rng t ~core = t.cores.(core).rng
+let machine_rng t = t.machine_rng
+
+let touch_data t ~core ~data ~bytes ~write =
+  let access = Hw.Cache.access t.cache ~core ~data ~bytes ~write in
+  advance t ~core access.Hw.Cache.cost;
+  access
+
+let busy_cycles t ~core = t.cores.(core).busy
+let spin_cycles t ~core = t.cores.(core).spin
+let idle_cycles t ~core = t.cores.(core).idle
+let total_cycles t ~core = t.cores.(core).now
+
+let elapsed_seconds t =
+  Hw.Cost_model.cycles_to_seconds t.cost (float_of_int (global_now t))

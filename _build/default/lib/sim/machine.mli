@@ -1,0 +1,54 @@
+(** The simulated multicore machine.
+
+    Each core owns a virtual clock counting cycles. Cycle accounting is
+    split into three buckets that the evaluation reports on:
+    - [busy]: executing handlers and runtime code,
+    - [spin]: waiting on contended spinlocks (the paper's "locking
+      time", 39.73% in Table III for Libasync-smp with workstealing),
+    - [idle]: parked with nothing to do.
+
+    The machine also owns the shared {!Hw.Cache} model and a per-core
+    deterministic RNG stream split from the experiment seed. *)
+
+type t
+
+val create : ?seed:int64 -> Hw.Topology.t -> Hw.Cost_model.t -> t
+val topo : t -> Hw.Topology.t
+val cost : t -> Hw.Cost_model.t
+val cache : t -> Hw.Cache.t
+val n_cores : t -> int
+
+val now : t -> core:int -> int
+(** Current virtual time of a core, in cycles. *)
+
+val global_now : t -> int
+(** Maximum over all core clocks; the run's wall-clock extent. *)
+
+val advance : t -> core:int -> int -> unit
+(** Busy work: advance the core's clock, accounted as busy cycles. *)
+
+val advance_spin : t -> core:int -> int -> unit
+(** Lock-wait: advance the clock, accounted as spin cycles. *)
+
+val advance_idle : t -> core:int -> int -> unit
+(** Parked: advance the clock, accounted as idle cycles. *)
+
+val advance_to_idle : t -> core:int -> int -> unit
+(** Jump the clock forward to an absolute time, idling; no-op if the
+    time is in the past. *)
+
+val rng : t -> core:int -> Mstd.Rng.t
+val machine_rng : t -> Mstd.Rng.t
+(** A stream for machine-global decisions (injectors etc.). *)
+
+val touch_data : t -> core:int -> data:int -> bytes:int -> write:bool -> Hw.Cache.access
+(** Access memory through the cache model, charging the cycle cost to
+    the core's busy time and counting misses. *)
+
+val busy_cycles : t -> core:int -> int
+val spin_cycles : t -> core:int -> int
+val idle_cycles : t -> core:int -> int
+val total_cycles : t -> core:int -> int
+
+val elapsed_seconds : t -> float
+(** [global_now] converted through the cost model's clock rate. *)

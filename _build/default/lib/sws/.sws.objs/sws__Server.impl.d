@@ -1,0 +1,1 @@
+lib/sws/server.ml: Array Engine List Netsim Queue

@@ -1,0 +1,1 @@
+lib/sws/server.mli: Engine Netsim

@@ -1,0 +1,1 @@
+lib/sws/workload.ml: Engine Fun Hashtbl Hw List Mstd Netsim Server Sim Workloads

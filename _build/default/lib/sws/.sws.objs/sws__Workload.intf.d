@@ -1,0 +1,1 @@
+lib/sws/workload.mli: Engine Mstd Netsim Server Workloads

@@ -1,0 +1,237 @@
+type costs = {
+  epoll_base : int;
+  epoll_per_event : int;
+  accept_per_conn : int;
+  register_fd : int;
+  read_request : int;
+  parse_request : int;
+  check_in_cache : int;
+  write_response : int;
+  close : int;
+  dec_accepted : int;
+}
+
+(* Per-request handler work sized so that a request costs a few tens of
+   Kcycles end to end — short handlers, the regime where the paper shows
+   baseline workstealing hurting. The syscall-bearing handlers (read,
+   write, accept, epoll) dominate. *)
+let default_costs =
+  {
+    epoll_base = 6_000;
+    epoll_per_event = 2_000;
+    accept_per_conn = 15_000;
+    register_fd = 8_000;
+    read_request = 22_000;
+    parse_request = 9_000;
+    check_in_cache = 6_000;
+    write_response = 28_000;
+    close = 14_000;
+    dec_accepted = 1_000;
+  }
+
+type handlers = {
+  h_epoll : Engine.Handler.t;
+  h_accept : Engine.Handler.t;
+  h_register_fd : Engine.Handler.t;
+  h_read : Engine.Handler.t;
+  h_parse : Engine.Handler.t;
+  h_cache : Engine.Handler.t;
+  h_write : Engine.Handler.t;
+  h_close : Engine.Handler.t;
+  h_dec : Engine.Handler.t;
+}
+
+type t = {
+  sched : Engine.Sched.t;
+  port : Netsim.Port.t;
+  costs : costs;
+  handlers : handlers;
+  epoll_color : int;
+  accept_color : int;
+  max_accepted : int;
+  epoll_batch : int;
+  accept_batch : int;
+  file_bytes : int;
+  cache_entries : int array;  (** data-set id of each pre-built response *)
+  mutable accepted : int;
+  mutable total_accepted : int;
+  mutable total_closed : int;
+  mutable completed : int;
+  mutable response_hook : (conn:Netsim.Conn.t -> at:int -> bytes:int -> unit) option;
+  mutable accepted_hook : (conn:Netsim.Conn.t -> at:int -> unit) option;
+}
+
+
+(* The per-request pipeline, chained action to action; every stage is
+   colored with the connection's fd so distinct clients run in
+   parallel. *)
+
+let conn_data ?(write = true) t conn =
+  Engine.Event.data_ref ~write ~data_id:conn.Netsim.Conn.buffer_data
+    ~bytes:(min 2048 t.file_bytes + 512) ()
+
+let rec register_read_request t (ctx : Engine.Event.ctx) conn =
+  ctx.Engine.Event.ctx_register
+    (Engine.Event.make ~handler:t.handlers.h_read ~color:(Netsim.Conn.color conn)
+       ~cost:t.costs.read_request
+       ~data:[ conn_data t conn ]
+       ~action:(fun ctx -> read_request_action t ctx conn)
+       ())
+
+and read_request_action t ctx conn =
+  if not conn.Netsim.Conn.established then ()
+  else
+    match Queue.take_opt conn.Netsim.Conn.inbox with
+    | None -> ()
+    | Some Netsim.Conn.Eof ->
+      ctx.Engine.Event.ctx_register
+        (Engine.Event.make ~handler:t.handlers.h_close ~color:(Netsim.Conn.color conn)
+           ~cost:t.costs.close
+           ~data:[ conn_data t conn ]
+           ~action:(fun ctx -> close_action t ctx conn)
+           ())
+    | Some (Netsim.Conn.Bytes request_bytes) ->
+      ctx.Engine.Event.ctx_register
+        (Engine.Event.make ~handler:t.handlers.h_parse ~color:(Netsim.Conn.color conn)
+           ~cost:t.costs.parse_request
+           ~data:[ conn_data t conn ]
+           ~action:(fun ctx -> parse_action t ctx conn ~request_bytes)
+           ())
+
+and parse_action t ctx conn ~request_bytes =
+  (* The requested file index comes deterministically from the request
+     size mixed with the connection slot. *)
+  let file = (request_bytes + conn.Netsim.Conn.slot) mod Array.length t.cache_entries in
+  ctx.Engine.Event.ctx_register
+    (Engine.Event.make ~handler:t.handlers.h_cache ~color:(Netsim.Conn.color conn)
+       ~cost:t.costs.check_in_cache
+       ~data:
+         [
+           (* Read-only lookup of the pre-built response. *)
+           Engine.Event.data_ref ~data_id:t.cache_entries.(file) ~bytes:t.file_bytes ();
+         ]
+       ~action:(fun ctx -> cache_action t ctx conn ~file)
+       ())
+
+and cache_action t ctx conn ~file =
+  ctx.Engine.Event.ctx_register
+    (Engine.Event.make ~handler:t.handlers.h_write ~color:(Netsim.Conn.color conn)
+       ~cost:t.costs.write_response
+       ~data:
+         [
+           Engine.Event.data_ref ~data_id:t.cache_entries.(file) ~bytes:t.file_bytes ();
+           conn_data t conn;
+         ]
+       ~action:(fun ctx -> write_action t ctx conn)
+       ())
+
+and write_action t ctx conn =
+  if conn.Netsim.Conn.established then begin
+    t.completed <- t.completed + 1;
+    match t.response_hook with
+    | Some hook -> hook ~conn ~at:(ctx.Engine.Event.ctx_now ()) ~bytes:t.file_bytes
+    | None -> ()
+  end
+
+and close_action t ctx conn =
+  Netsim.Port.close t.port conn;
+  t.total_closed <- t.total_closed + 1;
+  ctx.Engine.Event.ctx_register
+    (Engine.Event.make ~handler:t.handlers.h_dec ~color:t.accept_color
+       ~cost:t.costs.dec_accepted
+       ~action:(fun _ -> t.accepted <- t.accepted - 1)
+       ())
+
+let accept_action t (ctx : Engine.Event.ctx) =
+  let budget = min t.accept_batch (t.max_accepted - t.accepted) in
+  if budget > 0 then begin
+    let conns = Netsim.Port.take_accepts t.port ~max:budget in
+    List.iter
+      (fun conn ->
+        t.accepted <- t.accepted + 1;
+        t.total_accepted <- t.total_accepted + 1;
+        (* Watch the new fd: serialized with Epoll via color 0. *)
+        ctx.Engine.Event.ctx_register
+          (Engine.Event.make ~handler:t.handlers.h_register_fd ~color:t.epoll_color
+             ~cost:t.costs.register_fd
+             ~action:(fun ctx ->
+               match t.accepted_hook with
+               | Some hook -> hook ~conn ~at:(ctx.Engine.Event.ctx_now ())
+               | None -> ())
+             ()))
+      conns
+  end
+
+let rec epoll_action t (ctx : Engine.Event.ctx) =
+  let accepts = Netsim.Port.accepts_pending t.port in
+  if accepts > 0 && t.accepted < t.max_accepted then
+    ctx.Engine.Event.ctx_register
+      (Engine.Event.make ~handler:t.handlers.h_accept ~color:t.accept_color
+         ~cost:(t.costs.accept_per_conn * min accepts t.accept_batch)
+         ~action:(fun ctx -> accept_action t ctx)
+         ());
+  let ready = Netsim.Port.take_ready t.port ~max:t.epoll_batch in
+  List.iter (fun conn -> register_read_request t ctx conn) ready;
+  Netsim.Port.epoll_done t.port ~at:(ctx.Engine.Event.ctx_now ())
+
+and register_epoll t ~at =
+  (* epoll_wait returns at most a batch of fd events; the listening
+     socket counts as a single readiness event however long its backlog. *)
+  let n_ready =
+    min t.epoll_batch (Netsim.Port.ready_pending t.port)
+    + min 1 (Netsim.Port.accepts_pending t.port)
+  in
+  t.sched.Engine.Sched.register_external ~at
+    (Engine.Event.make ~handler:t.handlers.h_epoll ~color:t.epoll_color
+       ~cost:(t.costs.epoll_base + (t.costs.epoll_per_event * max 1 n_ready))
+       ~action:(fun ctx -> epoll_action t ctx)
+       ())
+
+let create ~sched ~port ?(costs = default_costs) ?(max_accepted = 10_000)
+    ?(epoll_batch = 32) ?(accept_batch = 32)
+    ?(epoll_color = Engine.Event.default_color) ?(accept_color = 1) ~n_files ~file_bytes () =
+  let handlers =
+    {
+      h_epoll = Engine.Handler.make ~declared_cycles:costs.epoll_base "sws.Epoll";
+      h_accept = Engine.Handler.make ~declared_cycles:costs.accept_per_conn "sws.Accept";
+      h_register_fd =
+        Engine.Handler.make ~declared_cycles:costs.register_fd "sws.RegisterFdInEpoll";
+      h_read = Engine.Handler.make ~declared_cycles:costs.read_request "sws.ReadRequest";
+      h_parse = Engine.Handler.make ~declared_cycles:costs.parse_request "sws.ParseRequest";
+      h_cache =
+        Engine.Handler.make ~declared_cycles:costs.check_in_cache "sws.CheckInCache";
+      h_write =
+        Engine.Handler.make ~declared_cycles:costs.write_response "sws.WriteResponse";
+      h_close = Engine.Handler.make ~declared_cycles:costs.close "sws.Close";
+      h_dec = Engine.Handler.make ~declared_cycles:costs.dec_accepted "sws.DecClientAccepted";
+    }
+  in
+  let t =
+    {
+      sched;
+      port;
+      costs;
+      handlers;
+      epoll_color;
+      accept_color;
+      max_accepted;
+      epoll_batch;
+      accept_batch;
+      file_bytes;
+      cache_entries = Array.init n_files (fun _ -> Engine.Event.fresh_data_id ());
+      accepted = 0;
+      total_accepted = 0;
+      total_closed = 0;
+      completed = 0;
+      response_hook = None;
+      accepted_hook = None;
+    }
+  in
+  Netsim.Port.set_epoll_trigger port (fun ~at -> register_epoll t ~at);
+  t
+
+let requests_completed t = t.completed
+let connections_accepted t = t.total_accepted
+let connections_closed t = t.total_closed
+let on_response t hook = t.response_hook <- Some hook
+let on_accepted t hook = t.accepted_hook <- Some hook

@@ -1,0 +1,72 @@
+(** SWS — the static-content Web server of Section V-C1, on the
+    event-coloring engine.
+
+    Nine handlers, wired exactly as the paper's Figure 6:
+
+    - [Epoll] (color 0): drains socket readiness, fans out [Accept] and
+      [ReadRequest] events;
+    - [Accept] (color 1): accepts new connections in batches, enforcing
+      the maximum number of simultaneous clients, and registers
+      [RegisterFdInEpoll] for each;
+    - [RegisterFdInEpoll] (color 0, serialized with Epoll): adds the new
+      fd to the epoll set;
+    - [ReadRequest], [ParseRequest], [CheckInCache], [WriteResponse],
+      [Close] (color = the connection's fd): the per-request pipeline —
+      requests of distinct clients process concurrently;
+    - [DecClientAccepted] (color 1, serialized with Accept): releases an
+      accepted-clients slot after a close.
+
+    Responses are pre-built at startup (the Flash optimization the paper
+    keeps); [CheckInCache] looks them up in a shared read-only map. *)
+
+type t
+
+type costs = {
+  epoll_base : int;  (** one epoll_wait round *)
+  epoll_per_event : int;
+  accept_per_conn : int;
+  register_fd : int;
+  read_request : int;
+  parse_request : int;
+  check_in_cache : int;
+  write_response : int;
+  close : int;
+  dec_accepted : int;
+}
+
+val default_costs : costs
+
+val create :
+  sched:Engine.Sched.t ->
+  port:Netsim.Port.t ->
+  ?costs:costs ->
+  ?max_accepted:int ->
+  ?epoll_batch:int ->
+  ?accept_batch:int ->
+  ?epoll_color:int ->
+  ?accept_color:int ->
+  n_files:int ->
+  file_bytes:int ->
+  unit ->
+  t
+(** Builds the handler graph, pre-builds [n_files] responses of
+    [file_bytes] each and plugs the Epoll trigger into the port. The
+    server is quiescent until clients connect. [epoll_color] and
+    [accept_color] default to 0 and 1; the N-copy comparator overrides
+    them so each instance keeps its own epoll and accept serialization
+    on its own core. *)
+
+val requests_completed : t -> int
+(** Responses fully written — the throughput numerator of Figures 4
+    and 7. *)
+
+val connections_accepted : t -> int
+val connections_closed : t -> int
+
+val on_response : t -> (conn:Netsim.Conn.t -> at:int -> bytes:int -> unit) -> unit
+(** Hook invoked by [WriteResponse] when the response reaches the wire;
+    the workload uses it to wake the virtual client after the network
+    latency. *)
+
+val on_accepted : t -> (conn:Netsim.Conn.t -> at:int -> unit) -> unit
+(** Hook invoked when [Accept] establishes a connection. *)

@@ -1,0 +1,113 @@
+type params = {
+  n_clients : int;
+  requests_per_connection : int;
+  file_bytes : int;
+  n_files : int;
+  request_bytes : int;
+  latency_cycles : int;
+  duration_seconds : float;
+  seed : int64;
+}
+
+let default_params =
+  {
+    n_clients = 1_000;
+    requests_per_connection = 150;
+    file_bytes = 1_024;
+    n_files = 150;
+    request_bytes = 256;
+    latency_cycles = 1_200_000 (* ~0.5 ms at 2.33 GHz: switch + client stack *);
+    duration_seconds = 0.05;
+    seed = 42L;
+  }
+
+type result = {
+  base : Workloads.Setup.result;
+  requests_completed : int;
+  requests_per_sec : float;
+  connections : int;
+}
+
+type client = {
+  mutable conn : Netsim.Conn.t;
+  mutable requests_done : int; (* on the current connection *)
+  rng : Mstd.Rng.t;
+}
+
+(* Attach the closed-loop client state machines for [slots] to a server
+   instance: connect, request, await response, repeat; reconnect every
+   [requests_per_connection]. Shared by the single-server run and the
+   N-copy comparator. *)
+let drive_clients p ~fabric ~port ~server ~slots ~rng =
+  let clients = Hashtbl.create (List.length slots) in
+  List.iter
+    (fun slot ->
+      Hashtbl.replace clients slot
+        { conn = Netsim.Conn.make ~slot; requests_done = 0; rng = Mstd.Rng.split rng })
+    slots;
+  let client_of conn = Hashtbl.find clients conn.Netsim.Conn.slot in
+  (* A request leaves the client now and reaches the server one network
+     latency later. *)
+  let send_request client ~now =
+    Netsim.Port.send port ~at:(now + p.latency_cycles) client.conn
+      (Netsim.Conn.Bytes (p.request_bytes + Mstd.Rng.int client.rng 64))
+  in
+  (* Each (re)connect is a fresh socket: the server may still be
+     tearing the previous one down when the client dials again. *)
+  let connect client ~now =
+    client.conn <- Netsim.Conn.make ~slot:client.conn.Netsim.Conn.slot;
+    Netsim.Port.connect port ~at:(now + p.latency_cycles) client.conn
+  in
+  Server.on_accepted server (fun ~conn ~at ->
+      let client = client_of conn in
+      (* The SYN-ACK travels back; the first request follows. *)
+      Netsim.Fabric.schedule fabric ~at:(at + p.latency_cycles) (fun ~now ->
+          if client.conn == conn && Netsim.Conn.is_open conn then begin
+            client.requests_done <- 0;
+            send_request client ~now
+          end));
+  Server.on_response server (fun ~conn ~at ~bytes:_ ->
+      let client = client_of conn in
+      Netsim.Fabric.schedule fabric ~at:(at + p.latency_cycles) (fun ~now ->
+          if client.conn == conn && Netsim.Conn.is_open conn then begin
+            client.requests_done <- client.requests_done + 1;
+            if client.requests_done >= p.requests_per_connection then begin
+              (* Finish this connection and immediately reconnect. *)
+              Netsim.Port.send port ~at:(now + p.latency_cycles) conn Netsim.Conn.Eof;
+              connect client ~now
+            end
+            else send_request client ~now
+          end));
+  (* Stagger the initial connection storm over ~1 ms. *)
+  Hashtbl.iter
+    (fun _slot client ->
+      let jitter = Mstd.Rng.int client.rng 2_000_000 in
+      Netsim.Fabric.schedule fabric ~at:jitter (fun ~now -> connect client ~now))
+    clients
+
+let run ?(params = default_params) kind config =
+  let p = params in
+  let sched = Workloads.Setup.make ~seed:p.seed kind config in
+  let machine = sched.Engine.Sched.machine in
+  let fabric = Netsim.Fabric.create () in
+  let port =
+    Netsim.Port.create ~latency_cycles:p.latency_cycles ~max_fds:(p.n_clients + 16) ()
+  in
+  let server = Server.create ~sched ~port ~n_files:p.n_files ~file_bytes:p.file_bytes () in
+  let rng = Mstd.Rng.create p.seed in
+  drive_clients p ~fabric ~port ~server ~slots:(List.init p.n_clients Fun.id) ~rng;
+  let cm = Sim.Machine.cost machine in
+  let until_cycles = int_of_float (Hw.Cost_model.seconds_to_cycles cm p.duration_seconds) in
+  let exec =
+    Engine.Driver.run ~injectors:[ Netsim.Fabric.process fabric ] ~until_cycles sched
+  in
+  let base = Workloads.Setup.finish sched exec in
+  let seconds = Sim.Machine.elapsed_seconds machine in
+  let requests_completed = Server.requests_completed server in
+  {
+    base;
+    requests_completed;
+    requests_per_sec =
+      (if seconds > 0.0 then float_of_int requests_completed /. seconds else 0.0);
+    connections = Server.connections_accepted server;
+  }

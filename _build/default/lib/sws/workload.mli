@@ -1,0 +1,41 @@
+(** Closed-loop HTTP load injection for SWS (Section V-C1).
+
+    N virtual clients each repeatedly connect, issue
+    [requests_per_connection] requests for small static files (waiting
+    for each response before sending the next — closed loop), then close
+    and reconnect. The reported metric is completed requests per second,
+    the y-axis of Figures 4 and 7. *)
+
+type params = {
+  n_clients : int;  (** the x-axis of Figures 4 and 7: 200..2000 *)
+  requests_per_connection : int;  (** paper: 150 *)
+  file_bytes : int;  (** paper: 1 KB *)
+  n_files : int;  (** paper: 150 distinct files *)
+  request_bytes : int;  (** size of an HTTP GET on the wire *)
+  latency_cycles : int;  (** one-way client-server latency *)
+  duration_seconds : float;
+  seed : int64;
+}
+
+val default_params : params
+
+type result = {
+  base : Workloads.Setup.result;
+  requests_completed : int;
+  requests_per_sec : float;
+  connections : int;
+}
+
+val run : ?params:params -> Workloads.Setup.runtime_kind -> Engine.Config.t -> result
+
+val drive_clients :
+  params ->
+  fabric:Netsim.Fabric.t ->
+  port:Netsim.Port.t ->
+  server:Server.t ->
+  slots:int list ->
+  rng:Mstd.Rng.t ->
+  unit
+(** Attach closed-loop clients for the given connection slots to a
+    server instance; used by {!run} and by the N-copy comparator, which
+    drives several instances on one machine. *)

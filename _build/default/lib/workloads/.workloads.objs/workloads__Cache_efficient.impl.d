@@ -1,0 +1,1 @@
+lib/workloads/cache_efficient.ml: Array Engine Fun Hw List Setup Sim

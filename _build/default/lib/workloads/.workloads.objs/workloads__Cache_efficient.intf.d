@@ -1,0 +1,1 @@
+lib/workloads/cache_efficient.mli: Engine Hw Setup

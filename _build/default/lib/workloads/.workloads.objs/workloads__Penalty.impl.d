@@ -1,0 +1,1 @@
+lib/workloads/penalty.ml: Engine Hw Setup Sim

@@ -1,0 +1,1 @@
+lib/workloads/penalty.mli: Engine Setup

@@ -1,0 +1,1 @@
+lib/workloads/setup.mli: Engine Hw Sim

@@ -1,0 +1,1 @@
+lib/workloads/unbalanced.ml: Engine Hw Mstd Setup Sim

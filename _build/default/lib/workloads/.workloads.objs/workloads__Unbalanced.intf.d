@@ -1,0 +1,1 @@
+lib/workloads/unbalanced.mli: Engine Setup

@@ -1,0 +1,122 @@
+type params = {
+  arrays_per_core : int;
+  half_bytes : int;
+  a_cpu_cycles : int;
+  sort_cpu_cycles : int;
+  sync_cpu_cycles : int;
+  merge_cpu_cycles : int;
+  duration_seconds : float;
+  seed : int64;
+}
+
+let default_params =
+  {
+    arrays_per_core = 100;
+    half_bytes = 8 * 1024;
+    a_cpu_cycles = 3_000;
+    sort_cpu_cycles = 15_000;
+    sync_cpu_cycles = 500;
+    merge_cpu_cycles = 8_000;
+    duration_seconds = 0.1;
+    seed = 42L;
+  }
+
+let run ?(params = default_params) ?topo kind config =
+  let p = params in
+  let sched = Setup.make ~seed:p.seed ?topo kind config in
+  let machine = sched.Engine.Sched.machine in
+  let topo = Sim.Machine.topo machine in
+  let a_handler = Engine.Handler.make ~declared_cycles:p.a_cpu_cycles "cache_eff.A" in
+  let b_handler = Engine.Handler.make ~declared_cycles:p.sort_cpu_cycles "cache_eff.B" in
+  let c_handler = Engine.Handler.make ~declared_cycles:p.sync_cpu_cycles "cache_eff.C" in
+  (* One producer core per L2 pair: the first core of each group. *)
+  let producer_cores =
+    List.filter_map
+      (fun g ->
+        match Hw.Topology.cores_in_group topo g with c :: _ -> Some c | [] -> None)
+      (List.init (Hw.Topology.n_groups topo) Fun.id)
+  in
+  let n_producers = List.length producer_cores in
+  (* Stable array-half identities, reused across rounds. *)
+  let halves =
+    Array.init n_producers (fun _ ->
+        Array.init p.arrays_per_core (fun _ ->
+            (Engine.Event.fresh_data_id (), Engine.Event.fresh_data_id ())))
+  in
+  (* Fresh colors: a dense per-round namespace. Each array consumes
+     three colors (two B, one sync). *)
+  let colors_per_round = n_producers * p.arrays_per_core * 3 in
+  let round = ref 0 in
+  let c_event ~producer_idx ~core ~array ~sync_color ~remaining =
+    let left, right = halves.(producer_idx).(array) in
+    Engine.Event.make ~handler:c_handler ~color:sync_color ~core_hint:core
+      ~cost:p.sync_cpu_cycles
+      ~data:[]
+      ~action:(fun ctx ->
+        decr remaining;
+        if !remaining = 0 then
+          (* Both halves sorted: the final merge, reading both. *)
+          ctx.Engine.Event.ctx_register
+            (Engine.Event.make ~handler:c_handler ~color:sync_color ~core_hint:core
+               ~cost:p.merge_cpu_cycles
+               ~data:
+                 [
+                   Engine.Event.data_ref ~data_id:left ~bytes:p.half_bytes ();
+                   Engine.Event.data_ref ~data_id:right ~bytes:p.half_bytes ();
+                 ]
+               ()))
+      ()
+  in
+  let b_event ~producer_idx ~core ~array ~color ~sync_color ~remaining ~data_id =
+    Engine.Event.make ~handler:b_handler ~color ~core_hint:core ~cost:p.sort_cpu_cycles
+      ~data:[ Engine.Event.data_ref ~write:true ~data_id ~bytes:p.half_bytes () ]
+      ~action:(fun ctx ->
+        ctx.Engine.Event.ctx_register
+          (c_event ~producer_idx ~core ~array ~sync_color ~remaining))
+      ()
+  in
+  let a_event ~producer_idx ~core ~array ~base_color =
+    let left, right = halves.(producer_idx).(array) in
+    let color_b1 = base_color and color_b2 = base_color + 1 and sync_color = base_color + 2 in
+    (* Allocation: first-touch writes of both halves. *)
+    let data =
+      [
+        Engine.Event.data_ref ~write:true ~data_id:left ~bytes:p.half_bytes ();
+        Engine.Event.data_ref ~write:true ~data_id:right ~bytes:p.half_bytes ();
+      ]
+    in
+    Engine.Event.make ~handler:a_handler ~color:(base_color + 2) ~core_hint:core
+      ~cost:p.a_cpu_cycles ~data
+      ~action:(fun ctx ->
+        let remaining = ref 2 in
+        ctx.Engine.Event.ctx_register
+          (b_event ~producer_idx ~core ~array ~color:color_b1 ~sync_color ~remaining
+             ~data_id:left);
+        ctx.Engine.Event.ctx_register
+          (b_event ~producer_idx ~core ~array ~color:color_b2 ~sync_color ~remaining
+             ~data_id:right))
+      ()
+  in
+  (* "One core per pair of cores starts with a hundred events of type
+     A": each producer core gets its batch at round start. *)
+  let register_round ~at =
+    let round_base = (!round * colors_per_round) + n_producers + 1 in
+    incr round;
+    List.iteri
+      (fun producer_idx core ->
+        for array = 0 to p.arrays_per_core - 1 do
+          let base_color = round_base + (((producer_idx * p.arrays_per_core) + array) * 3) in
+          sched.Engine.Sched.register_external ~at (a_event ~producer_idx ~core ~array ~base_color)
+        done)
+      producer_cores
+  in
+  register_round ~at:0;
+  let watcher =
+    Engine.Driver.drain_watcher sched ~poll_period:2_000 ~on_drained:(fun ~now ->
+        register_round ~at:now;
+        true)
+  in
+  let cm = Sim.Machine.cost machine in
+  let until_cycles = int_of_float (Hw.Cost_model.seconds_to_cycles cm p.duration_seconds) in
+  let exec = Engine.Driver.run ~injectors:[ watcher ] ~until_cycles sched in
+  Setup.finish sched exec

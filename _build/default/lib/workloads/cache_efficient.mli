@@ -1,0 +1,39 @@
+(** The *cache efficient* microbenchmark (Section V-B, Table VI).
+
+    Fork/join: at each round, one core per pair of cores starts with a
+    hundred events of type A. An A handler allocates an array fitting
+    in its cache and registers two B events under fresh distinct colors
+    on the same core; each B sorts one half of the array (the beginning
+    of a merge sort) and then registers a synchronization event of type
+    C under the array's sync color. When both C events of an array have
+    run, the final merge executes.
+
+    The idle core of each pair can absorb the B events; the question is
+    {e which} victim a thief picks. The locality-aware heuristic steals
+    from the L2-neighbour, so the sorted halves stay in the shared
+    cache; distance-blind stealing drags halves across packages.
+
+    Array halves use stable data-set ids reused across rounds
+    (allocator reuse), so steady-state cache behaviour is measured. *)
+
+type params = {
+  arrays_per_core : int;  (** paper: 100 *)
+  half_bytes : int;  (** size of each of the two sorted halves *)
+  a_cpu_cycles : int;
+  sort_cpu_cycles : int;  (** one B event's sorting work *)
+  sync_cpu_cycles : int;  (** a C event without the merge *)
+  merge_cpu_cycles : int;  (** the final merge, in the second C *)
+  duration_seconds : float;
+  seed : int64;
+}
+
+val default_params : params
+
+val run :
+  ?params:params ->
+  ?topo:Hw.Topology.t ->
+  Setup.runtime_kind ->
+  Engine.Config.t ->
+  Setup.result
+(** [topo] defaults to the paper's Xeon; the AMD 16-core layout from
+    Section III-A is available for the topology ablation. *)

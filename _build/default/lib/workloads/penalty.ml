@@ -1,0 +1,79 @@
+type params = {
+  arrays_per_round : int;
+  array_bytes : int;
+  chunk_bytes : int;
+  a_cpu_cycles : int;
+  b_cpu_cycles : int;
+  b_penalty : int;
+  duration_seconds : float;
+  seed : int64;
+}
+
+let default_params =
+  {
+    arrays_per_round = 128;
+    array_bytes = 32 * 1024;
+    chunk_bytes = 4 * 1024;
+    a_cpu_cycles = 6_000;
+    b_cpu_cycles = 4_000;
+    b_penalty = 1_000;
+    duration_seconds = 0.1;
+    seed = 42L;
+  }
+
+let chunks_per_array p = p.array_bytes / p.chunk_bytes
+
+let run ?(params = default_params) kind config =
+  let p = params in
+  let sched = Setup.make ~seed:p.seed kind config in
+  let machine = sched.Engine.Sched.machine in
+  let cm = Sim.Machine.cost machine in
+  let a_handler = Engine.Handler.make ~declared_cycles:p.a_cpu_cycles "penalty.A" in
+  let b_handler =
+    Engine.Handler.make ~declared_cycles:p.b_cpu_cycles ~penalty:p.b_penalty "penalty.B"
+  in
+  let round = ref 0 in
+  (* Each B revisits one offset of its (now warm) parent array; a color
+     stolen mid-chain drags the array to the thief's cache domain. *)
+  let rec b_event ~color ~array_id ~chunk =
+    let data =
+      [ Engine.Event.data_ref ~write:true ~data_id:array_id ~bytes:p.chunk_bytes () ]
+    in
+    Engine.Event.make ~handler:b_handler ~color ~cost:p.b_cpu_cycles ~data
+      ~action:(fun ctx ->
+        let next = chunk + 1 in
+        if next < chunks_per_array p then
+          ctx.Engine.Event.ctx_register (b_event ~color ~array_id ~chunk:next))
+      ()
+  in
+  (* "When an event of type A is processed ... the event of type A
+     creates an array fitting in the core cache": the array comes from
+     the executing core's warm allocation pool (the runtimes use
+     TCMalloc with per-core pools, Section IV-C), so creating it costs
+     CPU but no remote traffic, and stealing an A is cache-free — the
+     array materializes wherever its chain runs. Stealing a mid-chain B
+     instead drags the now-warm array to another domain. *)
+  let a_event ~color =
+    let array_id = Engine.Event.fresh_data_id () in
+    Engine.Event.make ~handler:a_handler ~color ~cost:p.a_cpu_cycles ~core_hint:0
+      ~action:(fun ctx -> ctx.Engine.Event.ctx_register (b_event ~color ~array_id ~chunk:0))
+      ()
+  in
+  (* "A single core starts with many events of type A": the whole round
+     lands on core 0 at once. *)
+  let register_round ~at =
+    let base = (!round * p.arrays_per_round) + 1 in
+    incr round;
+    for array = 0 to p.arrays_per_round - 1 do
+      sched.Engine.Sched.register_external ~at (a_event ~color:(base + array))
+    done
+  in
+  register_round ~at:0;
+  let watcher =
+    Engine.Driver.drain_watcher sched ~poll_period:2_000 ~on_drained:(fun ~now ->
+        register_round ~at:now;
+        true)
+  in
+  let until_cycles = int_of_float (Hw.Cost_model.seconds_to_cycles cm p.duration_seconds) in
+  let exec = Engine.Driver.run ~injectors:[ watcher ] ~until_cycles sched in
+  Setup.finish sched exec

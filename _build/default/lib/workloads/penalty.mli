@@ -1,0 +1,33 @@
+(** The *penalty* microbenchmark (Section V-B, Table V).
+
+    A single core starts with many events of type A, each under its own
+    color. Processing an A creates a per-color array sized to fit in
+    the core's cache and registers an event of type B with the same
+    color. Each B touches one chunk of its parent array and registers
+    the next B, until the whole array has been visited — so every color
+    is a serial chain of cache-hot accesses to one array.
+
+    Idle cores see many more B events than A events, but stealing a B
+    drags a warm array to another cache domain; stealing an A costs
+    nothing (the array does not exist yet). The workstealing penalty on
+    the B handler (paper: 1000) makes B-colors unattractive, steering
+    thieves to the profitable A events.
+
+    Arrays are identified by stable data-set ids reused across rounds,
+    modelling allocator reuse: rounds run against warm caches, as in the
+    paper's measurements. *)
+
+type params = {
+  arrays_per_round : int;
+  array_bytes : int;  (** fits comfortably in the shared L2 *)
+  chunk_bytes : int;  (** bytes one B event visits *)
+  a_cpu_cycles : int;
+  b_cpu_cycles : int;
+  b_penalty : int;  (** paper: 1000 *)
+  duration_seconds : float;
+  seed : int64;
+}
+
+val default_params : params
+
+val run : ?params:params -> Setup.runtime_kind -> Engine.Config.t -> Setup.result

@@ -1,0 +1,19 @@
+type runtime_kind = Libasync | Mely
+
+let runtime_name kind config =
+  match kind with
+  | Libasync ->
+    if config.Engine.Config.ws_enabled then "Libasync-smp - WS" else "Libasync-smp"
+  | Mely -> if config.Engine.Config.ws_enabled then "Mely - WS" else "Mely"
+
+let make ?(seed = 42L) ?(topo = Hw.Topology.xeon_e5410) ?(cost = Hw.Cost_model.default) kind
+    config =
+  let machine = Sim.Machine.create ~seed topo cost in
+  match kind with
+  | Libasync -> Engine.Libasync_sched.create machine config
+  | Mely -> Engine.Mely_sched.create machine config
+
+type result = { sched : Engine.Sched.t; summary : Engine.Summary.t; steps : int }
+
+let finish sched exec =
+  { sched; summary = Engine.Summary.of_sched sched; steps = Sim.Exec.steps_executed exec }

@@ -1,0 +1,24 @@
+(** Shared scaffolding for workloads and experiments: building a
+    simulated machine and a runtime on it. *)
+
+type runtime_kind = Libasync | Mely
+
+val runtime_name : runtime_kind -> Engine.Config.t -> string
+
+val make :
+  ?seed:int64 ->
+  ?topo:Hw.Topology.t ->
+  ?cost:Hw.Cost_model.t ->
+  runtime_kind ->
+  Engine.Config.t ->
+  Engine.Sched.t
+(** Fresh machine (default: the paper's 8-core Xeon topology, default
+    cost model, seed 42) carrying a fresh runtime of the given kind. *)
+
+type result = {
+  sched : Engine.Sched.t;
+  summary : Engine.Summary.t;
+  steps : int;  (** simulator steps, for performance inspection *)
+}
+
+val finish : Engine.Sched.t -> Sim.Exec.t -> result

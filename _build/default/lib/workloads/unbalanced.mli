@@ -1,0 +1,36 @@
+(** The *unbalanced* microbenchmark (Section V-B, Tables III and IV).
+
+    A fork/join pattern: each round registers [events_per_round]
+    mutually-independent events on the first core — short events in
+    small color blocks, long events under colors of their own. 98% of
+    the events are very short (100 cycles); the remaining 2% are long
+    (10–50 Kcycles). When the round drains, a new round starts, for a
+    fixed virtual duration; the reported metric is events processed per
+    second. The registration loop itself runs on core 0 and is charged
+    to its clock, as in the original benchmark driver.
+
+    The initial placement on core 0 creates maximal imbalance: the
+    benchmark exists to show what a workstealing algorithm does when
+    almost everything it can steal is not worth stealing. *)
+
+type params = {
+  events_per_round : int;  (** paper: 50 000 *)
+  events_per_color : int;
+      (** consecutive events sharing one color; the paper's measured
+          ~480-cycle stolen sets imply 4-5 short events per color *)
+  long_every : int;  (** one event in [long_every] is long; paper: 50 (2%) *)
+  short_cycles : int;  (** paper: 100 *)
+  long_min_cycles : int;  (** paper: 10 000 *)
+  long_max_cycles : int;  (** paper: 50 000 *)
+  production_cycles_per_event : int;
+      (** pace of the registration loop on core 0: a real driver cannot
+          conjure 50 000 events instantaneously *)
+  duration_seconds : float;
+      (** virtual duration; the paper runs 5 s, the default here is
+          shorter — the events/s rate is duration-independent *)
+  seed : int64;
+}
+
+val default_params : params
+
+val run : ?params:params -> Setup.runtime_kind -> Engine.Config.t -> Setup.result

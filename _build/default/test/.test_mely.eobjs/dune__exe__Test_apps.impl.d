@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Comparators Engine List Option Printf Sfs Sws Workloads

@@ -1,0 +1,1 @@
+test/test_httpkit.ml: Alcotest Gen Httpkit Printf QCheck QCheck_alcotest String

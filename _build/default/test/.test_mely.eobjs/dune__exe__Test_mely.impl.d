@@ -1,0 +1,1 @@
+test/test_mely.ml: Alcotest Test_apps Test_crypto Test_engine Test_harness Test_httpkit Test_hw Test_mstd Test_netsim Test_properties Test_rt Test_sched Test_sim

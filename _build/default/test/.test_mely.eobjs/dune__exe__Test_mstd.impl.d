@@ -1,0 +1,1 @@
+test/test_mstd.ml: Alcotest Float List Mstd Option QCheck QCheck_alcotest String

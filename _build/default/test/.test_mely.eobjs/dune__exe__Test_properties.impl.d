@@ -1,0 +1,1 @@
+test/test_properties.ml: Engine Hw List Option Printf QCheck QCheck_alcotest Sim String

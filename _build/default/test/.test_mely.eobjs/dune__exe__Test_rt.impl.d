@@ -1,0 +1,1 @@
+test/test_rt.ml: Alcotest Array Atomic Domain List Printf Rt

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Engine Hw List Option Printf Sim

@@ -1,0 +1,191 @@
+(* Application-level integration: SWS, SFS, the microbenchmarks and the
+   comparators, all on short virtual durations. *)
+
+let sws_params =
+  { Sws.Workload.default_params with n_clients = 150; duration_seconds = 0.01 }
+
+let test_sws_serves_requests () =
+  let r = Sws.Workload.run ~params:sws_params Workloads.Setup.Libasync Engine.Config.libasync in
+  Alcotest.(check bool) "requests completed" true (r.requests_completed > 100);
+  Alcotest.(check int) "all clients connected" 150 r.connections;
+  Alcotest.(check bool) "throughput positive" true (r.requests_per_sec > 0.0)
+
+let test_sws_mutual_exclusion_under_ws () =
+  let r =
+    Sws.Workload.run ~params:sws_params Workloads.Setup.Mely
+      (Engine.Config.with_trace Engine.Config.mely_ws)
+  in
+  let trace = Option.get r.base.sched.Engine.Sched.trace in
+  (match Engine.Trace.check_mutual_exclusion trace with
+  | None -> ()
+  | Some (a, b) ->
+    Alcotest.failf "color %d overlapped ([%d,%d) vs [%d,%d))" a.Engine.Trace.color a.t_start
+      a.t_end b.t_start b.t_end);
+  Alcotest.(check bool) "requests completed" true (r.requests_completed > 100)
+
+let test_sws_deterministic () =
+  let run () =
+    (Sws.Workload.run ~params:sws_params Workloads.Setup.Libasync Engine.Config.libasync_ws)
+      .requests_completed
+  in
+  Alcotest.(check int) "same seed, same requests" (run ()) (run ())
+
+let test_sws_connection_churn () =
+  (* Few requests per connection: fd recycling and the close pipeline
+     get exercised heavily. *)
+  let params = { sws_params with requests_per_connection = 5; duration_seconds = 0.02 } in
+  let r = Sws.Workload.run ~params Workloads.Setup.Mely Engine.Config.mely_ws in
+  let server_closed = Sws.Server.connections_closed in
+  ignore server_closed;
+  Alcotest.(check bool) "many connections accepted" true (r.connections > 200)
+
+let sfs_params = { Sfs.Workload.default_params with duration_seconds = 0.025 }
+
+let test_sfs_serves_blocks () =
+  let r = Sfs.Workload.run ~params:sfs_params Workloads.Setup.Libasync Engine.Config.libasync in
+  Alcotest.(check bool) "blocks served" true (r.blocks > 50);
+  Alcotest.(check bool) "throughput positive" true (r.mb_per_sec > 0.0)
+
+let test_sfs_ws_helps () =
+  (* The paper's Figure 3: coarse-grain crypto makes workstealing
+     profitable; require a clear improvement. *)
+  let base =
+    Sfs.Workload.run ~params:sfs_params Workloads.Setup.Libasync Engine.Config.libasync
+  in
+  let ws =
+    Sfs.Workload.run ~params:sfs_params Workloads.Setup.Libasync Engine.Config.libasync_ws
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "ws %.1f > base %.1f MB/s" ws.mb_per_sec base.mb_per_sec)
+    true
+    (ws.mb_per_sec > base.mb_per_sec *. 1.05)
+
+let test_sfs_mely_no_regression () =
+  (* Figure 8: Mely's workstealing must not regress SFS. *)
+  let la_ws =
+    Sfs.Workload.run ~params:sfs_params Workloads.Setup.Libasync Engine.Config.libasync_ws
+  in
+  let mely_ws =
+    Sfs.Workload.run ~params:sfs_params Workloads.Setup.Mely Engine.Config.mely_ws
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "mely %.1f within 15%% of libasync-ws %.1f" mely_ws.mb_per_sec
+       la_ws.mb_per_sec)
+    true
+    (mely_ws.mb_per_sec > la_ws.mb_per_sec *. 0.85)
+
+let test_sfs_crypto_parallelizes () =
+  let r =
+    Sfs.Workload.run ~params:sfs_params Workloads.Setup.Mely
+      (Engine.Config.with_trace Engine.Config.mely_ws)
+  in
+  let trace = Option.get r.base.sched.Engine.Sched.trace in
+  let crypto_cores =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun e ->
+           if e.Engine.Trace.handler = "sfs.Crypto" then Some e.Engine.Trace.core else None)
+         (Engine.Trace.entries trace))
+  in
+  Alcotest.(check bool) "crypto spread over several cores" true
+    (List.length crypto_cores >= 3)
+
+(* Microbenchmarks: quick shape checks (full comparisons live in the
+   bench harness). *)
+
+let unbalanced_params =
+  { Workloads.Unbalanced.default_params with duration_seconds = 0.06 }
+
+let test_unbalanced_ws_collapse () =
+  let base =
+    Workloads.Unbalanced.run ~params:unbalanced_params Workloads.Setup.Libasync
+      Engine.Config.libasync
+  in
+  let ws =
+    Workloads.Unbalanced.run ~params:unbalanced_params Workloads.Setup.Libasync
+      Engine.Config.libasync_ws
+  in
+  Alcotest.(check bool) "baseline WS hurts Libasync-smp" true
+    (ws.summary.events_per_sec < base.summary.events_per_sec *. 0.95);
+  Alcotest.(check bool) "locking time explodes" true
+    (ws.summary.locking_ratio > base.summary.locking_ratio +. 0.1)
+
+let test_unbalanced_time_left_wins () =
+  let tl_config =
+    Engine.Config.with_heuristics Engine.Config.mely_ws
+      { Engine.Config.no_heuristics with time_left = true }
+  in
+  let base =
+    Workloads.Unbalanced.run ~params:unbalanced_params Workloads.Setup.Mely
+      Engine.Config.mely_base_ws
+  in
+  let tl =
+    Workloads.Unbalanced.run ~params:unbalanced_params Workloads.Setup.Mely tl_config
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "time-left (%.0f) beats base (%.0f)" tl.summary.events_per_sec
+       base.summary.events_per_sec)
+    true
+    (tl.summary.events_per_sec > base.summary.events_per_sec *. 1.2);
+  Alcotest.(check bool) "steals long colors" true (tl.summary.avg_stolen_cost > 10_000.0)
+
+let test_penalty_reduces_misses () =
+  let params = { Workloads.Penalty.default_params with duration_seconds = 0.02 } in
+  let tp_config =
+    Engine.Config.with_heuristics Engine.Config.mely_ws
+      { Engine.Config.no_heuristics with time_left = true; penalty = true }
+  in
+  let base = Workloads.Penalty.run ~params Workloads.Setup.Mely Engine.Config.mely_base_ws in
+  let tp = Workloads.Penalty.run ~params Workloads.Setup.Mely tp_config in
+  Alcotest.(check bool)
+    (Printf.sprintf "penalty-aware misses %.1f <= base %.1f"
+       tp.summary.l2_misses_per_event base.summary.l2_misses_per_event)
+    true
+    (tp.summary.l2_misses_per_event <= base.summary.l2_misses_per_event +. 0.5)
+
+let test_cache_efficient_locality () =
+  let params = { Workloads.Cache_efficient.default_params with duration_seconds = 0.02 } in
+  let loc_config =
+    Engine.Config.with_heuristics Engine.Config.mely_ws
+      { Engine.Config.no_heuristics with locality = true }
+  in
+  let base =
+    Workloads.Cache_efficient.run ~params Workloads.Setup.Mely Engine.Config.mely_base_ws
+  in
+  let loc = Workloads.Cache_efficient.run ~params Workloads.Setup.Mely loc_config in
+  Alcotest.(check bool)
+    (Printf.sprintf "locality misses %.1f well below base %.1f"
+       loc.summary.l2_misses_per_event base.summary.l2_misses_per_event)
+    true
+    (loc.summary.l2_misses_per_event < base.summary.l2_misses_per_event /. 2.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "locality throughput %.0f above base %.0f" loc.summary.events_per_sec
+       base.summary.events_per_sec)
+    true
+    (loc.summary.events_per_sec > base.summary.events_per_sec)
+
+let test_userver_runs () =
+  let r = Comparators.Userver.run ~params:sws_params () in
+  Alcotest.(check bool) "N-copy serves" true (r.requests_completed > 100)
+
+let test_apache_runs () =
+  let r = Comparators.Apache.run ~workload:sws_params () in
+  Alcotest.(check bool) "worker model serves" true (r.requests_completed > 100)
+
+let suite =
+  [
+    Alcotest.test_case "sws serves requests" `Quick test_sws_serves_requests;
+    Alcotest.test_case "sws mutual exclusion under ws" `Quick test_sws_mutual_exclusion_under_ws;
+    Alcotest.test_case "sws deterministic" `Quick test_sws_deterministic;
+    Alcotest.test_case "sws connection churn" `Quick test_sws_connection_churn;
+    Alcotest.test_case "sfs serves blocks" `Quick test_sfs_serves_blocks;
+    Alcotest.test_case "sfs ws helps" `Quick test_sfs_ws_helps;
+    Alcotest.test_case "sfs mely no regression" `Quick test_sfs_mely_no_regression;
+    Alcotest.test_case "sfs crypto parallelizes" `Quick test_sfs_crypto_parallelizes;
+    Alcotest.test_case "unbalanced ws collapse" `Quick test_unbalanced_ws_collapse;
+    Alcotest.test_case "unbalanced time-left wins" `Quick test_unbalanced_time_left_wins;
+    Alcotest.test_case "penalty reduces misses" `Quick test_penalty_reduces_misses;
+    Alcotest.test_case "cache-efficient locality" `Quick test_cache_efficient_locality;
+    Alcotest.test_case "userver comparator" `Quick test_userver_runs;
+    Alcotest.test_case "apache comparator" `Quick test_apache_runs;
+  ]

@@ -1,0 +1,122 @@
+(* Crypto substrate: published test vectors plus properties. *)
+
+let test_sha256_vectors () =
+  Alcotest.(check string) "empty"
+    "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+    (Crypto.Sha256.digest_hex "");
+  Alcotest.(check string) "abc"
+    "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"
+    (Crypto.Sha256.digest_hex "abc");
+  Alcotest.(check string) "448 bits"
+    "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"
+    (Crypto.Sha256.digest_hex "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq");
+  Alcotest.(check string) "million a"
+    "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"
+    (Crypto.Sha256.digest_hex (String.make 1_000_000 'a'))
+
+let test_sha256_incremental () =
+  (* Chunked updates must equal the one-shot digest, for every split. *)
+  let message = "The quick brown fox jumps over the lazy dog" in
+  let expected = Crypto.Sha256.digest_hex message in
+  for split = 0 to String.length message do
+    let ctx = Crypto.Sha256.init () in
+    Crypto.Sha256.update_string ctx (String.sub message 0 split);
+    Crypto.Sha256.update_string ctx
+      (String.sub message split (String.length message - split));
+    Alcotest.(check string)
+      (Printf.sprintf "split at %d" split)
+      expected
+      (Crypto.Sha256.hex (Crypto.Sha256.finalize ctx))
+  done
+
+let prop_sha256_incremental =
+  QCheck.Test.make ~name:"sha256 chunking independence" ~count:100
+    QCheck.(pair (list small_string) unit)
+    (fun (chunks, ()) ->
+      let whole = String.concat "" chunks in
+      let ctx = Crypto.Sha256.init () in
+      List.iter (Crypto.Sha256.update_string ctx) chunks;
+      Crypto.Sha256.finalize ctx = Crypto.Sha256.digest whole)
+
+let test_hmac_vectors () =
+  (* RFC 4231 test case 1. *)
+  Alcotest.(check string) "rfc4231 tc1"
+    "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+    (Crypto.Hmac.sha256_hex ~key:(String.make 20 '\x0b') "Hi There");
+  (* RFC 4231 test case 2. *)
+  Alcotest.(check string) "rfc4231 tc2"
+    "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+    (Crypto.Hmac.sha256_hex ~key:"Jefe" "what do ya want for nothing?");
+  (* RFC 4231 test case 3: 20 x 0xaa key, 50 x 0xdd data. *)
+  Alcotest.(check string) "rfc4231 tc3"
+    "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+    (Crypto.Hmac.sha256_hex ~key:(String.make 20 '\xaa') (String.make 50 '\xdd'))
+
+let test_hmac_verify () =
+  let key = "secret" and message = "payload" in
+  let mac = Crypto.Hmac.sha256 ~key message in
+  Alcotest.(check bool) "accepts" true (Crypto.Hmac.verify ~key ~mac message);
+  Alcotest.(check bool) "rejects bad message" false
+    (Crypto.Hmac.verify ~key ~mac "payload2");
+  Alcotest.(check bool) "rejects bad mac" false
+    (Crypto.Hmac.verify ~key ~mac:(String.make 32 '\x00') message)
+
+let test_chacha20_block_vector () =
+  (* RFC 8439 section 2.3.2. *)
+  let key = String.init 32 Char.chr in
+  let nonce = "\x00\x00\x00\x09\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let block = Crypto.Chacha20.block ~key ~counter:1 ~nonce in
+  Alcotest.(check string) "first 16 bytes"
+    "10f1e7e4d13b5915500fdd1fa32071c4" (Crypto.Sha256.hex (String.sub block 0 16));
+  Alcotest.(check int) "block size" 64 (String.length block)
+
+let test_chacha20_encrypt_vector () =
+  (* RFC 8439 section 2.4.2: the sunscreen plaintext. *)
+  let key = String.init 32 Char.chr in
+  let nonce = "\x00\x00\x00\x00\x00\x00\x00\x4a\x00\x00\x00\x00" in
+  let plaintext =
+    "Ladies and Gentlemen of the class of '99: If I could offer you only one tip for \
+     the future, sunscreen would be it."
+  in
+  let ciphertext = Crypto.Chacha20.encrypt ~key ~nonce ~counter:1 plaintext in
+  Alcotest.(check string) "first bytes" "6e2e359a2568f980"
+    (Crypto.Sha256.hex (String.sub ciphertext 0 8))
+
+let prop_chacha20_roundtrip =
+  QCheck.Test.make ~name:"chacha20 decrypt inverts encrypt" ~count:200
+    QCheck.(string)
+    (fun plaintext ->
+      let key = Crypto.Sha256.digest "key material" in
+      let nonce = String.sub (Crypto.Sha256.digest "nonce") 0 12 in
+      let ciphertext = Crypto.Chacha20.encrypt ~key ~nonce plaintext in
+      Crypto.Chacha20.encrypt ~key ~nonce ciphertext = plaintext)
+
+let prop_chacha20_keystream_differs =
+  QCheck.Test.make ~name:"chacha20 counter changes keystream" ~count:50
+    QCheck.(int_range 0 1000)
+    (fun counter ->
+      let key = Crypto.Sha256.digest "k" in
+      let nonce = String.sub (Crypto.Sha256.digest "n") 0 12 in
+      Crypto.Chacha20.block ~key ~counter ~nonce
+      <> Crypto.Chacha20.block ~key ~counter:(counter + 1) ~nonce)
+
+let test_chacha20_bad_sizes () =
+  Alcotest.check_raises "short key" (Invalid_argument "Chacha20: key must be 32 bytes")
+    (fun () -> ignore (Crypto.Chacha20.block ~key:"short" ~counter:0 ~nonce:(String.make 12 'n')));
+  Alcotest.check_raises "short nonce" (Invalid_argument "Chacha20: nonce must be 12 bytes")
+    (fun () ->
+      ignore (Crypto.Chacha20.block ~key:(String.make 32 'k') ~counter:0 ~nonce:"n"))
+
+let suite =
+  [
+    Alcotest.test_case "sha256 vectors" `Quick test_sha256_vectors;
+    Alcotest.test_case "sha256 incremental" `Quick test_sha256_incremental;
+    QCheck_alcotest.to_alcotest prop_sha256_incremental;
+    Alcotest.test_case "hmac vectors" `Quick test_hmac_vectors;
+    Alcotest.test_case "hmac verify" `Quick test_hmac_verify;
+    Alcotest.test_case "chacha20 block vector" `Quick test_chacha20_block_vector;
+    Alcotest.test_case "chacha20 encrypt vector" `Quick test_chacha20_encrypt_vector;
+    QCheck_alcotest.to_alcotest prop_chacha20_roundtrip;
+    QCheck_alcotest.to_alcotest prop_chacha20_keystream_differs;
+    Alcotest.test_case "chacha20 bad sizes" `Quick test_chacha20_bad_sizes;
+  ]

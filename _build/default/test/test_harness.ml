@@ -1,0 +1,30 @@
+(* The experiment registry: every experiment must run in quick mode and
+   produce a non-empty table. *)
+
+let test_registry_complete () =
+  let ids = List.map (fun e -> e.Harness.Experiments.id) Harness.Experiments.all in
+  Alcotest.(check (list string)) "paper order"
+    [
+      "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "fig3"; "fig4"; "fig7";
+      "fig8"; "ablation-heuristics"; "ablation-topology";
+    ]
+    ids;
+  Alcotest.(check bool) "find known" true (Harness.Experiments.find "fig7" <> None);
+  Alcotest.(check bool) "find unknown" true (Harness.Experiments.find "fig9" = None)
+
+let run_one id () =
+  match Harness.Experiments.find id with
+  | None -> Alcotest.failf "experiment %s missing" id
+  | Some e ->
+    let table = e.run ~quick:true in
+    let rendered = Mstd.Table.render table in
+    Alcotest.(check bool) (id ^ " renders") true (String.length rendered > 80);
+    (* Every experiment table references its paper baseline. *)
+    let csv = Mstd.Table.render_csv table in
+    Alcotest.(check bool) (id ^ " has rows") true (List.length (String.split_on_char '\n' csv) > 2)
+
+let suite =
+  Alcotest.test_case "registry complete" `Quick test_registry_complete
+  :: List.map
+       (fun id -> Alcotest.test_case (id ^ " quick run") `Slow (run_one id))
+       [ "table1"; "table2"; "table3"; "table4"; "table5"; "table6"; "fig3"; "fig8" ]

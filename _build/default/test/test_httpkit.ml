@@ -1,0 +1,108 @@
+(* HTTP request parser tests. *)
+
+let ok = function
+  | Ok v -> v
+  | Error Httpkit.Request.Incomplete -> Alcotest.fail "unexpected Incomplete"
+  | Error (Httpkit.Request.Malformed m) -> Alcotest.failf "unexpected Malformed: %s" m
+
+let test_parse_simple_get () =
+  let req, consumed = ok (Httpkit.Request.parse "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n") in
+  Alcotest.(check string) "method" "GET" (Httpkit.Request.method_to_string req.meth);
+  Alcotest.(check string) "target" "/index.html" req.Httpkit.Request.target;
+  Alcotest.(check bool) "version" true (req.Httpkit.Request.version = (1, 1));
+  Alcotest.(check (option string)) "host" (Some "x") (Httpkit.Request.header req "Host");
+  Alcotest.(check int) "consumed" 37 consumed
+
+let test_parse_headers () =
+  let req, _ =
+    ok
+      (Httpkit.Request.parse
+         "GET / HTTP/1.0\r\nContent-Type: text/html\r\nX-Thing:  padded value \r\n\r\n")
+  in
+  Alcotest.(check (option string)) "case-insensitive" (Some "text/html")
+    (Httpkit.Request.header req "content-TYPE");
+  Alcotest.(check (option string)) "trimmed" (Some "padded value")
+    (Httpkit.Request.header req "x-thing");
+  Alcotest.(check (option string)) "absent" None (Httpkit.Request.header req "missing")
+
+let test_keep_alive () =
+  let ka s =
+    let req, _ = ok (Httpkit.Request.parse s) in
+    Httpkit.Request.keep_alive req
+  in
+  Alcotest.(check bool) "1.1 default" true (ka "GET / HTTP/1.1\r\n\r\n");
+  Alcotest.(check bool) "1.1 close" false (ka "GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  Alcotest.(check bool) "1.0 default" false (ka "GET / HTTP/1.0\r\n\r\n");
+  Alcotest.(check bool) "1.0 keep-alive" true
+    (ka "GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n")
+
+let test_incomplete () =
+  (match Httpkit.Request.parse "GET / HTTP/1.1\r\nHost: x\r\n" with
+  | Error Httpkit.Request.Incomplete -> ()
+  | _ -> Alcotest.fail "expected Incomplete");
+  match Httpkit.Request.parse "" with
+  | Error Httpkit.Request.Incomplete -> ()
+  | _ -> Alcotest.fail "expected Incomplete for empty input"
+
+let test_malformed () =
+  let malformed s =
+    match Httpkit.Request.parse s with
+    | Error (Httpkit.Request.Malformed _) -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "bad version" true (malformed "GET / HTTP/2.7\r\n\r\n");
+  Alcotest.(check bool) "no target" true (malformed "GET\r\n\r\n");
+  Alcotest.(check bool) "bad header" true (malformed "GET / HTTP/1.1\r\nnocolon\r\n\r\n")
+
+let test_other_method () =
+  let req, _ = ok (Httpkit.Request.parse "PATCH /x HTTP/1.1\r\n\r\n") in
+  Alcotest.(check string) "other" "PATCH" (Httpkit.Request.method_to_string req.meth)
+
+let test_bare_lf () =
+  let req, consumed = ok (Httpkit.Request.parse "GET / HTTP/1.1\nHost: y\n\n") in
+  Alcotest.(check (option string)) "lf-tolerant" (Some "y") (Httpkit.Request.header req "host");
+  Alcotest.(check int) "consumed lf form" 24 consumed
+
+let test_pipelined_offset () =
+  (* Two requests back to back: consumed points at the second. *)
+  let buf = "GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n" in
+  let req1, consumed = ok (Httpkit.Request.parse buf) in
+  Alcotest.(check string) "first" "/a" req1.Httpkit.Request.target;
+  let rest = String.sub buf consumed (String.length buf - consumed) in
+  let req2, _ = ok (Httpkit.Request.parse rest) in
+  Alcotest.(check string) "second" "/b" req2.Httpkit.Request.target
+
+let prop_never_raises =
+  QCheck.Test.make ~name:"parser never raises" ~count:500 QCheck.string (fun s ->
+      match Httpkit.Request.parse s with
+      | Ok _ | Error Httpkit.Request.Incomplete | Error (Httpkit.Request.Malformed _) -> true)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"rendered requests parse back" ~count:200
+    QCheck.(pair (string_gen_of_size (Gen.return 8) Gen.printable) small_nat)
+    (fun (name, n) ->
+      let clean =
+        String.map (fun c -> if c = ' ' || c = '\r' || c = '\n' || c = ':' then '_' else c) name
+      in
+      let raw =
+        Printf.sprintf "GET /%s%d HTTP/1.1\r\nHost: test\r\n\r\n" clean n
+      in
+      match Httpkit.Request.parse raw with
+      | Ok (req, consumed) ->
+        req.Httpkit.Request.target = Printf.sprintf "/%s%d" clean n
+        && consumed = String.length raw
+      | Error _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "simple get" `Quick test_parse_simple_get;
+    Alcotest.test_case "headers" `Quick test_parse_headers;
+    Alcotest.test_case "keep alive" `Quick test_keep_alive;
+    Alcotest.test_case "incomplete" `Quick test_incomplete;
+    Alcotest.test_case "malformed" `Quick test_malformed;
+    Alcotest.test_case "other method" `Quick test_other_method;
+    Alcotest.test_case "bare lf" `Quick test_bare_lf;
+    Alcotest.test_case "pipelined offset" `Quick test_pipelined_offset;
+    QCheck_alcotest.to_alcotest prop_never_raises;
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+  ]

@@ -1,0 +1,137 @@
+(* Tests for the hardware model: topology, cost model and the cache
+   residency model. *)
+
+let topo = Hw.Topology.xeon_e5410
+let cm = Hw.Cost_model.default
+
+let test_topology_shape () =
+  Alcotest.(check int) "cores" 8 (Hw.Topology.n_cores topo);
+  Alcotest.(check int) "groups" 4 (Hw.Topology.n_groups topo);
+  Alcotest.(check int) "packages" 2 (Hw.Topology.n_packages topo);
+  Alcotest.(check int) "group of 0" 0 (Hw.Topology.group_of topo 0);
+  Alcotest.(check int) "group of 1" 0 (Hw.Topology.group_of topo 1);
+  Alcotest.(check int) "group of 2" 1 (Hw.Topology.group_of topo 2);
+  Alcotest.(check int) "package of 3" 0 (Hw.Topology.package_of topo 3);
+  Alcotest.(check int) "package of 4" 1 (Hw.Topology.package_of topo 4);
+  Alcotest.(check (list int)) "cores in group 1" [ 2; 3 ] (Hw.Topology.cores_in_group topo 1)
+
+let test_topology_distance () =
+  let open Hw.Topology in
+  Alcotest.(check bool) "same core" true (distance topo 3 3 = Same_core);
+  Alcotest.(check bool) "same group" true (distance topo 0 1 = Same_group);
+  Alcotest.(check bool) "same package" true (distance topo 0 2 = Same_package);
+  Alcotest.(check bool) "cross package" true (distance topo 0 4 = Cross_package)
+
+let test_cores_by_distance () =
+  (* From core 0: sibling 1 first, then package mates 2,3, then remote
+     4..7 in id order. *)
+  Alcotest.(check (list int))
+    "victim order from 0" [ 1; 2; 3; 4; 5; 6; 7 ]
+    (Array.to_list (Hw.Topology.cores_by_distance topo 0));
+  Alcotest.(check (list int))
+    "victim order from 5" [ 4; 6; 7; 0; 1; 2; 3 ]
+    (Array.to_list (Hw.Topology.cores_by_distance topo 5))
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"distance symmetric" ~count:200
+    QCheck.(pair (int_range 0 7) (int_range 0 7))
+    (fun (a, b) -> Hw.Topology.distance topo a b = Hw.Topology.distance topo b a)
+
+let test_cost_model_lines () =
+  Alcotest.(check int) "0 bytes" 0 (Hw.Cost_model.lines cm 0);
+  Alcotest.(check int) "1 byte" 1 (Hw.Cost_model.lines cm 1);
+  Alcotest.(check int) "64 bytes" 1 (Hw.Cost_model.lines cm 64);
+  Alcotest.(check int) "65 bytes" 2 (Hw.Cost_model.lines cm 65)
+
+let test_cost_model_time () =
+  let cycles = Hw.Cost_model.seconds_to_cycles cm 1.0 in
+  Alcotest.(check (float 1e-6)) "round trip" 1.0 (Hw.Cost_model.cycles_to_seconds cm cycles)
+
+let test_cache_levels () =
+  let cache = Hw.Cache.create topo cm in
+  let line = cm.Hw.Cost_model.cache_line in
+  let cold = Hw.Cache.access cache ~core:0 ~data:1 ~bytes:line ~write:false in
+  Alcotest.(check int) "cold from memory" cm.Hw.Cost_model.mem_cycles cold.Hw.Cache.cost;
+  Alcotest.(check int) "cold misses" 1 cold.Hw.Cache.mem_lines;
+  let warm = Hw.Cache.access cache ~core:0 ~data:1 ~bytes:line ~write:false in
+  Alcotest.(check int) "L1 hit" cm.Hw.Cost_model.l1_cycles warm.Hw.Cache.cost;
+  let neighbour = Hw.Cache.access cache ~core:1 ~data:1 ~bytes:line ~write:false in
+  Alcotest.(check int) "L2 hit from sibling" cm.Hw.Cost_model.l2_cycles neighbour.Hw.Cache.cost;
+  let remote = Hw.Cache.access cache ~core:4 ~data:1 ~bytes:line ~write:false in
+  Alcotest.(check int) "remote group misses" cm.Hw.Cost_model.mem_cycles remote.Hw.Cache.cost
+
+let test_cache_write_invalidates () =
+  let cache = Hw.Cache.create topo cm in
+  let line = cm.Hw.Cost_model.cache_line in
+  ignore (Hw.Cache.access cache ~core:0 ~data:1 ~bytes:line ~write:false);
+  ignore (Hw.Cache.access cache ~core:4 ~data:1 ~bytes:line ~write:true);
+  (* Core 0's copy was invalidated by core 4's write. *)
+  let back = Hw.Cache.access cache ~core:0 ~data:1 ~bytes:line ~write:false in
+  Alcotest.(check int) "re-miss after remote write" cm.Hw.Cost_model.mem_cycles
+    back.Hw.Cache.cost
+
+let test_cache_eviction () =
+  let cache = Hw.Cache.create topo cm in
+  let big = cm.Hw.Cost_model.l2_capacity / 2 in
+  ignore (Hw.Cache.access cache ~core:0 ~data:1 ~bytes:big ~write:false);
+  ignore (Hw.Cache.access cache ~core:0 ~data:2 ~bytes:big ~write:false);
+  ignore (Hw.Cache.access cache ~core:0 ~data:3 ~bytes:big ~write:false);
+  (* data 1 was evicted (LRU); 3 is resident. *)
+  Alcotest.(check int) "evicted" 0 (Hw.Cache.resident_in_group cache ~group:0 ~data:1);
+  Alcotest.(check int) "resident" big (Hw.Cache.resident_in_group cache ~group:0 ~data:3);
+  Alcotest.(check bool) "capacity respected" true
+    (Hw.Cache.group_load cache ~group:0 <= cm.Hw.Cost_model.l2_capacity)
+
+let prop_cache_capacity_never_exceeded =
+  QCheck.Test.make ~name:"cache capacity invariant" ~count:50
+    QCheck.(list (triple (int_range 0 7) (int_range 1 50) (int_range 1 2_000_000)))
+    (fun accesses ->
+      let cache = Hw.Cache.create topo cm in
+      List.iter
+        (fun (core, data, bytes) ->
+          ignore (Hw.Cache.access cache ~core ~data ~bytes ~write:(data mod 2 = 0)))
+        accesses;
+      List.for_all
+        (fun g -> Hw.Cache.group_load cache ~group:g <= cm.Hw.Cost_model.l2_capacity)
+        [ 0; 1; 2; 3 ])
+
+let prop_cache_cost_decomposition =
+  QCheck.Test.make ~name:"cache access cost decomposition" ~count:200
+    QCheck.(triple (int_range 0 7) (int_range 1 20) (int_range 0 100_000))
+    (fun (core, data, bytes) ->
+      let cache = Hw.Cache.create topo cm in
+      let a = Hw.Cache.access cache ~core ~data ~bytes ~write:false in
+      a.Hw.Cache.cost
+      = (a.Hw.Cache.l1_lines * cm.Hw.Cost_model.l1_cycles)
+        + (a.Hw.Cache.l2_lines * cm.Hw.Cost_model.l2_cycles)
+        + (a.Hw.Cache.mem_lines * cm.Hw.Cost_model.mem_cycles))
+
+let test_cache_evict_api () =
+  let cache = Hw.Cache.create topo cm in
+  ignore (Hw.Cache.access cache ~core:0 ~data:9 ~bytes:4096 ~write:false);
+  Hw.Cache.evict cache ~data:9;
+  Alcotest.(check int) "gone" 0 (Hw.Cache.resident_in_group cache ~group:0 ~data:9)
+
+let test_miss_counter () =
+  let cache = Hw.Cache.create topo cm in
+  ignore (Hw.Cache.access cache ~core:0 ~data:1 ~bytes:640 ~write:false);
+  Alcotest.(check int) "10 lines missed" 10 (Hw.Cache.l2_miss_count cache);
+  Hw.Cache.reset_counters cache;
+  Alcotest.(check int) "reset" 0 (Hw.Cache.l2_miss_count cache)
+
+let suite =
+  [
+    Alcotest.test_case "topology shape" `Quick test_topology_shape;
+    Alcotest.test_case "topology distance" `Quick test_topology_distance;
+    Alcotest.test_case "cores by distance" `Quick test_cores_by_distance;
+    QCheck_alcotest.to_alcotest prop_distance_symmetric;
+    Alcotest.test_case "cost model lines" `Quick test_cost_model_lines;
+    Alcotest.test_case "cost model time" `Quick test_cost_model_time;
+    Alcotest.test_case "cache levels (Table II)" `Quick test_cache_levels;
+    Alcotest.test_case "write invalidates remote copies" `Quick test_cache_write_invalidates;
+    Alcotest.test_case "LRU eviction" `Quick test_cache_eviction;
+    QCheck_alcotest.to_alcotest prop_cache_capacity_never_exceeded;
+    QCheck_alcotest.to_alcotest prop_cache_cost_decomposition;
+    Alcotest.test_case "explicit evict" `Quick test_cache_evict_api;
+    Alcotest.test_case "miss counter" `Quick test_miss_counter;
+  ]

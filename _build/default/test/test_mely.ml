@@ -1,0 +1,18 @@
+(* Aggregated test runner for the whole reproduction. *)
+
+let () =
+  Alcotest.run "mely"
+    [
+      ("mstd", Test_mstd.suite);
+      ("hw", Test_hw.suite);
+      ("sim", Test_sim.suite);
+      ("engine", Test_engine.suite);
+      ("sched", Test_sched.suite);
+      ("netsim", Test_netsim.suite);
+      ("apps", Test_apps.suite);
+      ("crypto", Test_crypto.suite);
+      ("httpkit", Test_httpkit.suite);
+      ("rt", Test_rt.suite);
+      ("properties", Test_properties.suite);
+      ("harness", Test_harness.suite);
+    ]

@@ -1,0 +1,103 @@
+(* Network fabric and port machinery. *)
+
+let test_fabric_ordering () =
+  let fabric = Netsim.Fabric.create () in
+  let fired = ref [] in
+  Netsim.Fabric.schedule fabric ~at:300 (fun ~now -> fired := (now, "c") :: !fired);
+  Netsim.Fabric.schedule fabric ~at:100 (fun ~now -> fired := (now, "a") :: !fired);
+  Netsim.Fabric.schedule fabric ~at:100 (fun ~now -> fired := (now, "b") :: !fired);
+  let exec = Sim.Exec.create [ Netsim.Fabric.process fabric ] in
+  Sim.Exec.run exec;
+  Alcotest.(check (list (pair int string)))
+    "fires in time order, ties in schedule order"
+    [ (100, "a"); (100, "b"); (300, "c") ]
+    (List.rev !fired)
+
+let test_fabric_reschedule_during_callback () =
+  let fabric = Netsim.Fabric.create () in
+  let count = ref 0 in
+  let rec tick ~now =
+    incr count;
+    if !count < 5 then Netsim.Fabric.schedule fabric ~at:(now + 10) tick
+  in
+  Netsim.Fabric.schedule fabric ~at:0 tick;
+  let exec = Sim.Exec.create [ Netsim.Fabric.process fabric ] in
+  Sim.Exec.run exec;
+  Alcotest.(check int) "chain of callbacks" 5 !count;
+  Alcotest.(check int) "drained" 0 (Netsim.Fabric.pending fabric)
+
+let test_port_accept_assigns_fds () =
+  let port = Netsim.Port.create ~latency_cycles:0 ~max_fds:4 ~fd_base:8 () in
+  Netsim.Port.set_epoll_trigger port (fun ~at:_ -> ());
+  let c1 = Netsim.Conn.make ~slot:0 and c2 = Netsim.Conn.make ~slot:1 in
+  Netsim.Port.connect port ~at:0 c1;
+  Netsim.Port.connect port ~at:0 c2;
+  Alcotest.(check int) "accept backlog" 2 (Netsim.Port.accepts_pending port);
+  (match Netsim.Port.take_accepts port ~max:10 with
+  | [ a; b ] ->
+    Alcotest.(check int) "first fd" 8 a.Netsim.Conn.fd;
+    Alcotest.(check int) "second fd" 9 b.Netsim.Conn.fd;
+    Alcotest.(check bool) "established" true (Netsim.Conn.is_open a)
+  | _ -> Alcotest.fail "expected two accepts");
+  Alcotest.(check int) "backlog drained" 0 (Netsim.Port.accepts_pending port)
+
+let test_port_fd_recycling () =
+  let port = Netsim.Port.create ~latency_cycles:0 ~max_fds:1 ~fd_base:8 () in
+  Netsim.Port.set_epoll_trigger port (fun ~at:_ -> ());
+  let c1 = Netsim.Conn.make ~slot:0 in
+  Netsim.Port.connect port ~at:0 c1;
+  let a = List.hd (Netsim.Port.take_accepts port ~max:1) in
+  Alcotest.(check int) "fd 8" 8 a.Netsim.Conn.fd;
+  (* Second connect has no fd available until the first closes. *)
+  let c2 = Netsim.Conn.make ~slot:1 in
+  Netsim.Port.connect port ~at:0 c2;
+  Alcotest.(check (list Alcotest.reject)) "no fd free" [] (Netsim.Port.take_accepts port ~max:1);
+  Netsim.Port.close port c1;
+  Alcotest.(check bool) "closed" false (Netsim.Conn.is_open c1);
+  (match Netsim.Port.take_accepts port ~max:1 with
+  | [ b ] -> Alcotest.(check int) "fd recycled" 8 b.Netsim.Conn.fd
+  | _ -> Alcotest.fail "expected one accept after close")
+
+let test_port_fd_stride () =
+  let port = Netsim.Port.create ~latency_cycles:0 ~max_fds:3 ~fd_base:18 ~fd_stride:8 () in
+  Netsim.Port.set_epoll_trigger port (fun ~at:_ -> ());
+  List.iter
+    (fun slot -> Netsim.Port.connect port ~at:0 (Netsim.Conn.make ~slot))
+    [ 0; 1; 2 ];
+  let fds =
+    List.map (fun c -> c.Netsim.Conn.fd) (Netsim.Port.take_accepts port ~max:3)
+  in
+  Alcotest.(check (list int)) "strided fds" [ 18; 26; 34 ] fds;
+  List.iter (fun fd -> Alcotest.(check int) "same core" 2 (fd mod 8)) fds
+
+let test_port_readiness () =
+  let armed = ref [] in
+  let port = Netsim.Port.create ~latency_cycles:0 ~max_fds:2 () in
+  Netsim.Port.set_epoll_trigger port (fun ~at -> armed := at :: !armed);
+  let c = Netsim.Conn.make ~slot:0 in
+  Netsim.Port.connect port ~at:5 c;
+  Alcotest.(check (list int)) "armed once on connect" [ 5 ] !armed;
+  ignore (Netsim.Port.take_accepts port ~max:1);
+  Netsim.Port.send port ~at:10 c (Netsim.Conn.Bytes 100);
+  Netsim.Port.send port ~at:11 c (Netsim.Conn.Bytes 100);
+  (* Already armed: no re-trigger; one readiness entry per connection. *)
+  Alcotest.(check (list int)) "no double arm" [ 5 ] !armed;
+  Alcotest.(check int) "one ready entry" 1 (Netsim.Port.ready_pending port);
+  Alcotest.(check int) "both messages queued" 2 (Queue.length c.Netsim.Conn.inbox);
+  let ready = Netsim.Port.take_ready port ~max:10 in
+  Alcotest.(check int) "drained" 1 (List.length ready);
+  (* epoll_done with remaining readiness re-arms. *)
+  Netsim.Port.send port ~at:20 c (Netsim.Conn.Bytes 10);
+  Alcotest.(check (list int)) "still armed (flag held)" [ 5 ] !armed;
+  Netsim.Port.epoll_done port ~at:21;
+  Alcotest.(check (list int)) "re-armed at drain end" [ 21; 5 ] !armed
+
+let suite =
+  [
+    Alcotest.test_case "fabric ordering" `Quick test_fabric_ordering;
+    Alcotest.test_case "fabric reschedule" `Quick test_fabric_reschedule_during_callback;
+    Alcotest.test_case "port accepts assign fds" `Quick test_port_accept_assigns_fds;
+    Alcotest.test_case "port fd recycling" `Quick test_port_fd_recycling;
+    Alcotest.test_case "port fd stride" `Quick test_port_fd_stride;
+    Alcotest.test_case "port readiness" `Quick test_port_readiness;
+  ]

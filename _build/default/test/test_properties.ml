@@ -1,0 +1,135 @@
+(* Property-based testing of the runtimes: random event graphs run
+   under every scheduler configuration must preserve the safety
+   invariants whatever the shape of the workload. *)
+
+(* A compact generator of event graphs: a list of root specs, each a
+   (color, cost, fanout, depth) tuple; executing a node registers
+   [fanout] children one depth lower, alternating between the node's
+   own color and a derived one — chains, trees and diamonds all arise. *)
+type spec = { color : int; cost : int; fanout : int; depth : int; home : int option }
+
+let spec_gen =
+  QCheck.Gen.(
+    map
+      (fun (color, cost, fanout, depth, home) ->
+        { color; cost; fanout; depth; home = (if home mod 3 = 0 then Some (home mod 8) else None) })
+      (tup5 (int_range 0 40) (int_range 10 40_000) (int_range 0 3) (int_range 0 4)
+         (int_range 0 23)))
+
+let graph_arbitrary =
+  QCheck.make
+    ~print:(fun specs ->
+      String.concat ";"
+        (List.map
+           (fun s -> Printf.sprintf "(c%d,%d,f%d,d%d)" s.color s.cost s.fanout s.depth)
+           specs))
+    QCheck.Gen.(list_size (int_range 1 25) spec_gen)
+
+(* Count the total events a spec expands to. *)
+let rec node_count ~fanout ~depth =
+  if depth = 0 then 1 else 1 + (fanout * node_count ~fanout ~depth:(depth - 1))
+
+let run_graph kind config specs =
+  let config = Engine.Config.with_trace config in
+  let machine = Sim.Machine.create ~seed:7L Hw.Topology.xeon_e5410 Hw.Cost_model.default in
+  let sched =
+    match kind with
+    | `Libasync -> Engine.Libasync_sched.create machine config
+    | `Mely -> Engine.Mely_sched.create machine config
+  in
+  let handler = Engine.Handler.make ~declared_cycles:5_000 "prop" in
+  let rec node ~color ~cost ~fanout ~depth ctx =
+    if depth > 0 then
+      for k = 0 to fanout - 1 do
+        (* Children alternate between the parent's color (serial chain)
+           and a sibling color (parallel branch). *)
+        let child_color = if k mod 2 = 0 then color else ((color * 7) + k + 1) mod 48 in
+        ctx.Engine.Event.ctx_register
+          (Engine.Event.make ~handler ~color:child_color ~cost
+             ~action:(node ~color:child_color ~cost ~fanout ~depth:(depth - 1))
+             ())
+      done
+  in
+  List.iter
+    (fun s ->
+      sched.Engine.Sched.register_external ~at:0
+        (Engine.Event.make ~handler ~color:s.color ~cost:s.cost ?core_hint:s.home
+           ~action:(node ~color:s.color ~cost:s.cost ~fanout:s.fanout ~depth:s.depth)
+           ()))
+    specs;
+  ignore (Engine.Driver.run sched);
+  sched
+
+let expected_events specs =
+  List.fold_left (fun acc s -> acc + node_count ~fanout:s.fanout ~depth:s.depth) 0 specs
+
+let configs =
+  [
+    ("libasync", `Libasync, Engine.Config.libasync);
+    ("libasync-ws", `Libasync, Engine.Config.libasync_ws);
+    ("mely-ws", `Mely, Engine.Config.mely_ws);
+    ("mely-base-ws", `Mely, Engine.Config.mely_base_ws);
+  ]
+
+let prop_all_events_execute (name, kind, config) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: random graphs drain completely" name)
+    ~count:25 graph_arbitrary
+    (fun specs ->
+      let sched = run_graph kind config specs in
+      Engine.Metrics.executed sched.Engine.Sched.metrics = expected_events specs
+      && sched.Engine.Sched.pending () = 0)
+
+let prop_mutual_exclusion (name, kind, config) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: color mutual exclusion on random graphs" name)
+    ~count:25 graph_arbitrary
+    (fun specs ->
+      let sched = run_graph kind config specs in
+      let trace = Option.get sched.Engine.Sched.trace in
+      Engine.Trace.check_mutual_exclusion trace = None)
+
+let prop_fifo (name, kind, config) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: per-color FIFO on random graphs" name)
+    ~count:25 graph_arbitrary
+    (fun specs ->
+      let sched = run_graph kind config specs in
+      let trace = Option.get sched.Engine.Sched.trace in
+      Engine.Trace.check_fifo_per_color trace = None)
+
+let prop_deterministic (name, kind, config) =
+  QCheck.Test.make
+    ~name:(Printf.sprintf "%s: bit-identical reruns" name)
+    ~count:10 graph_arbitrary
+    (fun specs ->
+      let fingerprint () =
+        let sched = run_graph kind config specs in
+        ( Sim.Machine.global_now sched.Engine.Sched.machine,
+          Engine.Metrics.steals sched.Engine.Sched.metrics,
+          Hw.Cache.l2_miss_count (Sim.Machine.cache sched.Engine.Sched.machine) )
+      in
+      fingerprint () = fingerprint ())
+
+(* Cross-runtime agreement: both runtimes must execute the same event
+   multiset (they may order and place them differently). *)
+let prop_same_events_both_runtimes =
+  QCheck.Test.make ~name:"libasync and mely execute identical event sets" ~count:15
+    graph_arbitrary
+    (fun specs ->
+      let count kind config =
+        Engine.Metrics.executed (run_graph kind config specs).Engine.Sched.metrics
+      in
+      count `Libasync Engine.Config.libasync_ws = count `Mely Engine.Config.mely_ws)
+
+let suite =
+  List.concat_map
+    (fun c ->
+      [
+        QCheck_alcotest.to_alcotest (prop_all_events_execute c);
+        QCheck_alcotest.to_alcotest (prop_mutual_exclusion c);
+        QCheck_alcotest.to_alcotest (prop_fifo c);
+        QCheck_alcotest.to_alcotest (prop_deterministic c);
+      ])
+    configs
+  @ [ QCheck_alcotest.to_alcotest prop_same_events_both_runtimes ]

@@ -1,0 +1,194 @@
+(* Integration tests of the two schedulers: safety invariants (color
+   mutual exclusion, per-color FIFO, conservation), determinism, and
+   basic workstealing behaviour. *)
+
+let make_sched kind config =
+  let machine = Sim.Machine.create ~seed:11L Hw.Topology.xeon_e5410 Hw.Cost_model.default in
+  match kind with
+  | `Libasync -> Engine.Libasync_sched.create machine config
+  | `Mely -> Engine.Mely_sched.create machine config
+
+let kinds_and_configs =
+  [
+    ("libasync", `Libasync, Engine.Config.libasync);
+    ("libasync-ws", `Libasync, Engine.Config.libasync_ws);
+    ("mely", `Mely, Engine.Config.mely);
+    ("mely-base-ws", `Mely, Engine.Config.mely_base_ws);
+    ("mely-ws", `Mely, Engine.Config.mely_ws);
+  ]
+
+(* A small irregular workload: chains of events across a handful of
+   colors, seeded on one core to provoke stealing. *)
+let run_chain_workload kind config =
+  let config = Engine.Config.with_trace config in
+  let sched = make_sched kind config in
+  let handler = Engine.Handler.make ~declared_cycles:5_000 "chain" in
+  let rec chain ~color ~depth ctx =
+    if depth > 0 then
+      ctx.Engine.Event.ctx_register
+        (Engine.Event.make ~handler ~color ~cost:(1_000 + (depth * 100))
+           ~action:(chain ~color ~depth:(depth - 1))
+           ())
+  in
+  for color = 1 to 24 do
+    sched.Engine.Sched.register_external ~at:0
+      (Engine.Event.make ~handler ~color ~cost:2_000 ~core_hint:0
+         ~action:(chain ~color ~depth:8) ())
+  done;
+  ignore (Engine.Driver.run sched);
+  sched
+
+let expected_chain_events = 24 * 9
+
+let test_invariants name kind config () =
+  let sched = run_chain_workload kind config in
+  let trace = Option.get sched.Engine.Sched.trace in
+  Alcotest.(check int)
+    (name ^ ": all events executed")
+    expected_chain_events
+    (Engine.Metrics.executed sched.Engine.Sched.metrics);
+  Alcotest.(check int) (name ^ ": drained") 0 (sched.Engine.Sched.pending ());
+  Alcotest.(check int)
+    (name ^ ": trace complete")
+    expected_chain_events (Engine.Trace.length trace);
+  (match Engine.Trace.check_mutual_exclusion trace with
+  | None -> ()
+  | Some (a, b) ->
+    Alcotest.failf "%s: color %d executed concurrently ([%d,%d) and [%d,%d))" name
+      a.Engine.Trace.color a.t_start a.t_end b.t_start b.t_end);
+  match Engine.Trace.check_fifo_per_color trace with
+  | None -> ()
+  | Some (a, b) ->
+    Alcotest.failf "%s: color %d ran seq %d before seq %d" name a.Engine.Trace.color
+      b.Engine.Trace.event_seq a.Engine.Trace.event_seq
+
+let test_determinism name kind config () =
+  let run () =
+    let sched = run_chain_workload kind config in
+    ( Engine.Metrics.executed sched.Engine.Sched.metrics,
+      Engine.Metrics.steals sched.Engine.Sched.metrics,
+      Sim.Machine.global_now sched.Engine.Sched.machine )
+  in
+  let a = run () and b = run () in
+  Alcotest.(check (triple int int int)) (name ^ ": identical reruns") a b
+
+let test_workstealing_balances () =
+  (* With workstealing on, the seeded core must not execute everything. *)
+  let sched = run_chain_workload `Mely (Engine.Config.with_trace Engine.Config.mely_ws) in
+  let trace = Option.get sched.Engine.Sched.trace in
+  let stolen_ratio = Engine.Trace.steal_ratio trace in
+  Alcotest.(check bool) "some events ran off their home core" true (stolen_ratio > 0.05);
+  Alcotest.(check bool) "steals happened" true
+    (Engine.Metrics.steals sched.Engine.Sched.metrics > 0)
+
+let test_no_ws_stays_home () =
+  let sched = run_chain_workload `Libasync (Engine.Config.with_trace Engine.Config.libasync) in
+  let trace = Option.get sched.Engine.Sched.trace in
+  List.iter
+    (fun e ->
+      if e.Engine.Trace.core <> 0 then
+        Alcotest.failf "event of color %d ran on core %d without workstealing"
+          e.Engine.Trace.color e.Engine.Trace.core)
+    (Engine.Trace.entries trace)
+
+let test_hash_dispatch () =
+  (* Without a core hint, color c lands on core (c mod 8). *)
+  let sched = make_sched `Mely (Engine.Config.with_trace Engine.Config.mely) in
+  let handler = Engine.Handler.make "dispatch" in
+  for color = 0 to 15 do
+    sched.Engine.Sched.register_external ~at:0
+      (Engine.Event.make ~handler ~color ~cost:100 ())
+  done;
+  ignore (Engine.Driver.run sched);
+  let trace = Option.get sched.Engine.Sched.trace in
+  List.iter
+    (fun e ->
+      Alcotest.(check int)
+        (Printf.sprintf "color %d on its hash core" e.Engine.Trace.color)
+        (e.Engine.Trace.color mod 8) e.Engine.Trace.core)
+    (Engine.Trace.entries trace)
+
+let test_batch_threshold_rotates () =
+  (* Two colors on one core: the runtime must alternate after at most
+     [batch_threshold] events of one color. *)
+  let config = { (Engine.Config.with_trace Engine.Config.mely) with batch_threshold = 3 } in
+  let sched = make_sched `Mely config in
+  let handler = Engine.Handler.make "batch" in
+  for i = 0 to 19 do
+    ignore i;
+    sched.Engine.Sched.register_external ~at:0
+      (Engine.Event.make ~handler ~color:8 ~cost:100 ~core_hint:0 ())
+  done;
+  for i = 0 to 19 do
+    ignore i;
+    sched.Engine.Sched.register_external ~at:0
+      (Engine.Event.make ~handler ~color:16 ~cost:100 ~core_hint:0 ())
+  done;
+  ignore (Engine.Driver.run sched);
+  let trace = Option.get sched.Engine.Sched.trace in
+  let longest_monochrome_run =
+    List.fold_left
+      (fun (best, current, last) e ->
+        let color = e.Engine.Trace.color in
+        let current = if Some color = last then current + 1 else 1 in
+        (max best current, current, Some color))
+      (0, 0, None)
+      (Engine.Trace.entries trace)
+    |> fun (best, _, _) -> best
+  in
+  Alcotest.(check bool) "batch threshold bounds runs" true (longest_monochrome_run <= 3)
+
+let test_steal_follows_color () =
+  (* After a steal, later events of the chain follow the color to the
+     thief (ownership moved): the work, all seeded on core 0, ends up
+     spread across several cores while staying serialized per color
+     (mutual exclusion is checked by the invariants test). *)
+  let sched = run_chain_workload `Mely (Engine.Config.with_trace Engine.Config.mely_ws) in
+  let trace = Option.get sched.Engine.Sched.trace in
+  let cores_used =
+    List.sort_uniq compare
+      (List.map (fun e -> e.Engine.Trace.core) (Engine.Trace.entries trace))
+  in
+  Alcotest.(check bool) "work spread over several cores" true (List.length cores_used >= 3);
+  (* Every entry flagged stolen ran on a core other than 0 (the seed). *)
+  List.iter
+    (fun e ->
+      if e.Engine.Trace.stolen && e.Engine.Trace.core = 0 then
+        Alcotest.failf "stolen event of color %d ran on the seed core" e.Engine.Trace.color)
+    (Engine.Trace.entries trace)
+
+let test_external_registration_wakes () =
+  (* A late event injected by a timed process must wake the parked
+     runtime and execute at (not before) the injection time. *)
+  let sched = make_sched `Libasync Engine.Config.libasync in
+  let handler = Engine.Handler.make "late" in
+  let ran_at = ref (-1) in
+  let injector =
+    Engine.Driver.periodic_injector ~name:"late" ~period:5_000_000 ~start_at:5_000_000
+      ~stop_after:1 (fun ~now ->
+        sched.Engine.Sched.register_external ~at:now
+          (Engine.Event.make ~handler ~color:1 ~cost:100
+             ~action:(fun ctx -> ran_at := ctx.Engine.Event.ctx_now ())
+             ()))
+  in
+  ignore (Engine.Driver.run ~injectors:[ injector ] sched);
+  Alcotest.(check bool)
+    (Printf.sprintf "ran at %d, after injection time" !ran_at)
+    true (!ran_at >= 5_000_000)
+
+let suite =
+  List.concat_map
+    (fun (name, kind, config) ->
+      [
+        Alcotest.test_case (name ^ " invariants") `Quick (test_invariants name kind config);
+        Alcotest.test_case (name ^ " determinism") `Quick (test_determinism name kind config);
+      ])
+    kinds_and_configs
+  @ [
+      Alcotest.test_case "workstealing balances" `Quick test_workstealing_balances;
+      Alcotest.test_case "no ws stays home" `Quick test_no_ws_stays_home;
+      Alcotest.test_case "hash dispatch" `Quick test_hash_dispatch;
+      Alcotest.test_case "batch threshold rotates" `Quick test_batch_threshold_rotates;
+      Alcotest.test_case "steal follows color" `Quick test_steal_follows_color;
+      Alcotest.test_case "external registration wakes" `Quick test_external_registration_wakes;
+    ]

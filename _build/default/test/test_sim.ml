@@ -1,0 +1,161 @@
+(* Tests for the simulator: machine accounting, lock semantics and the
+   min-time execution loop. *)
+
+let topo = Hw.Topology.xeon_e5410
+let cm = Hw.Cost_model.default
+let machine () = Sim.Machine.create ~seed:1L topo cm
+
+let test_machine_accounting () =
+  let m = machine () in
+  Sim.Machine.advance m ~core:0 100;
+  Sim.Machine.advance_spin m ~core:0 50;
+  Sim.Machine.advance_idle m ~core:0 25;
+  Alcotest.(check int) "busy" 100 (Sim.Machine.busy_cycles m ~core:0);
+  Alcotest.(check int) "spin" 50 (Sim.Machine.spin_cycles m ~core:0);
+  Alcotest.(check int) "idle" 25 (Sim.Machine.idle_cycles m ~core:0);
+  Alcotest.(check int) "now" 175 (Sim.Machine.now m ~core:0);
+  Alcotest.(check int) "global now" 175 (Sim.Machine.global_now m);
+  Sim.Machine.advance_to_idle m ~core:0 150;
+  Alcotest.(check int) "advance_to past is no-op" 175 (Sim.Machine.now m ~core:0)
+
+let test_lock_uncontended () =
+  let m = machine () in
+  let lock = Sim.Lock.create m in
+  Sim.Lock.with_lock lock m ~core:0 (fun () -> Sim.Machine.advance m ~core:0 500);
+  Alcotest.(check int) "no spin" 0 (Sim.Machine.spin_cycles m ~core:0);
+  Alcotest.(check int) "one acquire" 1 (Sim.Lock.acquires lock);
+  Alcotest.(check int) "no contention" 0 (Sim.Lock.contended_acquires lock)
+
+let test_lock_contended_wait () =
+  let m = machine () in
+  let lock = Sim.Lock.create m in
+  (* Core 0 holds the lock for 300 cycles. *)
+  Sim.Lock.with_lock lock m ~core:0 (fun () -> Sim.Machine.advance m ~core:0 300);
+  (* Core 1, still at time 0, must spin until the release. *)
+  Sim.Lock.acquire lock m ~core:1;
+  Alcotest.(check bool) "spun" true (Sim.Machine.spin_cycles m ~core:1 > 0);
+  Alcotest.(check int) "contended" 1 (Sim.Lock.contended_acquires lock);
+  Sim.Lock.release lock m ~core:1
+
+let test_lock_wait_clamped () =
+  let m = machine () in
+  let lock = Sim.Lock.create m in
+  (* A holder far in the future (the atomic-step artifact): the waiter
+     must not spin for the full gap, only up to the physical bound. *)
+  Sim.Machine.advance m ~core:7 10_000_000;
+  Sim.Lock.with_lock lock m ~core:7 (fun () -> Sim.Machine.advance m ~core:7 100);
+  Sim.Lock.acquire lock m ~core:0;
+  Sim.Lock.release lock m ~core:0;
+  Alcotest.(check bool) "clamped below 100K" true (Sim.Machine.spin_cycles m ~core:0 < 100_000)
+
+let test_lock_remote_transfer () =
+  let m = machine () in
+  let lock = Sim.Lock.create m in
+  Sim.Lock.with_lock lock m ~core:0 (fun () -> ());
+  let before = Sim.Machine.busy_cycles m ~core:4 in
+  Sim.Lock.with_lock lock m ~core:4 (fun () -> ());
+  let cross = Sim.Machine.busy_cycles m ~core:4 - before in
+  (* Cross-package acquisition pays the transfer penalty. *)
+  Alcotest.(check int) "remote penalty"
+    (cm.Hw.Cost_model.lock_acquire + cm.Hw.Cost_model.lock_remote_penalty)
+    cross
+
+let test_exec_min_time_order () =
+  let m = machine () in
+  let order = ref [] in
+  let mk core cost =
+    Sim.Exec.core_process m ~core ~step:(fun () ->
+        order := core :: !order;
+        Sim.Machine.advance m ~core cost;
+        if Sim.Machine.now m ~core > 1000 then Sim.Exec.Stop else Sim.Exec.Continue)
+  in
+  (* Core 0 advances in steps of 400, core 1 in steps of 300: the loop
+     must interleave them by virtual time. *)
+  let exec = Sim.Exec.create [ mk 0 400; mk 1 300 ] in
+  Sim.Exec.run exec;
+  let steps = List.rev !order in
+  Alcotest.(check (list int)) "time-ordered interleaving" [ 0; 1; 1; 0; 1; 0; 1 ]
+    (List.filteri (fun i _ -> i < 7) steps)
+
+let test_exec_sleep_and_wake () =
+  let m = machine () in
+  let woken_at = ref (-1) in
+  (* A core that parks forever on its first step, and records its clock
+     when an external wake makes it run again. *)
+  let first = ref true in
+  let park_then_record =
+    Sim.Exec.core_process m ~core:1 ~step:(fun () ->
+        if !first then begin
+          first := false;
+          Sim.Exec.Sleep_forever
+        end
+        else begin
+          woken_at := Sim.Machine.now m ~core:1;
+          Sim.Exec.Stop
+        end)
+  in
+  let waker =
+    Sim.Exec.timed_process ~name:"waker" ~start_at:7_000 ~step:(fun ~now ->
+        ignore now;
+        Sim.Exec.wake park_then_record ~at:7_000;
+        Sim.Exec.Stop)
+  in
+  let exec = Sim.Exec.create [ park_then_record; waker ] in
+  Sim.Exec.run exec;
+  Alcotest.(check int) "woken at 7000" 7_000 !woken_at;
+  Alcotest.(check int) "idle time accounted" 7_000 (Sim.Machine.idle_cycles m ~core:1)
+
+let test_exec_until_bound () =
+  let m = machine () in
+  let steps = ref 0 in
+  let p =
+    Sim.Exec.core_process m ~core:0 ~step:(fun () ->
+        incr steps;
+        Sim.Machine.advance m ~core:0 100;
+        Sim.Exec.Continue)
+  in
+  let exec = Sim.Exec.create [ p ] in
+  Sim.Exec.run ~until:1_000 exec;
+  Alcotest.(check bool) "bounded steps" true (!steps <= 11);
+  Alcotest.(check bool) "time bounded" true (Sim.Machine.now m ~core:0 <= 1_100)
+
+let test_exec_request_stop () =
+  let m = machine () in
+  let p =
+    Sim.Exec.core_process m ~core:0 ~step:(fun () ->
+        Sim.Machine.advance m ~core:0 10;
+        Sim.Exec.Continue)
+  in
+  let exec = Sim.Exec.create [ p ] in
+  Sim.Exec.add exec
+    (Sim.Exec.timed_process ~name:"stopper" ~start_at:55 ~step:(fun ~now ->
+         ignore now;
+         Sim.Exec.request_stop exec;
+         Sim.Exec.Stop));
+  Sim.Exec.run exec;
+  Alcotest.(check bool) "stopped early" true (Sim.Machine.now m ~core:0 < 200)
+
+let test_timed_process_progress () =
+  let fired = ref [] in
+  let p =
+    Sim.Exec.timed_process ~name:"ticker" ~start_at:10 ~step:(fun ~now ->
+        fired := now :: !fired;
+        if List.length !fired >= 3 then Sim.Exec.Stop else Sim.Exec.Sleep_until (now + 100))
+  in
+  let exec = Sim.Exec.create [ p ] in
+  Sim.Exec.run exec;
+  Alcotest.(check (list int)) "tick times" [ 10; 110; 210 ] (List.rev !fired)
+
+let suite =
+  [
+    Alcotest.test_case "machine accounting" `Quick test_machine_accounting;
+    Alcotest.test_case "lock uncontended" `Quick test_lock_uncontended;
+    Alcotest.test_case "lock contended wait" `Quick test_lock_contended_wait;
+    Alcotest.test_case "lock wait clamped" `Quick test_lock_wait_clamped;
+    Alcotest.test_case "lock remote transfer" `Quick test_lock_remote_transfer;
+    Alcotest.test_case "exec min-time order" `Quick test_exec_min_time_order;
+    Alcotest.test_case "exec sleep and wake" `Quick test_exec_sleep_and_wake;
+    Alcotest.test_case "exec until bound" `Quick test_exec_until_bound;
+    Alcotest.test_case "exec request stop" `Quick test_exec_request_stop;
+    Alcotest.test_case "timed process progress" `Quick test_timed_process_progress;
+  ]
