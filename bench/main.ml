@@ -105,6 +105,20 @@ let bench_rt_runtime =
          done;
          Rt.Runtime.run_until_idle rt))
 
+let bench_rt_parking =
+  (* A single serial color: one worker executes the chain while the
+     other parks and wakes on each follow-up enqueue, so this measures
+     the park/unpark path rather than throughput. *)
+  Bechamel.Test.make ~name:"rt runtime serial chain (parking path)"
+    (Bechamel.Staged.stage (fun () ->
+         let rt = Rt.Runtime.create ~workers:2 () in
+         let h = Rt.Runtime.handler rt ~name:"serial" ~declared_cycles:5_000 () in
+         let rec chain depth (ctx : Rt.Runtime.ctx) =
+           if depth > 0 then ctx.register ~color:1 ~handler:h (chain (depth - 1))
+         in
+         Rt.Runtime.register rt ~color:1 ~handler:h (chain 200);
+         Rt.Runtime.run_until_idle rt))
+
 let bench_sim_unbalanced =
   Bechamel.Test.make ~name:"simulator: unbalanced 2ms slice (mely-ws)"
     (Bechamel.Staged.stage (fun () ->
@@ -124,6 +138,7 @@ let run_micro () =
       bench_sha256;
       bench_chacha20;
       bench_rt_runtime;
+      bench_rt_parking;
       bench_sim_unbalanced;
     ]
   in

@@ -24,6 +24,68 @@ let run_all ~quick =
     (fun status e -> max status (run_one ~quick e.Harness.Experiments.id))
     0 Harness.Experiments.all
 
+(* Exercise the real OCaml 5 domain runtime and print its per-worker
+   stats: a quick way to see stealing, parking and queue depths on the
+   actual machine rather than the simulator. *)
+let run_rt workers events =
+  if workers < 1 then (
+    Printf.eprintf "melyctl: --workers must be >= 1 (got %d)\n" workers;
+    exit 2);
+  if events < 0 then (
+    Printf.eprintf "melyctl: --events must be >= 0 (got %d)\n" events;
+    exit 2);
+  let rt = Rt.Runtime.create ~workers () in
+  let h = Rt.Runtime.handler rt ~name:"demo" ~declared_cycles:50_000 () in
+  let sink = Atomic.make 0 in
+  let colors = max 2 (4 * workers) in
+  let busywork (_ : Rt.Runtime.ctx) =
+    let acc = ref 0 in
+    for j = 1 to 5_000 do
+      acc := !acc + j
+    done;
+    Atomic.fetch_and_add sink !acc |> ignore
+  in
+  for i = 0 to events - 1 do
+    let color = 1 + (i mod colors) in
+    Rt.Runtime.register rt ~color ~handler:h (fun ctx ->
+        busywork ctx;
+        if i mod 16 = 0 then ctx.register ~color ~handler:h busywork)
+  done;
+  let t0 = Unix.gettimeofday () in
+  Rt.Runtime.run_until_idle rt;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "executed %d events on %d workers in %.3f s — %d steals / %d attempts, max same-color concurrency %d\n"
+    (Rt.Runtime.executed rt) workers dt (Rt.Runtime.steals rt)
+    (Rt.Runtime.steal_attempts rt)
+    (Rt.Runtime.max_concurrent_same_color rt);
+  let table =
+    Mstd.Table.create
+      ~headers:
+        [
+          "worker"; "executed"; "enqueued"; "steals in"; "steals out"; "failed rounds";
+          "parks"; "park ms"; "queue hwm";
+        ]
+  in
+  Array.iteri
+    (fun w (s : Rt.Metrics.snapshot) ->
+      Mstd.Table.add_row table
+        [
+          string_of_int w;
+          string_of_int s.executed;
+          string_of_int s.enqueued;
+          string_of_int s.steals_in;
+          string_of_int s.steals_out;
+          string_of_int s.failed_attempts;
+          string_of_int s.parks;
+          Printf.sprintf "%.2f" (s.park_seconds *. 1_000.0);
+          string_of_int s.queue_hwm;
+        ])
+    (Rt.Runtime.stats rt);
+  print_string (Mstd.Table.render table);
+  flush stdout;
+  0
+
 open Cmdliner
 
 let quick =
@@ -48,7 +110,21 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run experiments and print their tables.")
     Term.(const run $ quick $ ids)
 
+let rt_cmd =
+  let workers =
+    let doc = "Worker domains to spawn." in
+    Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let events =
+    let doc = "Events to register." in
+    Arg.(value & opt int 2_000 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "rt"
+       ~doc:"Exercise the real multicore runtime and print per-worker stats.")
+    Term.(const run_rt $ workers $ events)
+
 let () =
   let doc = "Mely reproduction: workstealing for multicore event-driven systems" in
   let info = Cmd.info "melyctl" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd ]))
+  exit (Cmd.eval' (Cmd.group info [ list_cmd; run_cmd; rt_cmd ]))

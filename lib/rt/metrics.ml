@@ -1,0 +1,67 @@
+type t = {
+  executed : int Atomic.t;
+  enqueued : int Atomic.t;
+  steals_in : int Atomic.t;
+  steals_out : int Atomic.t;
+  failed_attempts : int Atomic.t;
+  parks : int Atomic.t;
+  park_seconds : float Atomic.t;
+  queue_hwm : int Atomic.t;
+}
+
+type snapshot = {
+  executed : int;
+  enqueued : int;
+  steals_in : int;
+  steals_out : int;
+  failed_attempts : int;
+  parks : int;
+  park_seconds : float;
+  queue_hwm : int;
+}
+
+let create () : t =
+  {
+    executed = Atomic.make 0;
+    enqueued = Atomic.make 0;
+    steals_in = Atomic.make 0;
+    steals_out = Atomic.make 0;
+    failed_attempts = Atomic.make 0;
+    parks = Atomic.make 0;
+    park_seconds = Atomic.make 0.0;
+    queue_hwm = Atomic.make 0;
+  }
+
+let on_execute (t : t) = Atomic.incr t.executed
+let on_enqueue (t : t) = Atomic.incr t.enqueued
+let on_steal_in (t : t) = Atomic.incr t.steals_in
+let on_steal_out (t : t) = Atomic.incr t.steals_out
+let on_failed_attempt (t : t) = Atomic.incr t.failed_attempts
+
+(* The park counter is bumped on falling asleep (so observers can see a
+   worker is parked while it still is); the wall-clock time is added
+   after waking. Only the parking worker itself updates the float, so
+   the read-modify-write is single-writer and safe. *)
+let on_park_begin (t : t) = Atomic.incr t.parks
+
+let on_park_end (t : t) ~seconds =
+  Atomic.set t.park_seconds (Atomic.get t.park_seconds +. seconds)
+
+let note_queue_len (t : t) len =
+  let rec bump () =
+    let seen = Atomic.get t.queue_hwm in
+    if len > seen && not (Atomic.compare_and_set t.queue_hwm seen len) then bump ()
+  in
+  bump ()
+
+let snapshot (t : t) : snapshot =
+  {
+    executed = Atomic.get t.executed;
+    enqueued = Atomic.get t.enqueued;
+    steals_in = Atomic.get t.steals_in;
+    steals_out = Atomic.get t.steals_out;
+    failed_attempts = Atomic.get t.failed_attempts;
+    parks = Atomic.get t.parks;
+    park_seconds = Atomic.get t.park_seconds;
+    queue_hwm = Atomic.get t.queue_hwm;
+  }

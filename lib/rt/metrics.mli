@@ -1,0 +1,39 @@
+(** Per-worker counters for the real multicore runtime — the
+    domain-safe analogue of {!Engine.Metrics}. Every field is an
+    [Atomic] because some events are recorded cross-domain: a thief
+    bumps its victim's steal-out counter, and enqueues are attributed to
+    the queue's owning worker regardless of which domain registered the
+    event. *)
+
+type t
+
+(** Immutable copy of the counters at a point in time. *)
+type snapshot = {
+  executed : int;  (** events this worker ran *)
+  enqueued : int;  (** events enqueued onto this worker's queues *)
+  steals_in : int;  (** color-queues this worker stole *)
+  steals_out : int;  (** color-queues stolen from this worker *)
+  failed_attempts : int;  (** steal rounds that found no victim *)
+  parks : int;  (** times the worker parked on the idle condition *)
+  park_seconds : float;  (** total wall-clock time spent parked *)
+  queue_hwm : int;  (** high-water mark of events queued at once *)
+}
+
+val create : unit -> t
+val on_execute : t -> unit
+val on_enqueue : t -> unit
+val on_steal_in : t -> unit
+val on_steal_out : t -> unit
+val on_failed_attempt : t -> unit
+
+val on_park_begin : t -> unit
+(** Called as the worker falls asleep, so a parked worker is visible in
+    snapshots while it is still parked. *)
+
+val on_park_end : t -> seconds:float -> unit
+(** Called after waking with the wall-clock time spent parked. *)
+
+val note_queue_len : t -> int -> unit
+(** Record the current queued-event count; keeps the high-water mark. *)
+
+val snapshot : t -> snapshot

@@ -5,7 +5,15 @@ type ctx = { worker : int; register : ?color:int -> handler:handler -> (ctx -> u
 type event = { ev_handler : handler; ev_color : int; ev_run : ctx -> unit }
 
 (* Per-color queue, chained into its owner's core-queue through an
-   intrusive doubly-linked list (the Mely structure, Section IV-A). *)
+   intrusive doubly-linked list (the Mely structure, Section IV-A).
+
+   Ownership protocol: [owner >= 0] names the worker whose lock protects
+   every mutable field below; [owner = migrating] means a thief holds
+   the queue between unchaining it from the victim (under the victim's
+   lock) and chaining it into its own list (under its own lock) —
+   enqueuers and the drain path wait the transfer out. [retired] is set,
+   under the owner's lock, when the queue is unmapped; a retired queue
+   must never be pushed into (the color re-hashes to a fresh queue). *)
 type color_queue = {
   color : int;
   q : event Queue.t;
@@ -14,9 +22,12 @@ type color_queue = {
   mutable owner : int;
   mutable chained : bool;
   mutable worthy : bool;  (** on the owner's stealing list *)
+  mutable retired : bool;  (** unmapped; stale references must re-locate *)
   mutable prev : color_queue option;
   mutable next : color_queue option;
 }
+
+let migrating = -1
 
 type worker_state = {
   lock : Spinlock.t;
@@ -28,6 +39,7 @@ type worker_state = {
   mutable batch_color : int;
   mutable batch_remaining : int;
   stealing : color_queue Queue.t; (* lazily-validated worthy colors *)
+  metrics : Metrics.t;
 }
 
 type ws_config = { enabled : bool; locality : bool; time_left : bool; penalty : bool }
@@ -40,6 +52,7 @@ type t = {
   batch : int;
   worthy_threshold : int;
   states : worker_state array;
+  victims : int list array;  (** per-worker locality victim order *)
   map_lock : Spinlock.t;
   map : (int, color_queue) Hashtbl.t;
   pending : int Atomic.t;  (** queued events *)
@@ -48,10 +61,28 @@ type t = {
   steal_count : int Atomic.t;
   attempt_count : int Atomic.t;
   max_same_color : int Atomic.t;
+  park_mutex : Mutex.t;
+  park_cond : Condition.t;
+  n_parked : int Atomic.t;
   mutable running : bool;
 }
 
 let default_color = 0
+
+(* Victim order for the locality heuristic (Section III-A): map the
+   workers onto a xeon-shaped cache hierarchy — pairs share an L2, two
+   pairs share a package — and probe nearest victims first, breaking
+   distance ties by ring order from the thief so no low-id worker is
+   everyone's first fallback. *)
+let locality_victims n =
+  let packages = max 1 ((n + 3) / 4) in
+  let topo = Hw.Topology.create ~packages ~groups_per_package:2 ~cores_per_group:2 in
+  Array.init n (fun w ->
+      let others = List.filter (fun v -> v <> w) (List.init n Fun.id) in
+      let key v =
+        (Hw.Topology.(distance_rank (distance topo w v)), (v - w + n) mod n)
+      in
+      List.sort (fun a b -> compare (key a) (key b)) others)
 
 let create ?workers ?(ws = default_ws) ?(batch_threshold = 10) () =
   let n =
@@ -78,7 +109,9 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10) () =
             batch_color = -1;
             batch_remaining = 0;
             stealing = Queue.create ();
+            metrics = Metrics.create ();
           });
+    victims = locality_victims n;
     map_lock = Spinlock.create ();
     map = Hashtbl.create 256;
     pending = Atomic.make 0;
@@ -87,6 +120,9 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10) () =
     steal_count = Atomic.make 0;
     attempt_count = Atomic.make 0;
     max_same_color = Atomic.make 0;
+    park_mutex = Mutex.create ();
+    park_cond = Condition.create ();
+    n_parked = Atomic.make 0;
     running = false;
   }
 
@@ -127,8 +163,9 @@ let note_worthy t ws cq =
     Queue.push cq ws.stealing
   end
 
-(* Locate or create the color-queue for a color; the map lock is never
-   held together with a worker lock. *)
+(* Locate or create the color-queue for a color. Lock order: a worker
+   lock may be held when acquiring the map lock (the drain path does),
+   never the reverse. *)
 let locate t color =
   Spinlock.with_lock t.map_lock (fun () ->
       match Hashtbl.find_opt t.map color with
@@ -143,6 +180,7 @@ let locate t color =
             owner = color mod t.n;
             chained = false;
             worthy = false;
+            retired = false;
             prev = None;
             next = None;
           }
@@ -150,29 +188,53 @@ let locate t color =
         Hashtbl.replace t.map color cq;
         cq)
 
+(* Wake parked workers after publishing new work (or quiescence). The
+   parked count is only raised under [park_mutex], so taking the mutex
+   here cannot race a worker into a missed sleep. *)
+let wake_parked t =
+  if Atomic.get t.n_parked > 0 then begin
+    Mutex.lock t.park_mutex;
+    Condition.broadcast t.park_cond;
+    Mutex.unlock t.park_mutex
+  end
+
 let rec enqueue t event =
   let cq = locate t event.ev_color in
   let owner = cq.owner in
-  let ws = t.states.(owner) in
-  let retry =
-    Spinlock.with_lock ws.lock (fun () ->
-        if cq.owner <> owner then true (* stolen while we raced; retry *)
-        else begin
-          Queue.push event cq.q;
-          cq.weighted <- cq.weighted + weighted_of t event.ev_handler;
-          if cq.chained then ws.n_events <- ws.n_events + 1 else chain ws cq;
-          note_worthy t ws cq;
-          false
-        end)
-  in
-  if retry then enqueue t event
-  else Atomic.incr t.pending
+  if owner < 0 then begin
+    (* Mid-steal: the thief is about to publish itself as owner. *)
+    Domain.cpu_relax ();
+    enqueue t event
+  end
+  else begin
+    let ws = t.states.(owner) in
+    let retry =
+      Spinlock.with_lock ws.lock (fun () ->
+          if cq.owner <> owner || cq.retired then true (* stolen/unmapped while we raced *)
+          else begin
+            Queue.push event cq.q;
+            cq.weighted <- cq.weighted + weighted_of t event.ev_handler;
+            if cq.chained then ws.n_events <- ws.n_events + 1 else chain ws cq;
+            note_worthy t ws cq;
+            Metrics.on_enqueue ws.metrics;
+            Metrics.note_queue_len ws.metrics ws.n_events;
+            false
+          end)
+    in
+    if retry then enqueue t event
+    else begin
+      Atomic.incr t.pending;
+      wake_parked t
+    end
+  end
 
 let register t ?(color = default_color) ~handler run =
   if color < 0 then invalid_arg "Rt.Runtime.register: color must be >= 0";
   enqueue t { ev_handler = handler; ev_color = color; ev_run = run }
 
-(* Pop one event from the head color-queue of worker [w]. *)
+(* Pop one event from the head color-queue of worker [w]; returns the
+   event together with its color-queue so execution never has to
+   re-locate (a re-locate could observe a recycled queue). *)
 let pop_next t w =
   let ws = t.states.(w) in
   Spinlock.with_lock ws.lock (fun () ->
@@ -185,12 +247,20 @@ let pop_next t w =
           ws.batch_color <- cq.color;
           ws.batch_remaining <- t.batch
         end;
-        let event = Queue.take_opt cq.q in
-        (match event with
-        | None -> ()
+        (match Queue.take_opt cq.q with
+        | None ->
+          (* Chained queues are never empty; keep the list sane anyway. *)
+          unchain ws cq;
+          cq.worthy <- false;
+          None
         | Some e ->
           ws.n_events <- ws.n_events - 1;
           cq.weighted <- max 0 (cq.weighted - weighted_of t e.ev_handler);
+          (* Re-evaluate worthiness as the queue drains: once the
+             remaining weighted time falls under the threshold the color
+             is no longer worth a thief's trouble (lazily purged from
+             the stealing list on the next pick). *)
+          if cq.worthy && cq.weighted <= t.worthy_threshold then cq.worthy <- false;
           ws.batch_remaining <- ws.batch_remaining - 1;
           ws.current_color <- cq.color;
           if Queue.is_empty cq.q then begin
@@ -202,20 +272,38 @@ let pop_next t w =
             unchain ws cq;
             chain ws cq;
             ws.batch_color <- -1
-          end);
-        event)
+          end;
+          Some (e, cq)))
 
-(* Remove a drained color from the map (only if it is still this
-   queue), so recycled colors re-hash cleanly. *)
-let forget_if_drained t cq =
-  Spinlock.with_lock t.map_lock (fun () ->
-      match Hashtbl.find_opt t.map cq.color with
-      | Some current when current == cq && Queue.is_empty cq.q && not cq.chained ->
-        Hashtbl.remove t.map cq.color
-      | _ -> ())
+(* Retire a drained color from the map (only if it is still this queue),
+   so recycled colors re-hash cleanly. The emptiness check must be
+   race-free against enqueuers, and they validate under the owner's
+   lock — so take that lock first and nest the map lock inside it
+   (the one sanctioned worker -> map nesting). *)
+let rec forget_if_drained t cq =
+  let owner = cq.owner in
+  if owner < 0 then begin
+    Domain.cpu_relax ();
+    forget_if_drained t cq
+  end
+  else
+    let settled =
+      Spinlock.with_lock t.states.(owner).lock (fun () ->
+          if cq.owner <> owner then false
+          else begin
+            if Queue.is_empty cq.q && not cq.chained then
+              Spinlock.with_lock t.map_lock (fun () ->
+                  match Hashtbl.find_opt t.map cq.color with
+                  | Some current when current == cq ->
+                    cq.retired <- true;
+                    Hashtbl.remove t.map cq.color
+                  | _ -> ());
+            true
+          end)
+    in
+    if not settled then forget_if_drained t cq
 
-let execute t w event =
-  let cq = locate t event.ev_color in
+let execute t w (cq : color_queue) event =
   let concurrent = 1 + Atomic.fetch_and_add cq.running 1 in
   (* Record the worst concurrency ever observed for the invariant test. *)
   let rec bump () =
@@ -235,10 +323,11 @@ let execute t w event =
   (match event.ev_run ctx with () -> () | exception e -> Atomic.decr cq.running; raise e);
   Atomic.decr cq.running;
   Atomic.incr t.executed;
+  Metrics.on_execute t.states.(w).metrics;
   forget_if_drained t cq
 
 let victim_order t w =
-  if t.ws.locality then List.init (t.n - 1) (fun i -> (w + 1 + i) mod t.n)
+  if t.ws.locality then t.victims.(w)
   else begin
     (* Most loaded first, then successive ids. *)
     let most = ref 0 and best = ref (-1) in
@@ -253,7 +342,10 @@ let victim_order t w =
   end
 
 (* Steal one color-queue from [victim] into [w]; returns true on
-   success. Never holds two worker locks at once. *)
+   success. Never holds two worker locks at once: ownership is handed
+   over through the [migrating] state, set under the victim's lock
+   (closing the enqueue double-chain window) and resolved under the
+   thief's lock when it publishes itself as the new owner. *)
 let steal_from t w victim =
   let vs = t.states.(victim) in
   let stolen =
@@ -268,13 +360,23 @@ let steal_from t w victim =
               match Queue.take_opt vs.stealing with
               | None -> None
               | Some cq ->
-                if cq.chained && cq.owner = victim && cq.worthy
-                   && cq.color <> vs.current_color
-                then Some cq
-                else begin
-                  cq.worthy <- cq.worthy && cq.chained && cq.owner = victim;
+                let valid =
+                  cq.owner = victim && cq.chained && cq.worthy
+                  && cq.weighted > t.worthy_threshold
+                in
+                if not valid then begin
+                  (* Stale entry. Only clear the flag if the queue still
+                     belongs to the victim — after a steal it is the new
+                     owner's lock that protects it. *)
+                  if cq.owner = victim then cq.worthy <- false;
                   pick (budget - 1)
                 end
+                else if cq.color = vs.current_color then begin
+                  (* Still worthy, just executing: keep it listed. *)
+                  Queue.push cq vs.stealing;
+                  pick (budget - 1)
+                end
+                else Some cq
           in
           pick (Queue.length vs.stealing)
         end
@@ -294,7 +396,8 @@ let steal_from t w victim =
       (match result with
       | Some cq ->
         unchain vs cq;
-        cq.worthy <- false
+        cq.worthy <- false;
+        cq.owner <- migrating
       | None -> ());
       Spinlock.release vs.lock;
       result
@@ -307,32 +410,70 @@ let steal_from t w victim =
     Spinlock.with_lock ws.lock (fun () ->
         cq.owner <- w;
         chain ws cq;
-        note_worthy t ws cq);
+        note_worthy t ws cq;
+        Metrics.note_queue_len ws.metrics ws.n_events);
     Atomic.incr t.steal_count;
+    Metrics.on_steal_in ws.metrics;
+    Metrics.on_steal_out vs.metrics;
     true
 
 let try_steal t w =
   Atomic.incr t.attempt_count;
-  List.exists (fun victim -> steal_from t w victim) (victim_order t w)
+  let won = List.exists (fun victim -> steal_from t w victim) (victim_order t w) in
+  if not won then Metrics.on_failed_attempt t.states.(w).metrics;
+  won
+
+(* Idle policy: exponential backoff while unstealable work is pending
+   elsewhere, park on the condition variable when nothing is pending at
+   all (an executing handler may still register follow-ups; its enqueue
+   wakes us). Every worker broadcasts once it observes quiescence so
+   parked siblings re-check and exit. *)
+let max_idle_backoff = 4_096
+
+let park t ws =
+  Mutex.lock t.park_mutex;
+  Atomic.incr t.n_parked;
+  let t0 = Unix.gettimeofday () in
+  let slept = ref false in
+  while Atomic.get t.pending = 0 && Atomic.get t.active > 0 do
+    if not !slept then begin
+      slept := true;
+      Metrics.on_park_begin ws.metrics
+    end;
+    Condition.wait t.park_cond t.park_mutex
+  done;
+  Atomic.decr t.n_parked;
+  Mutex.unlock t.park_mutex;
+  if !slept then Metrics.on_park_end ws.metrics ~seconds:(Unix.gettimeofday () -. t0)
 
 let worker_loop t w =
-  let rec loop () =
+  let ws = t.states.(w) in
+  let rec loop backoff =
     match pop_next t w with
-    | Some event ->
+    | Some (event, cq) ->
       Atomic.incr t.active;
       Atomic.decr t.pending;
-      execute t w event;
+      execute t w cq event;
       Atomic.decr t.active;
-      loop ()
+      loop 1
     | None ->
-      if t.ws.enabled && Atomic.get t.pending > 0 && try_steal t w then loop ()
-      else if Atomic.get t.pending > 0 || Atomic.get t.active > 0 then begin
-        Domain.cpu_relax ();
-        loop ()
+      if t.ws.enabled && Atomic.get t.pending > 0 && try_steal t w then loop 1
+      else if Atomic.get t.pending > 0 then begin
+        (* Work exists but is not (yet) stealable: bounded backoff. *)
+        for _ = 1 to backoff do
+          Domain.cpu_relax ()
+        done;
+        loop (min max_idle_backoff (backoff * 2))
       end
-  (* both zero: quiescent, exit *)
+      else if Atomic.get t.active > 0 then begin
+        park t ws;
+        loop 1
+      end
+      else
+        (* Both zero: quiescent. Wake parked siblings so they exit too. *)
+        wake_parked t
   in
-  loop ()
+  loop 1
 
 let run_until_idle t =
   if t.running then invalid_arg "Rt.Runtime.run_until_idle: already running";
@@ -345,3 +486,5 @@ let executed t = Atomic.get t.executed
 let steals t = Atomic.get t.steal_count
 let steal_attempts t = Atomic.get t.attempt_count
 let max_concurrent_same_color t = Atomic.get t.max_same_color
+
+let stats t = Array.map (fun ws -> Metrics.snapshot ws.metrics) t.states

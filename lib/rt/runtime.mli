@@ -55,7 +55,11 @@ val register : t -> ?color:int -> handler:handler -> (ctx -> unit) -> unit
 val run_until_idle : t -> unit
 (** Spawn the worker domains, drain every event, join. Raises
     [Invalid_argument] if the runtime is already running. Can be called
-    again after it returns. *)
+    again after it returns.
+
+    Idle workers use bounded exponential backoff while unstealable work
+    is pending elsewhere, and park on a condition variable when nothing
+    is pending at all; enqueues wake them. *)
 
 (** Counters observed after a run. *)
 
@@ -67,3 +71,8 @@ val max_concurrent_same_color : t -> int
 (** Highest number of simultaneously-executing events observed for any
     single color; the mutual-exclusion invariant requires this to be 1.
     Tracked always (cheap atomics); the property tests assert on it. *)
+
+val stats : t -> Metrics.snapshot array
+(** Per-worker counters (executed, enqueued, steals in/out, failed
+    steal rounds, parks and park time, queue high-water mark),
+    cumulative across runs; index [w] is worker [w]. *)

@@ -2,21 +2,30 @@ type t = { flag : bool Atomic.t; contended : int Atomic.t }
 
 let create () = { flag = Atomic.make false; contended = Atomic.make 0 }
 
-let rec spin_until_clear t =
+(* Bounded exponential backoff while the lock is held: contended
+   spinners double their pause between polls so the eventual release is
+   not fought over by n cores hammering one cache line (the
+   non-scalable-locks effect the simulator models explicitly). *)
+let max_pause = 64
+
+let rec spin_until_clear t pause =
   if Atomic.get t.flag then begin
-    Domain.cpu_relax ();
-    spin_until_clear t
+    for _ = 1 to pause do
+      Domain.cpu_relax ()
+    done;
+    spin_until_clear t (min max_pause (pause * 2))
   end
 
 let acquire t =
   if Atomic.compare_and_set t.flag false true then ()
   else begin
     Atomic.incr t.contended;
-    let rec retry () =
-      spin_until_clear t;
-      if not (Atomic.compare_and_set t.flag false true) then retry ()
+    let rec retry pause =
+      spin_until_clear t pause;
+      if not (Atomic.compare_and_set t.flag false true) then
+        retry (min max_pause (pause * 2))
     in
-    retry ()
+    retry 1
   end
 
 let release t = Atomic.set t.flag false

@@ -1,7 +1,9 @@
 (** Test-and-test-and-set spinlock over [Atomic], one per worker —
     the real-parallelism counterpart of the simulator's {!Sim.Lock}.
     Critical sections in this runtime are queue manipulations of a few
-    hundred nanoseconds, the regime where spinning beats parking. *)
+    hundred nanoseconds, the regime where spinning beats parking.
+    Contended acquisitions back off exponentially (bounded) so many
+    spinners do not serialize on the lock's cache line. *)
 
 type t
 

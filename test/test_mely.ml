@@ -13,6 +13,7 @@ let () =
       ("crypto", Test_crypto.suite);
       ("httpkit", Test_httpkit.suite);
       ("rt", Test_rt.suite);
+      ("rt-stress", Test_rt_stress.suite);
       ("properties", Test_properties.suite);
       ("harness", Test_harness.suite);
     ]

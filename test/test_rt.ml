@@ -131,6 +131,37 @@ let test_invalid_args () =
     (Invalid_argument "Rt.Runtime.register: color must be >= 0") (fun () ->
       Rt.Runtime.register rt ~color:(-1) ~handler:h (fun _ -> ()))
 
+let test_stats_accounting () =
+  (* The per-worker metrics must tie out against the global counters. *)
+  let rt = Rt.Runtime.create ~workers:3 () in
+  let h = Rt.Runtime.handler rt ~name:"stats" ~declared_cycles:100_000 () in
+  let n = 60 in
+  for i = 0 to n - 1 do
+    Rt.Runtime.register rt ~color:(1 + (i mod 9)) ~handler:h (fun _ ->
+        let acc = ref 0 in
+        for j = 1 to 2_000 do
+          acc := !acc + j
+        done;
+        ignore !acc)
+  done;
+  Rt.Runtime.run_until_idle rt;
+  let stats = Rt.Runtime.stats rt in
+  Alcotest.(check int) "one snapshot per worker" 3 (Array.length stats);
+  let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+  Alcotest.(check int) "executed ties out" n
+    (sum (fun (s : Rt.Metrics.snapshot) -> s.executed));
+  Alcotest.(check int) "enqueued ties out" n
+    (sum (fun (s : Rt.Metrics.snapshot) -> s.enqueued));
+  Alcotest.(check int) "steals in tie out" (Rt.Runtime.steals rt)
+    (sum (fun (s : Rt.Metrics.snapshot) -> s.steals_in));
+  Alcotest.(check int) "steals out tie out" (Rt.Runtime.steals rt)
+    (sum (fun (s : Rt.Metrics.snapshot) -> s.steals_out));
+  Array.iter
+    (fun (s : Rt.Metrics.snapshot) ->
+      Alcotest.(check bool) "park time non-negative" true (s.park_seconds >= 0.0);
+      Alcotest.(check bool) "hwm sane" true (s.queue_hwm >= 0 && s.queue_hwm <= n))
+    stats
+
 let test_spinlock () =
   let lock = Rt.Spinlock.create () in
   let counter = ref 0 in
@@ -155,5 +186,6 @@ let suite =
     Alcotest.test_case "ws disabled stays home" `Quick test_ws_disabled_stays_home;
     Alcotest.test_case "rerun" `Quick test_rerun;
     Alcotest.test_case "invalid args" `Quick test_invalid_args;
+    Alcotest.test_case "stats accounting" `Quick test_stats_accounting;
     Alcotest.test_case "spinlock" `Quick test_spinlock;
   ]

@@ -1,0 +1,219 @@
+(* Randomized concurrency stress for the real multicore runtime.
+
+   These tests hammer the two ownership-transfer windows the seed
+   runtime got wrong, across many short multi-domain runs so the OS
+   scheduler supplies the interleavings:
+
+   - steal vs. enqueue: a thief unchains a color-queue under the
+     victim's lock but (in the seed) only took ownership later under its
+     own lock, letting a concurrent enqueuer re-validate the stale owner
+     and double-chain the queue;
+   - drain vs. enqueue: [forget_if_drained] (in the seed) inspected the
+     queue under the map lock only, so an enqueuer that had already
+     located the queue could push into it right after it was unmapped,
+     after which the color re-hashed to a second queue and two
+     same-color events could run in parallel.
+
+   Detection is deliberately independent of the runtime's own
+   [max_concurrent_same_color] counter: handlers raise a per-color
+   atomic in-flight flag, so even a runtime bug that splits one color
+   across two queue objects (each with its own counter) is caught. *)
+
+(* Per-color mutual-exclusion probe shared by the tests below. *)
+let make_probe n_colors =
+  let in_flight = Array.init n_colors (fun _ -> Atomic.make 0) in
+  let violations = Atomic.make 0 in
+  let enter slot =
+    if 1 + Atomic.fetch_and_add in_flight.(slot) 1 > 1 then Atomic.incr violations
+  in
+  let leave slot = Atomic.decr in_flight.(slot) in
+  (enter, leave, violations)
+
+let busywork iters =
+  let acc = ref 0 in
+  for j = 1 to iters do
+    acc := !acc + j
+  done;
+  ignore !acc
+
+(* Steal/enqueue ownership transfer: all colors hash to worker 0 and
+   every handler registers the *next* color in a ring, so enqueues to a
+   color keep arriving from handlers running on other workers while that
+   color's queue sits stealable — exactly the collision the seed's
+   deferred ownership transfer loses. *)
+let test_steal_enqueue_ownership () =
+  let total_steals = ref 0 in
+  for run = 1 to 60 do
+    let workers = 2 + (run mod 3) in
+    let rt = Rt.Runtime.create ~workers () in
+    (* Large declared cycles: every color is immediately steal-worthy. *)
+    let h = Rt.Runtime.handler rt ~name:"own" ~declared_cycles:500_000 () in
+    let n_colors = 6 and seeds = 4 and depth = 5 in
+    let count = Atomic.make 0 in
+    let enter, leave, violations = make_probe n_colors in
+    (* all colors ≡ 0 mod workers; slot [s] is color [workers * (s+1)] *)
+    let color_of s = workers * (s + 1) in
+    for c = 0 to n_colors - 1 do
+      let slot_at d = (c + depth - d) mod n_colors in
+      let rec work d (ctx : Rt.Runtime.ctx) =
+        let slot = slot_at d in
+        enter slot;
+        Atomic.incr count;
+        busywork 10_000;
+        leave slot;
+        if d > 0 then ctx.register ~color:(color_of (slot_at (d - 1))) ~handler:h
+            (work (d - 1))
+      in
+      for _ = 1 to seeds do
+        Rt.Runtime.register rt ~color:(color_of (slot_at depth)) ~handler:h (work depth)
+      done
+    done;
+    Rt.Runtime.run_until_idle rt;
+    let expected = n_colors * seeds * (depth + 1) in
+    Alcotest.(check int) (Printf.sprintf "run %d: exactly once" run) expected
+      (Atomic.get count);
+    Alcotest.(check int) (Printf.sprintf "run %d: executed" run) expected
+      (Rt.Runtime.executed rt);
+    Alcotest.(check int) (Printf.sprintf "run %d: probe serial" run) 0
+      (Atomic.get violations);
+    Alcotest.(check int) (Printf.sprintf "run %d: runtime serial" run) 1
+      (Rt.Runtime.max_concurrent_same_color rt);
+    (* Cross-check the metrics layer against the global counters. *)
+    let stats = Rt.Runtime.stats rt in
+    let sum f = Array.fold_left (fun acc s -> acc + f s) 0 stats in
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: stats executed" run)
+      expected
+      (sum (fun (s : Rt.Metrics.snapshot) -> s.executed));
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: steals in = steals" run)
+      (Rt.Runtime.steals rt)
+      (sum (fun (s : Rt.Metrics.snapshot) -> s.steals_in));
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: steals out = steals" run)
+      (Rt.Runtime.steals rt)
+      (sum (fun (s : Rt.Metrics.snapshot) -> s.steals_out));
+    total_steals := !total_steals + Rt.Runtime.steals rt
+  done;
+  Alcotest.(check bool) "ownership transfers exercised" true (!total_steals > 0)
+
+(* Drain/recycle: a tiny color space and handlers that immediately hop
+   to another color, so every queue drains (and is eligible for
+   unmapping) between consecutive events of its color. An enqueuer
+   racing [forget_if_drained] on the seed code pushes into a dropped
+   queue and the event is duplicated onto a fresh queue or lost. *)
+let test_recycled_colors () =
+  for run = 1 to 50 do
+    let workers = 2 + (run mod 3) in
+    let rt = Rt.Runtime.create ~workers () in
+    let h = Rt.Runtime.handler rt ~name:"recycle" ~declared_cycles:100_000 () in
+    let n_colors = 3 and chains = 6 and depth = 40 in
+    let count = Atomic.make 0 in
+    let enter, leave, violations = make_probe n_colors in
+    for j = 0 to chains - 1 do
+      (* The event at depth [d] of chain [j] runs under color
+         [1 + slot_at d]; consecutive hops use different colors so each
+         queue drains (and may be unmapped) between its uses, and the
+         chains' phases collide on the same colors from different
+         workers. *)
+      let slot_at d = (j + depth - d) mod n_colors in
+      let rec hop d (ctx : Rt.Runtime.ctx) =
+        let slot = slot_at d in
+        enter slot;
+        Atomic.incr count;
+        busywork 5_000;
+        leave slot;
+        if d > 0 then ctx.register ~color:(1 + slot_at (d - 1)) ~handler:h (hop (d - 1))
+      in
+      Rt.Runtime.register rt ~color:(1 + slot_at depth) ~handler:h (hop depth)
+    done;
+    Rt.Runtime.run_until_idle rt;
+    let expected = chains * (depth + 1) in
+    Alcotest.(check int) (Printf.sprintf "run %d: exactly once" run) expected
+      (Atomic.get count);
+    Alcotest.(check int) (Printf.sprintf "run %d: probe serial" run) 0
+      (Atomic.get violations);
+    Alcotest.(check int) (Printf.sprintf "run %d: runtime serial" run) 1
+      (Rt.Runtime.max_concurrent_same_color rt)
+  done
+
+(* Per-color FIFO must survive steals and recycling: each color records
+   its observed sequence numbers; mutual exclusion makes the per-color
+   array single-writer. *)
+let test_fifo_under_stealing () =
+  for run = 1 to 50 do
+    let workers = 2 + (run mod 3) in
+    let rt = Rt.Runtime.create ~workers () in
+    let h = Rt.Runtime.handler rt ~name:"fifo" ~declared_cycles:200_000 () in
+    let n_colors = 5 and per_color = 30 in
+    let seen = Array.make n_colors [] in
+    let violations = Atomic.make 0 in
+    for seq = 0 to (n_colors * per_color) - 1 do
+      let c = seq mod n_colors in
+      Rt.Runtime.register rt ~color:(workers * (c + 1)) ~handler:h (fun _ ->
+          (match seen.(c) with
+          | last :: _ when last > seq -> Atomic.incr violations
+          | _ -> ());
+          seen.(c) <- seq :: seen.(c);
+          busywork 500)
+    done;
+    Rt.Runtime.run_until_idle rt;
+    Alcotest.(check int) (Printf.sprintf "run %d: fifo" run) 0 (Atomic.get violations);
+    Array.iteri
+      (fun c entries ->
+        Alcotest.(check int)
+          (Printf.sprintf "run %d: color %d complete" run c)
+          per_color (List.length entries))
+      seen
+  done
+
+(* Parking: while a single serial color executes, every other worker has
+   nothing pending and must park (not spin). The first chain event holds
+   the runtime active until it observes a parked sibling in the stats
+   (bounded spin — generous, because on a loaded host the idle domains
+   are scheduled late); the follow-ups then prove parked workers are
+   woken by enqueues, and termination proves the quiescence broadcast. *)
+let test_parking_on_serial_chain () =
+  let rt = Rt.Runtime.create ~workers:4 () in
+  let h = Rt.Runtime.handler rt ~name:"serial" ~declared_cycles:50_000 () in
+  let count = Atomic.make 0 in
+  let parked_seen = Atomic.make false in
+  let sum_parks () =
+    Array.fold_left
+      (fun acc (s : Rt.Metrics.snapshot) -> acc + s.parks)
+      0 (Rt.Runtime.stats rt)
+  in
+  let rec chain depth (ctx : Rt.Runtime.ctx) =
+    Atomic.incr count;
+    if depth > 0 then ctx.register ~color:1 ~handler:h (chain (depth - 1))
+  in
+  Rt.Runtime.register rt ~color:1 ~handler:h (fun ctx ->
+      Atomic.incr count;
+      let budget = ref 100_000 in
+      while (not (Atomic.get parked_seen)) && !budget > 0 do
+        decr budget;
+        if sum_parks () > 0 then Atomic.set parked_seen true
+        else
+          for _ = 1 to 2_000 do
+            Domain.cpu_relax ()
+          done
+      done;
+      ctx.register ~color:1 ~handler:h (chain 40));
+  Rt.Runtime.run_until_idle rt;
+  Alcotest.(check int) "chain complete" 42 (Atomic.get count);
+  Alcotest.(check bool) "idle workers parked" true (Atomic.get parked_seen);
+  Alcotest.(check int) "serial" 1 (Rt.Runtime.max_concurrent_same_color rt);
+  let park_seconds =
+    Array.fold_left
+      (fun acc (s : Rt.Metrics.snapshot) -> acc +. s.park_seconds)
+      0.0 (Rt.Runtime.stats rt)
+  in
+  Alcotest.(check bool) "park time recorded" true (park_seconds >= 0.0)
+
+let suite =
+  [
+    Alcotest.test_case "steal/enqueue ownership x60" `Slow test_steal_enqueue_ownership;
+    Alcotest.test_case "recycled colors x50" `Slow test_recycled_colors;
+    Alcotest.test_case "fifo under stealing x50" `Slow test_fifo_under_stealing;
+    Alcotest.test_case "parking on serial chain" `Quick test_parking_on_serial_chain;
+  ]
