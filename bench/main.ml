@@ -127,6 +127,115 @@ let bench_sim_unbalanced =
          in
          ignore (Workloads.Unbalanced.run ~params Workloads.Setup.Mely Engine.Config.mely_ws)))
 
+(* ------------------------------------------------------------------ *)
+(* Real-runtime benches with machine-readable output: one-shot drain  *)
+(* and steady-state external injection through the serving lifecycle. *)
+(* `bench/main.exe rt-json [FILE]` writes BENCH_rt.json for CI to     *)
+(* upload, seeding the performance trajectory across PRs.             *)
+
+type rt_bench_result = {
+  rb_name : string;
+  rb_workers : int;
+  rb_events : int;
+  rb_seconds : float;
+  rb_steals : int;
+  rb_parks : int;
+}
+
+let rt_result ~name ~workers ~seconds rt =
+  let parks =
+    Array.fold_left
+      (fun acc (s : Rt.Metrics.snapshot) -> acc + s.parks)
+      0 (Rt.Runtime.stats rt)
+  in
+  {
+    rb_name = name;
+    rb_workers = workers;
+    rb_events = Rt.Runtime.executed rt;
+    rb_seconds = seconds;
+    rb_steals = Rt.Runtime.steals rt;
+    rb_parks = parks;
+  }
+
+let bench_rt_one_shot ~workers ~events =
+  let rt = Rt.Runtime.create ~workers () in
+  let h = Rt.Runtime.handler rt ~name:"bench" ~declared_cycles:20_000 () in
+  let colors = 4 * workers in
+  for i = 0 to events - 1 do
+    Rt.Runtime.register rt ~color:(1 + (i mod colors)) ~handler:h (fun _ ->
+        let acc = ref 0 in
+        for j = 1 to 1_000 do
+          acc := !acc + j
+        done;
+        ignore !acc)
+  done;
+  let t0 = Unix.gettimeofday () in
+  Rt.Runtime.run_until_idle rt;
+  rt_result ~name:"rt_one_shot" ~workers ~seconds:(Unix.gettimeofday () -. t0) rt
+
+(* Steady state: injector threads feed the live runtime as fast as they
+   can while the workers drain it, so the measured rate includes the
+   cross-thread register path and the park/wake machinery. *)
+let bench_rt_serve_injection ~workers ~events =
+  let rt = Rt.Runtime.create ~workers () in
+  let h = Rt.Runtime.handler rt ~name:"inject" ~declared_cycles:20_000 () in
+  let injectors = 2 in
+  let colors = 4 * workers in
+  Rt.Runtime.start rt;
+  let t0 = Unix.gettimeofday () in
+  let feeders =
+    List.init injectors (fun j ->
+        Domain.spawn (fun () ->
+            for i = 0 to (events / injectors) - 1 do
+              let color = 1 + (((i * injectors) + j) mod colors) in
+              ignore
+                (Rt.Runtime.try_register rt ~color ~handler:h (fun _ ->
+                     let acc = ref 0 in
+                     for k = 1 to 1_000 do
+                       acc := !acc + k
+                     done;
+                     ignore !acc))
+            done))
+  in
+  List.iter Domain.join feeders;
+  Rt.Runtime.quiesce rt;
+  let seconds = Unix.gettimeofday () -. t0 in
+  Rt.Runtime.stop rt;
+  rt_result ~name:"rt_serve_injection" ~workers ~seconds rt
+
+let run_rt_json path =
+  let workers = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
+  let events = 20_000 in
+  let results =
+    [
+      bench_rt_one_shot ~workers ~events;
+      bench_rt_serve_injection ~workers ~events;
+    ]
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"benches\": [\n";
+  List.iteri
+    (fun i r ->
+      let events_per_sec =
+        if r.rb_seconds > 0.0 then float_of_int r.rb_events /. r.rb_seconds else 0.0
+      in
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    {\"name\": %S, \"workers\": %d, \"events\": %d, \"seconds\": %.6f, \
+            \"events_per_sec\": %.1f, \"steals\": %d, \"parks\": %d}%s\n"
+           r.rb_name r.rb_workers r.rb_events r.rb_seconds events_per_sec r.rb_steals
+           r.rb_parks
+           (if i < List.length results - 1 then "," else ""));
+      Printf.printf "%-20s %d workers  %7d events  %8.3f s  %10.0f ev/s  %6d steals  %6d parks\n%!"
+        r.rb_name r.rb_workers r.rb_events r.rb_seconds events_per_sec r.rb_steals
+        r.rb_parks)
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Printf.printf "wrote %s\n%!" path
+
 let run_micro () =
   let open Bechamel in
   let benchmarks =
@@ -166,4 +275,6 @@ let () =
   match targets with
   | [] -> run_all ~quick
   | [ "micro" ] -> run_micro ()
+  | [ "rt-json" ] -> run_rt_json "BENCH_rt.json"
+  | [ "rt-json"; path ] -> run_rt_json path
   | ids -> List.iter (run_experiment ~quick) ids

@@ -26,13 +26,21 @@ let run_all ~quick =
 
 (* Exercise the real OCaml 5 domain runtime and print its per-worker
    stats: a quick way to see stealing, parking and queue depths on the
-   actual machine rather than the simulator. *)
-let run_rt workers events =
+   actual machine rather than the simulator. One-shot by default;
+   [--serve] runs the serving lifecycle instead, with injector threads
+   feeding the live runtime at [--inject-rate] for [--duration]. *)
+let run_rt workers events serve inject_rate duration =
   if workers < 1 then (
     Printf.eprintf "melyctl: --workers must be >= 1 (got %d)\n" workers;
     exit 2);
   if events < 0 then (
     Printf.eprintf "melyctl: --events must be >= 0 (got %d)\n" events;
+    exit 2);
+  if inject_rate < 1 then (
+    Printf.eprintf "melyctl: --inject-rate must be >= 1 (got %d)\n" inject_rate;
+    exit 2);
+  if duration <= 0.0 then (
+    Printf.eprintf "melyctl: --duration must be > 0 (got %g)\n" duration;
     exit 2);
   let rt = Rt.Runtime.create ~workers () in
   let h = Rt.Runtime.handler rt ~name:"demo" ~declared_cycles:50_000 () in
@@ -45,26 +53,65 @@ let run_rt workers events =
     done;
     Atomic.fetch_and_add sink !acc |> ignore
   in
-  for i = 0 to events - 1 do
-    let color = 1 + (i mod colors) in
-    Rt.Runtime.register rt ~color ~handler:h (fun ctx ->
-        busywork ctx;
-        if i mod 16 = 0 then ctx.register ~color ~handler:h busywork)
-  done;
-  let t0 = Unix.gettimeofday () in
-  Rt.Runtime.run_until_idle rt;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt =
+    if serve then begin
+      (* Serving mode: persistent workers, closed gate only at stop. *)
+      let injectors = 2 in
+      let interval = float_of_int injectors /. float_of_int inject_rate in
+      let accepted = Atomic.make 0 and attempts = Atomic.make 0 in
+      Rt.Runtime.start rt;
+      let t0 = Unix.gettimeofday () in
+      let feeders =
+        List.init injectors (fun j ->
+            Domain.spawn (fun () ->
+                let deadline = t0 +. duration in
+                let next = ref (t0 +. (interval *. float_of_int j /. 2.0)) in
+                let i = ref 0 in
+                while Unix.gettimeofday () < deadline do
+                  let color = 1 + (((!i * injectors) + j) mod colors) in
+                  incr i;
+                  Atomic.incr attempts;
+                  if Rt.Runtime.try_register rt ~color ~handler:h busywork then
+                    Atomic.incr accepted;
+                  next := !next +. interval;
+                  let now = Unix.gettimeofday () in
+                  if !next > now then Unix.sleepf (!next -. now)
+                done))
+      in
+      List.iter Domain.join feeders;
+      Rt.Runtime.quiesce rt;
+      Rt.Runtime.stop rt;
+      let dt = Unix.gettimeofday () -. t0 in
+      Printf.printf
+        "served %.3f s at target %d ev/s: %d injected, %d accepted, %d refused, %d executed\n"
+        dt inject_rate (Atomic.get attempts) (Atomic.get accepted)
+        (Rt.Runtime.refused rt) (Rt.Runtime.executed rt);
+      dt
+    end
+    else begin
+      for i = 0 to events - 1 do
+        let color = 1 + (i mod colors) in
+        Rt.Runtime.register rt ~color ~handler:h (fun ctx ->
+            busywork ctx;
+            if i mod 16 = 0 then ctx.register ~color ~handler:h busywork)
+      done;
+      let t0 = Unix.gettimeofday () in
+      Rt.Runtime.run_until_idle rt;
+      Unix.gettimeofday () -. t0
+    end
+  in
   Printf.printf
-    "executed %d events on %d workers in %.3f s — %d steals / %d attempts, max same-color concurrency %d\n"
+    "executed %d events on %d workers in %.3f s — %d steals / %d attempts, max same-color concurrency %d, %d handler errors\n"
     (Rt.Runtime.executed rt) workers dt (Rt.Runtime.steals rt)
     (Rt.Runtime.steal_attempts rt)
-    (Rt.Runtime.max_concurrent_same_color rt);
+    (Rt.Runtime.max_concurrent_same_color rt)
+    (Rt.Runtime.errors rt);
   let table =
     Mstd.Table.create
       ~headers:
         [
           "worker"; "executed"; "enqueued"; "steals in"; "steals out"; "failed rounds";
-          "parks"; "park ms"; "queue hwm";
+          "parks"; "park ms"; "queue hwm"; "errors"; "last error";
         ]
   in
   Array.iteri
@@ -80,6 +127,8 @@ let run_rt workers events =
           string_of_int s.parks;
           Printf.sprintf "%.2f" (s.park_seconds *. 1_000.0);
           string_of_int s.queue_hwm;
+          string_of_int s.errors;
+          (match s.last_error with None -> "-" | Some (h, _) -> h);
         ])
     (Rt.Runtime.stats rt);
   print_string (Mstd.Table.render table);
@@ -116,13 +165,28 @@ let rt_cmd =
     Arg.(value & opt int 4 & info [ "workers" ] ~docv:"N" ~doc)
   in
   let events =
-    let doc = "Events to register." in
+    let doc = "Events to register (one-shot mode)." in
     Arg.(value & opt int 2_000 & info [ "events" ] ~docv:"N" ~doc)
+  in
+  let serve =
+    let doc =
+      "Serving lifecycle: start persistent workers, inject events from \
+       external threads into the live runtime, quiesce, then stop."
+    in
+    Arg.(value & flag & info [ "serve" ] ~doc)
+  in
+  let inject_rate =
+    let doc = "Target injection rate in events/s (with --serve)." in
+    Arg.(value & opt int 10_000 & info [ "inject-rate" ] ~docv:"RATE" ~doc)
+  in
+  let duration =
+    let doc = "Injection window in seconds (with --serve)." in
+    Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
   in
   Cmd.v
     (Cmd.info "rt"
        ~doc:"Exercise the real multicore runtime and print per-worker stats.")
-    Term.(const run_rt $ workers $ events)
+    Term.(const run_rt $ workers $ events $ serve $ inject_rate $ duration)
 
 let () =
   let doc = "Mely reproduction: workstealing for multicore event-driven systems" in

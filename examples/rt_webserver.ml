@@ -1,0 +1,93 @@
+(* SWS-in-miniature on the real multicore runtime, run as a persistent
+   service: the serving lifecycle (start / live injection / quiesce /
+   stop) plus fault containment, which a long-running server needs —
+   one bad request must never take a worker domain down.
+
+   Client connections are colors: requests of one connection are parsed
+   and answered strictly in order, different connections spread across
+   the workers via stealing. Feeder threads play the clients, injecting
+   raw HTTP/1.1 request bytes into the live runtime; responses come from
+   a prebuilt cache (the Flash optimization SWS keeps). A slice of the
+   traffic is garbage bytes, and the parse handler deliberately raises
+   on them — the runtime contains the failure, records it per-worker,
+   and keeps serving.
+
+   Run with: dune exec examples/rt_webserver.exe *)
+
+let n_workers = 4
+let n_connections = 16
+let requests_per_connection = 50
+let feeders = 4
+
+let () =
+  let files =
+    List.init 8 (fun i ->
+        (Printf.sprintf "/file%d.html" i, String.make (512 * (i + 1)) 'x'))
+  in
+  let cache = Httpkit.Response.prebuild_cache ~files in
+  let not_found =
+    Httpkit.Response.build ~status:Httpkit.Response.Not_found ~body:"gone" ()
+  in
+  let rt = Rt.Runtime.create ~workers:n_workers ~on_error:Rt.Runtime.Swallow () in
+  let parse_handler =
+    (* Parsing + cache lookup is the hot path; declared cost makes a
+       backed-up connection worth stealing. *)
+    Rt.Runtime.handler rt ~name:"http-parse" ~declared_cycles:100_000 ()
+  in
+  let bytes_out = Array.make n_connections 0 in (* per-connection: color-serialized *)
+  let served = Atomic.make 0 in
+  let serve_request conn raw (_ctx : Rt.Runtime.ctx) =
+    match Httpkit.Request.parse raw with
+    | Ok (req, _consumed) ->
+      let response =
+        match Hashtbl.find_opt cache req.Httpkit.Request.target with
+        | Some r -> r
+        | None -> not_found
+      in
+      bytes_out.(conn) <- bytes_out.(conn) + String.length response;
+      Atomic.incr served
+    | Error _ -> failwith "malformed request"  (* contained by the runtime *)
+  in
+  Rt.Runtime.start rt;
+  let clients =
+    List.init feeders (fun f ->
+        Domain.spawn (fun () ->
+            let accepted = ref 0 in
+            for i = 0 to requests_per_connection - 1 do
+              let conn = ref f in
+              while !conn < n_connections do
+                let raw =
+                  if (i + !conn) mod 25 = 24 then "BOGUS /\r\n\r\n" (* bad verb line *)
+                  else
+                    Printf.sprintf "GET /file%d.html HTTP/1.1\r\nHost: mely\r\n\r\n"
+                      ((i + !conn) mod 10)
+                in
+                if
+                  Rt.Runtime.try_register rt ~color:(!conn + 1)
+                    ~handler:parse_handler
+                    (serve_request !conn raw)
+                then incr accepted;
+                conn := !conn + feeders
+              done
+            done;
+            !accepted))
+  in
+  let accepted = List.fold_left (fun acc d -> acc + Domain.join d) 0 clients in
+  Rt.Runtime.quiesce rt;
+  Printf.printf "quiesced: %d requests in flight or queued (must be 0)\n"
+    (Rt.Runtime.pending rt);
+  Rt.Runtime.stop rt;
+  let total_bytes = Array.fold_left ( + ) 0 bytes_out in
+  let errors_by_worker =
+    Rt.Runtime.stats rt
+    |> Array.to_list
+    |> List.mapi (fun w (s : Rt.Metrics.snapshot) -> Printf.sprintf "w%d:%d" w s.errors)
+    |> String.concat " "
+  in
+  Printf.printf
+    "served %d/%d accepted requests (%d KiB) on %d workers, %d steals\n"
+    (Atomic.get served) accepted (total_bytes / 1024) n_workers (Rt.Runtime.steals rt);
+  Printf.printf "contained %d malformed-request failures (%s), runtime stayed up\n"
+    (Rt.Runtime.errors rt) errors_by_worker;
+  assert (Atomic.get served + Rt.Runtime.errors rt = accepted);
+  assert (Rt.Runtime.executed rt = accepted)

@@ -1,5 +1,6 @@
-(* A secure message pipeline on the real multicore runtime, using the
-   from-scratch crypto substrate — an SFS-in-miniature.
+(* A secure message pipeline running as a persistent service on the
+   real multicore runtime, using the from-scratch crypto substrate — an
+   SFS-in-miniature.
 
    Each session owns a color: its messages are encrypted (ChaCha20),
    authenticated (HMAC-SHA256) and sequenced strictly in order, while
@@ -7,6 +8,12 @@
    carries the profiling annotations the workstealing heuristics read:
    big declared cost (worth stealing when queued), no penalty (its data
    set is the message being produced, not a warm cache footprint).
+
+   Unlike the one-shot batch version, the runtime is [start]ed once and
+   messages are injected by feeder threads into the live runtime — the
+   serving lifecycle a real SFS front-end needs. A session's messages
+   are fed by a single feeder so per-color FIFO covers end to end;
+   [quiesce] is the inter-batch barrier and [stop] drains and joins.
 
    Run with: dune exec examples/secure_pipeline.exe *)
 
@@ -21,7 +28,7 @@ let () =
   let encrypt_handler =
     Rt.Runtime.handler rt ~name:"encrypt" ~declared_cycles:400_000 ()
   in
-  let n_sessions = 6 and messages_per_session = 20 in
+  let n_sessions = 6 and messages_per_session = 20 and feeders = 3 in
   let sessions =
     Array.init n_sessions (fun i ->
         {
@@ -35,26 +42,51 @@ let () =
     Bytes.set_int64_le raw 0 (Int64.of_int seq);
     Bytes.unsafe_to_string raw
   in
+  let encrypt s m (_ctx : Rt.Runtime.ctx) =
+    let session = sessions.(s) in
+    let plaintext = Printf.sprintf "session %d message %d" s m in
+    let nonce = nonce_of session.seq in
+    let ciphertext = Crypto.Chacha20.encrypt ~key:session.key ~nonce plaintext in
+    let mac = Crypto.Hmac.sha256 ~key:session.key (nonce ^ ciphertext) in
+    (* Color serialization makes the sequence counter safe. *)
+    session.seq <- session.seq + 1;
+    session.transcript <- Crypto.Sha256.hex (String.sub mac 0 8) :: session.transcript
+  in
+  Rt.Runtime.start rt;
+  let inject =
+    (* Feeder [f] owns sessions f, f+feeders, ...: injection order per
+       color is preserved, so so is the encryption sequence. *)
+    List.init feeders (fun f ->
+        Domain.spawn (fun () ->
+            for m = 0 to messages_per_session - 1 do
+              let s = ref f in
+              while !s < n_sessions do
+                assert
+                  (Rt.Runtime.try_register rt ~color:(!s + 1)
+                     ~handler:encrypt_handler (encrypt !s m));
+                s := !s + feeders
+              done
+            done))
+  in
+  List.iter Domain.join inject;
+  Rt.Runtime.quiesce rt;
+  Printf.printf "first batch drained: %d events executed, still serving: %b\n"
+    (Rt.Runtime.executed rt) (Rt.Runtime.is_serving rt);
+  (* A second wave into the same live runtime: workers parked across the
+     quiescent gap and wake on the new injections. *)
   for s = 0 to n_sessions - 1 do
-    for m = 0 to messages_per_session - 1 do
-      Rt.Runtime.register rt ~color:(s + 1) ~handler:encrypt_handler (fun _ctx ->
-          let session = sessions.(s) in
-          let plaintext = Printf.sprintf "session %d message %d" s m in
-          let nonce = nonce_of session.seq in
-          let ciphertext = Crypto.Chacha20.encrypt ~key:session.key ~nonce plaintext in
-          let mac = Crypto.Hmac.sha256 ~key:session.key (nonce ^ ciphertext) in
-          (* Color serialization makes the sequence counter safe. *)
-          session.seq <- session.seq + 1;
-          session.transcript <- Crypto.Sha256.hex (String.sub mac 0 8) :: session.transcript)
+    for m = messages_per_session to (2 * messages_per_session) - 1 do
+      Rt.Runtime.register rt ~color:(s + 1) ~handler:encrypt_handler (encrypt s m)
     done
   done;
-  Rt.Runtime.run_until_idle rt;
+  Rt.Runtime.stop rt;
   Array.iteri
     (fun i session ->
-      assert (session.seq = messages_per_session);
+      assert (session.seq = 2 * messages_per_session);
       Printf.printf "session %d: %d messages, last mac %s\n" i session.seq
         (List.hd session.transcript))
     sessions;
-  Printf.printf "total events %d, steals %d, same-color concurrency max %d (must be 1)\n"
-    (Rt.Runtime.executed rt) (Rt.Runtime.steals rt)
+  Printf.printf
+    "total events %d, refused %d, steals %d, same-color concurrency max %d (must be 1)\n"
+    (Rt.Runtime.executed rt) (Rt.Runtime.refused rt) (Rt.Runtime.steals rt)
     (Rt.Runtime.max_concurrent_same_color rt)

@@ -7,6 +7,8 @@ type t = {
   parks : int Atomic.t;
   park_seconds : float Atomic.t;
   queue_hwm : int Atomic.t;
+  errors : int Atomic.t;
+  last_error : (string * string) option Atomic.t;
 }
 
 type snapshot = {
@@ -18,6 +20,8 @@ type snapshot = {
   parks : int;
   park_seconds : float;
   queue_hwm : int;
+  errors : int;
+  last_error : (string * string) option;
 }
 
 let create () : t =
@@ -30,6 +34,8 @@ let create () : t =
     parks = Atomic.make 0;
     park_seconds = Atomic.make 0.0;
     queue_hwm = Atomic.make 0;
+    errors = Atomic.make 0;
+    last_error = Atomic.make None;
   }
 
 let on_execute (t : t) = Atomic.incr t.executed
@@ -37,6 +43,12 @@ let on_enqueue (t : t) = Atomic.incr t.enqueued
 let on_steal_in (t : t) = Atomic.incr t.steals_in
 let on_steal_out (t : t) = Atomic.incr t.steals_out
 let on_failed_attempt (t : t) = Atomic.incr t.failed_attempts
+
+(* Only the worker that ran the failing handler records the error, so
+   the count-then-set pair needs no cross-field atomicity. *)
+let on_error (t : t) ~handler ~exn =
+  Atomic.incr t.errors;
+  Atomic.set t.last_error (Some (handler, exn))
 
 (* The park counter is bumped on falling asleep (so observers can see a
    worker is parked while it still is); the wall-clock time is added
@@ -64,4 +76,6 @@ let snapshot (t : t) : snapshot =
     parks = Atomic.get t.parks;
     park_seconds = Atomic.get t.park_seconds;
     queue_hwm = Atomic.get t.queue_hwm;
+    errors = Atomic.get t.errors;
+    last_error = Atomic.get t.last_error;
   }

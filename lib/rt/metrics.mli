@@ -17,6 +17,9 @@ type snapshot = {
   parks : int;  (** times the worker parked on the idle condition *)
   park_seconds : float;  (** total wall-clock time spent parked *)
   queue_hwm : int;  (** high-water mark of events queued at once *)
+  errors : int;  (** handler invocations that raised on this worker *)
+  last_error : (string * string) option;
+      (** most recent failure as [(handler name, exception text)] *)
 }
 
 val create : unit -> t
@@ -25,6 +28,11 @@ val on_enqueue : t -> unit
 val on_steal_in : t -> unit
 val on_steal_out : t -> unit
 val on_failed_attempt : t -> unit
+
+val on_error : t -> handler:string -> exn:string -> unit
+(** Record a handler failure contained by the runtime: bumps the error
+    count and replaces the last-error pair. Called only by the worker
+    that ran the handler. *)
 
 val on_park_begin : t -> unit
 (** Called as the worker falls asleep, so a parked worker is visible in

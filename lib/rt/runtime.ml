@@ -46,6 +46,20 @@ type ws_config = { enabled : bool; locality : bool; time_left : bool; penalty : 
 
 let default_ws = { enabled = true; locality = true; time_left = true; penalty = true }
 
+type failure_policy = Swallow | Stop_runtime
+
+(* Shutdown gate, monotonic within a serving epoch: [accepting] takes
+   any register, [draining] (set by [stop]) refuses external registers
+   but lets in-flight handlers finish their chains, [aborted] (set by
+   the [Stop_runtime] failure policy) refuses everything and makes
+   workers exit without draining the backlog. [start] and
+   [run_until_idle] reset the gate to [accepting]. *)
+let accepting = 0
+
+let draining = 1
+
+let aborted = 2
+
 type t = {
   n : int;
   ws : ws_config;
@@ -64,6 +78,14 @@ type t = {
   park_mutex : Mutex.t;
   park_cond : Condition.t;
   n_parked : int Atomic.t;
+  n_waiters : int Atomic.t;  (** threads blocked in [quiesce] *)
+  on_error : failure_policy;
+  shutdown : int Atomic.t;  (** [accepting] / [draining] / [aborted] *)
+  serving : bool Atomic.t;  (** workers persist across quiescence *)
+  refused : int Atomic.t;  (** registers rejected by the shutdown gate *)
+  error_count : int Atomic.t;  (** handler invocations that raised *)
+  lifecycle_lock : Mutex.t;  (** serializes start/stop/run_until_idle *)
+  mutable domains : unit Domain.t list;  (** serving-mode workers *)
   mutable running : bool;
 }
 
@@ -84,7 +106,8 @@ let locality_victims n =
       in
       List.sort (fun a b -> compare (key a) (key b)) others)
 
-let create ?workers ?(ws = default_ws) ?(batch_threshold = 10) () =
+let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
+    ?(worthy_threshold = 2_000) ?(on_error = Swallow) () =
   let n =
     match workers with
     | Some n ->
@@ -92,11 +115,13 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10) () =
       n
     | None -> max 1 (Domain.recommended_domain_count () - 1)
   in
+  if worthy_threshold < 0 then
+    invalid_arg "Rt.Runtime.create: worthy_threshold must be >= 0";
   {
     n;
     ws;
     batch = batch_threshold;
-    worthy_threshold = 2_000;
+    worthy_threshold;
     states =
       Array.init n (fun _ ->
           {
@@ -123,6 +148,14 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10) () =
     park_mutex = Mutex.create ();
     park_cond = Condition.create ();
     n_parked = Atomic.make 0;
+    n_waiters = Atomic.make 0;
+    on_error;
+    shutdown = Atomic.make accepting;
+    serving = Atomic.make false;
+    refused = Atomic.make 0;
+    error_count = Atomic.make 0;
+    lifecycle_lock = Mutex.create ();
+    domains = [];
     running = false;
   }
 
@@ -198,13 +231,20 @@ let wake_parked t =
     Mutex.unlock t.park_mutex
   end
 
-let rec enqueue t event =
+(* Unconditional broadcast: quiescence and shutdown transitions must
+   also reach [quiesce] waiters, which are not counted in [n_parked]. *)
+let broadcast_all t =
+  Mutex.lock t.park_mutex;
+  Condition.broadcast t.park_cond;
+  Mutex.unlock t.park_mutex
+
+let rec publish t event =
   let cq = locate t event.ev_color in
   let owner = cq.owner in
   if owner < 0 then begin
     (* Mid-steal: the thief is about to publish itself as owner. *)
     Domain.cpu_relax ();
-    enqueue t event
+    publish t event
   end
   else begin
     let ws = t.states.(owner) in
@@ -221,16 +261,44 @@ let rec enqueue t event =
             false
           end)
     in
-    if retry then enqueue t event
-    else begin
-      Atomic.incr t.pending;
-      wake_parked t
-    end
+    if retry then publish t event else wake_parked t
   end
+
+(* [pending] is raised BEFORE the event becomes poppable (and held
+   across ownership retries), so a worker that pops immediately can
+   never drive the counter negative — the seed incremented it after
+   releasing the owner's lock, letting a sibling observe [pending = -1]
+   and declare quiescence mid-enqueue. The shutdown gate is read only
+   after the increment: if we saw [accepting], any worker that later
+   reads [pending] on its exit path also sees our increment (SC
+   atomics), so it cannot declare the drain finished under our feet. *)
+let enqueue t ~internal event =
+  Atomic.incr t.pending;
+  let gate = Atomic.get t.shutdown in
+  if gate = aborted || (gate = draining && not internal) then begin
+    Atomic.decr t.pending;
+    Atomic.incr t.refused;
+    false
+  end
+  else begin
+    publish t event;
+    true
+  end
+
+let try_register t ?(color = default_color) ~handler run =
+  if color < 0 then invalid_arg "Rt.Runtime.try_register: color must be >= 0";
+  enqueue t ~internal:false { ev_handler = handler; ev_color = color; ev_run = run }
 
 let register t ?(color = default_color) ~handler run =
   if color < 0 then invalid_arg "Rt.Runtime.register: color must be >= 0";
-  enqueue t { ev_handler = handler; ev_color = color; ev_run = run }
+  ignore (enqueue t ~internal:false { ev_handler = handler; ev_color = color; ev_run = run })
+
+(* Handler follow-ups count as in-flight work: a draining [stop] lets
+   them through so interrupted chains can finish, only an abort refuses
+   them. *)
+let register_internal t ~color ~handler run =
+  if color < 0 then invalid_arg "Rt.Runtime.register: color must be >= 0";
+  ignore (enqueue t ~internal:true { ev_handler = handler; ev_color = color; ev_run = run })
 
 (* Pop one event from the head color-queue of worker [w]; returns the
    event together with its color-queue so execution never has to
@@ -249,9 +317,13 @@ let pop_next t w =
         end;
         (match Queue.take_opt cq.q with
         | None ->
-          (* Chained queues are never empty; keep the list sane anyway. *)
+          (* Chained queues are never empty; keep the list sane anyway.
+             Reset the batch state too: leaving [batch_color] pointing at
+             the unchained color would hand a recycled queue of the same
+             color a partially consumed batch budget. *)
           unchain ws cq;
           cq.worthy <- false;
+          ws.batch_color <- -1;
           None
         | Some e ->
           ws.n_events <- ws.n_events - 1;
@@ -265,7 +337,10 @@ let pop_next t w =
           ws.current_color <- cq.color;
           if Queue.is_empty cq.q then begin
             unchain ws cq;
-            cq.worthy <- false
+            cq.worthy <- false;
+            (* Same staleness hazard as the empty branch above: the color
+               may retire and recycle before its next event arrives. *)
+            ws.batch_color <- -1
           end
           else if ws.batch_remaining <= 0 then begin
             (* Rotate to the next color to prevent starvation. *)
@@ -303,6 +378,24 @@ let rec forget_if_drained t cq =
     in
     if not settled then forget_if_drained t cq
 
+(* Escalate the shutdown gate to [aborted] (it only ever rises within an
+   epoch) and wake everyone so workers notice and exit. *)
+let request_abort t =
+  let rec raise_gate () =
+    let cur = Atomic.get t.shutdown in
+    if cur < aborted && not (Atomic.compare_and_set t.shutdown cur aborted) then
+      raise_gate ()
+  in
+  raise_gate ();
+  broadcast_all t
+
+(* Execution boundary: a raising handler must not escape — the seed let
+   the exception unwind [worker_loop] past the [active] decrement,
+   killing the domain while parked siblings waited on [active > 0]
+   forever. The failure is recorded per-worker, the event still counts
+   as executed (conservation: every accepted event is consumed exactly
+   once), and the [running]/[active]/[pending] accounting is identical
+   on both paths. *)
 let execute t w (cq : color_queue) event =
   let concurrent = 1 + Atomic.fetch_and_add cq.running 1 in
   (* Record the worst concurrency ever observed for the invariant test. *)
@@ -317,10 +410,16 @@ let execute t w (cq : color_queue) event =
       worker = w;
       register =
         (fun ?(color = default_color) ~handler run ->
-          register t ~color ~handler run);
+          register_internal t ~color ~handler run);
     }
   in
-  (match event.ev_run ctx with () -> () | exception e -> Atomic.decr cq.running; raise e);
+  (match event.ev_run ctx with
+  | () -> ()
+  | exception e ->
+    Atomic.incr t.error_count;
+    Metrics.on_error t.states.(w).metrics ~handler:event.ev_handler.name
+      ~exn:(Printexc.to_string e);
+    (match t.on_error with Swallow -> () | Stop_runtime -> request_abort t));
   Atomic.decr cq.running;
   Atomic.incr t.executed;
   Metrics.on_execute t.states.(w).metrics;
@@ -430,12 +529,22 @@ let try_steal t w =
    parked siblings re-check and exit. *)
 let max_idle_backoff = 4_096
 
+(* Sleep while there is nothing for this worker to do. The predicate
+   folds all three modes together: wait while no work is poppable AND
+   either someone is still executing (their follow-ups may wake us) or
+   the runtime is serving with no stop requested (quiescent but alive).
+   An abort always breaks the sleep. *)
 let park t ws =
   Mutex.lock t.park_mutex;
   Atomic.incr t.n_parked;
   let t0 = Unix.gettimeofday () in
   let slept = ref false in
-  while Atomic.get t.pending = 0 && Atomic.get t.active > 0 do
+  while
+    Atomic.get t.shutdown <> aborted
+    && Atomic.get t.pending = 0
+    && (Atomic.get t.active > 0
+       || (Atomic.get t.serving && Atomic.get t.shutdown = accepting))
+  do
     if not !slept then begin
       slept := true;
       Metrics.on_park_begin ws.metrics
@@ -449,42 +558,122 @@ let park t ws =
 let worker_loop t w =
   let ws = t.states.(w) in
   let rec loop backoff =
-    match pop_next t w with
-    | Some (event, cq) ->
-      Atomic.incr t.active;
-      Atomic.decr t.pending;
-      execute t w cq event;
-      Atomic.decr t.active;
-      loop 1
-    | None ->
-      if t.ws.enabled && Atomic.get t.pending > 0 && try_steal t w then loop 1
-      else if Atomic.get t.pending > 0 then begin
-        (* Work exists but is not (yet) stealable: bounded backoff. *)
-        for _ = 1 to backoff do
-          Domain.cpu_relax ()
-        done;
-        loop (min max_idle_backoff (backoff * 2))
-      end
-      else if Atomic.get t.active > 0 then begin
-        park t ws;
+    if Atomic.get t.shutdown = aborted then
+      (* Exit without draining; wake siblings (and [stop]/[quiesce]
+         waiters) so they notice the abort too. *)
+      broadcast_all t
+    else
+      match pop_next t w with
+      | Some (event, cq) ->
+        Atomic.incr t.active;
+        Atomic.decr t.pending;
+        execute t w cq event;
+        Atomic.decr t.active;
         loop 1
-      end
-      else
-        (* Both zero: quiescent. Wake parked siblings so they exit too. *)
-        wake_parked t
+      | None ->
+        if t.ws.enabled && Atomic.get t.pending > 0 && try_steal t w then loop 1
+        else if Atomic.get t.pending > 0 then begin
+          (* Work exists but is not (yet) stealable: bounded backoff. *)
+          for _ = 1 to backoff do
+            Domain.cpu_relax ()
+          done;
+          loop (min max_idle_backoff (backoff * 2))
+        end
+        else if Atomic.get t.active > 0 then begin
+          park t ws;
+          loop 1
+        end
+        else if Atomic.get t.serving && Atomic.get t.shutdown = accepting then begin
+          (* Transient quiescence: the runtime stays up for the next
+             burst. Only [quiesce] waiters care about this moment —
+             broadcasting to parked siblings here would just ping-pong
+             wakeups between idle workers forever. *)
+          if Atomic.get t.n_waiters > 0 then broadcast_all t;
+          park t ws;
+          loop 1
+        end
+        else if Atomic.get t.pending > 0 || Atomic.get t.active > 0 then
+          (* Re-check quiescence now that the closed gate has been
+             observed: a register can raise [pending] after our first
+             read yet still see [accepting] — but only if its increment
+             precedes the gate transition, so this read (after the
+             transition) cannot miss it. Without it the accepted event
+             would be abandoned by the exiting workers. *)
+          loop 1
+        else
+          (* Terminal quiescence: wake parked siblings and [quiesce]
+             waiters so they observe it and exit too. *)
+          broadcast_all t
   in
   loop 1
 
 let run_until_idle t =
-  if t.running then invalid_arg "Rt.Runtime.run_until_idle: already running";
+  Mutex.lock t.lifecycle_lock;
+  if t.running then begin
+    Mutex.unlock t.lifecycle_lock;
+    invalid_arg "Rt.Runtime.run_until_idle: already running"
+  end;
   t.running <- true;
+  Atomic.set t.shutdown accepting;
+  Mutex.unlock t.lifecycle_lock;
   let domains = List.init t.n (fun w -> Domain.spawn (fun () -> worker_loop t w)) in
   List.iter Domain.join domains;
-  t.running <- false
+  Mutex.lock t.lifecycle_lock;
+  t.running <- false;
+  Mutex.unlock t.lifecycle_lock
+
+let start t =
+  Mutex.lock t.lifecycle_lock;
+  if t.running then begin
+    Mutex.unlock t.lifecycle_lock;
+    invalid_arg "Rt.Runtime.start: already running"
+  end;
+  t.running <- true;
+  Atomic.set t.shutdown accepting;
+  Atomic.set t.serving true;
+  t.domains <- List.init t.n (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  Mutex.unlock t.lifecycle_lock
+
+let stop t =
+  Mutex.lock t.lifecycle_lock;
+  if not (Atomic.get t.serving) then begin
+    Mutex.unlock t.lifecycle_lock;
+    invalid_arg "Rt.Runtime.stop: not serving"
+  end;
+  (* Close the gate (unless an abort already did) and wake everyone:
+     workers drain the backlog, then exit at quiescence. *)
+  ignore (Atomic.compare_and_set t.shutdown accepting draining);
+  broadcast_all t;
+  let domains = t.domains in
+  t.domains <- [];
+  List.iter Domain.join domains;
+  Atomic.set t.serving false;
+  t.running <- false;
+  Mutex.unlock t.lifecycle_lock
+
+(* Wait for a moment of quiescence without stopping. Workers broadcast
+   (unconditionally, under the park mutex) every time they observe
+   [pending = 0 && active = 0], and an abort also broadcasts, so the
+   predicate here cannot miss its wakeup. *)
+let quiesce t =
+  Mutex.lock t.park_mutex;
+  Atomic.incr t.n_waiters;
+  while
+    Atomic.get t.shutdown <> aborted
+    && not (Atomic.get t.pending = 0 && Atomic.get t.active = 0)
+  do
+    Condition.wait t.park_cond t.park_mutex
+  done;
+  Atomic.decr t.n_waiters;
+  Mutex.unlock t.park_mutex
 
 let executed t = Atomic.get t.executed
 let steals t = Atomic.get t.steal_count
 let steal_attempts t = Atomic.get t.attempt_count
 let max_concurrent_same_color t = Atomic.get t.max_same_color
+let pending t = Atomic.get t.pending
+let refused t = Atomic.get t.refused
+let errors t = Atomic.get t.error_count
+let is_serving t = Atomic.get t.serving
 
 let stats t = Array.map (fun ws -> Metrics.snapshot ws.metrics) t.states

@@ -16,10 +16,34 @@
     ]}
 
     [run_until_idle] starts the domains, processes every registered
-    event (including events registered by handlers), and joins. *)
+    event (including events registered by handlers), and joins.
+
+    For long-running servers use the serving lifecycle instead:
+    {[
+      Rt.Runtime.start rt;                  (* workers persist *)
+      ... Rt.Runtime.try_register rt ... ;  (* from any thread *)
+      Rt.Runtime.quiesce rt;                (* wait for drain *)
+      Rt.Runtime.stop rt                    (* drain + join *)
+    ]}
+
+    Handler exceptions never kill a worker: they are contained at the
+    execution boundary, recorded per-worker in {!Metrics} and globally
+    in {!errors}, and handled per the {!failure_policy} given to
+    {!create}. *)
 
 type t
 type handler
+
+(** What to do when a handler raises. Either way the failure is counted
+    ({!errors}, {!Metrics.snapshot.errors}) with the handler name and
+    exception text, the event still counts as executed, and the
+    runtime's accounting stays intact. *)
+type failure_policy =
+  | Swallow  (** contain the failure; keep serving (default) *)
+  | Stop_runtime
+      (** abort: refuse further registers, workers exit without
+          draining the backlog (inspect {!pending} for what was left);
+          a serving runtime still needs {!stop} to join its domains *)
 
 type ctx = {
   worker : int;  (** worker executing the handler *)
@@ -37,9 +61,21 @@ type ws_config = {
 
 val default_ws : ws_config
 
-val create : ?workers:int -> ?ws:ws_config -> ?batch_threshold:int -> unit -> t
+val create :
+  ?workers:int ->
+  ?ws:ws_config ->
+  ?batch_threshold:int ->
+  ?worthy_threshold:int ->
+  ?on_error:failure_policy ->
+  unit ->
+  t
 (** [workers] defaults to [Domain.recommended_domain_count () - 1],
-    at least 1. *)
+    at least 1. [worthy_threshold] (default [2_000], must be >= 0) is
+    the remaining weighted declared-cycle budget above which a color
+    lands on the stealing list — the unit is declared cycles as given
+    to {!handler}, already divided by the penalty when that heuristic
+    is on. [on_error] (default [Swallow]) is the handler-failure
+    policy. *)
 
 val workers : t -> int
 
@@ -49,8 +85,15 @@ val handler :
     penalty heuristics read them, as in Section III). *)
 
 val register : t -> ?color:int -> handler:handler -> (ctx -> unit) -> unit
-(** Register an event from outside the runtime (before or between
-    runs). Handlers register follow-ups through their {!ctx}. *)
+(** Register an event: before or between runs, or — while serving —
+    from any thread into the live runtime. Handlers register follow-ups
+    through their {!ctx}. If the runtime is draining after {!stop},
+    aborted by [Stop_runtime], or stopped, the event is refused and
+    counted in {!refused} (use {!try_register} to observe refusal). *)
+
+val try_register : t -> ?color:int -> handler:handler -> (ctx -> unit) -> bool
+(** Like {!register} but reports acceptance: [false] means the event
+    was refused by the shutdown gate (and counted in {!refused}). *)
 
 val run_until_idle : t -> unit
 (** Spawn the worker domains, drain every event, join. Raises
@@ -61,11 +104,47 @@ val run_until_idle : t -> unit
     is pending elsewhere, and park on a condition variable when nothing
     is pending at all; enqueues wake them. *)
 
-(** Counters observed after a run. *)
+(** {1 Serving lifecycle}
+
+    [start] spawns worker domains that persist across quiescent
+    periods: when the runtime drains, workers park instead of exiting,
+    and external threads keep injecting events with {!register} /
+    {!try_register}. [stop] drains gracefully — it closes the gate to
+    external registers (refusals are counted), lets in-flight handlers
+    finish their chains, waits for the backlog to drain, and joins the
+    domains. [quiesce] blocks until a moment with no queued and no
+    executing events, without stopping — only meaningful while the
+    runtime is running. After [stop] the gate stays closed until the
+    next [start] or [run_until_idle]. *)
+
+val start : t -> unit
+(** Raises [Invalid_argument] if the runtime is already running. *)
+
+val stop : t -> unit
+(** Raises [Invalid_argument] if the runtime is not serving. *)
+
+val quiesce : t -> unit
+
+val is_serving : t -> bool
+
+(** Counters observed after (or during) a run. *)
 
 val executed : t -> int
 val steals : t -> int
 val steal_attempts : t -> int
+
+val pending : t -> int
+(** Accepted events not yet executed. Never negative; [0] after a
+    graceful [stop], possibly positive after a [Stop_runtime] abort. *)
+
+val refused : t -> int
+(** Registers rejected by the shutdown gate. Conservation:
+    every register attempt is eventually accounted as executed,
+    pending, or refused. *)
+
+val errors : t -> int
+(** Handler invocations that raised, across all workers; per-worker
+    detail (count, last handler name and exception) is in {!stats}. *)
 
 val max_concurrent_same_color : t -> int
 (** Highest number of simultaneously-executing events observed for any

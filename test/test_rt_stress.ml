@@ -210,10 +210,213 @@ let test_parking_on_serial_chain () =
   in
   Alcotest.(check bool) "park time recorded" true (park_seconds >= 0.0)
 
+(* ------------------------------------------------------------------ *)
+(* Serving lifecycle and fault containment.                           *)
+
+exception Boom of int
+
+(* Regression for the execute/active deadlock: a handler exception used
+   to escape [worker_loop] before the [active] decrement, killing the
+   domain while parked siblings waited on [active > 0] forever. Raising
+   handlers are spread across colors homing on all 4 workers, mixed
+   with healthy events; the run must terminate, report every failure
+   through [stats], and lose none of the healthy events. *)
+let test_raising_handlers_terminate () =
+  let rt = Rt.Runtime.create ~workers:4 () in
+  let bad = Rt.Runtime.handler rt ~name:"bad" ~declared_cycles:100_000 () in
+  let good = Rt.Runtime.handler rt ~name:"good" ~declared_cycles:100_000 () in
+  let n_bad = 40 and n_good = 200 in
+  let ran = Atomic.make 0 in
+  for i = 0 to n_bad - 1 do
+    (* colors 1..n_bad: homes on every worker *)
+    Rt.Runtime.register rt ~color:(1 + i) ~handler:bad (fun _ -> raise (Boom i))
+  done;
+  for i = 0 to n_good - 1 do
+    Rt.Runtime.register rt ~color:(1 + (i mod 64)) ~handler:good (fun _ ->
+        busywork 2_000;
+        Atomic.incr ran)
+  done;
+  Rt.Runtime.run_until_idle rt;
+  Alcotest.(check int) "healthy events all ran" n_good (Atomic.get ran);
+  Alcotest.(check int) "failures counted" n_bad (Rt.Runtime.errors rt);
+  Alcotest.(check int) "failed events still consumed" (n_bad + n_good)
+    (Rt.Runtime.executed rt);
+  Alcotest.(check int) "nothing left pending" 0 (Rt.Runtime.pending rt);
+  let stats = Rt.Runtime.stats rt in
+  let sum_errors =
+    Array.fold_left (fun acc (s : Rt.Metrics.snapshot) -> acc + s.errors) 0 stats
+  in
+  Alcotest.(check int) "stats errors tie out" n_bad sum_errors;
+  let reported =
+    Array.exists
+      (fun (s : Rt.Metrics.snapshot) ->
+        match s.last_error with Some ("bad", _) -> true | _ -> false)
+      stats
+  in
+  Alcotest.(check bool) "failing handler named in stats" true reported
+
+(* Stop_runtime: the first failure closes the gate; workers exit
+   without draining, the backlog stays observable, and later registers
+   are refused until the next run resets the gate. *)
+let test_stop_runtime_policy () =
+  let rt = Rt.Runtime.create ~workers:4 ~on_error:Stop_runtime () in
+  let h = Rt.Runtime.handler rt ~name:"mix" ~declared_cycles:50_000 () in
+  let total = 400 in
+  for i = 0 to total - 1 do
+    Rt.Runtime.register rt ~color:(1 + (i mod 32)) ~handler:h (fun _ ->
+        busywork 2_000;
+        if i = 37 then failwith "poisoned event")
+  done;
+  Rt.Runtime.run_until_idle rt;
+  Alcotest.(check bool) "failure recorded" true (Rt.Runtime.errors rt >= 1);
+  Alcotest.(check int) "backlog accounted" total
+    (Rt.Runtime.executed rt + Rt.Runtime.pending rt);
+  let refused_before = Rt.Runtime.refused rt in
+  let accepted = Rt.Runtime.try_register rt ~color:1 ~handler:h (fun _ -> ()) in
+  Alcotest.(check bool) "gate stays closed after abort" false accepted;
+  Alcotest.(check int) "refusal counted" (refused_before + 1) (Rt.Runtime.refused rt)
+
+(* Under Swallow a serving runtime keeps accepting and executing after
+   failures — the error is contained, the service stays up. *)
+let test_swallow_keeps_serving () =
+  let rt = Rt.Runtime.create ~workers:4 ~on_error:Swallow () in
+  let bad = Rt.Runtime.handler rt ~name:"bad" ~declared_cycles:10_000 () in
+  let good = Rt.Runtime.handler rt ~name:"good" ~declared_cycles:10_000 () in
+  let ran = Atomic.make 0 in
+  Rt.Runtime.start rt;
+  for i = 0 to 19 do
+    Alcotest.(check bool) "bad accepted" true
+      (Rt.Runtime.try_register rt ~color:(1 + i) ~handler:bad (fun _ ->
+           failwith "contained"))
+  done;
+  Rt.Runtime.quiesce rt;
+  Alcotest.(check bool) "still serving after failures" true (Rt.Runtime.is_serving rt);
+  for i = 0 to 99 do
+    Alcotest.(check bool) "good accepted" true
+      (Rt.Runtime.try_register rt ~color:(1 + (i mod 8)) ~handler:good (fun _ ->
+           Atomic.incr ran))
+  done;
+  Rt.Runtime.quiesce rt;
+  Rt.Runtime.stop rt;
+  Alcotest.(check int) "post-failure events all ran" 100 (Atomic.get ran);
+  Alcotest.(check int) "failures counted" 20 (Rt.Runtime.errors rt)
+
+(* External injection into a live runtime: several injector domains
+   register concurrently with execution across repeated start/stop
+   cycles, sampling [pending] for the non-negativity invariant (the
+   seed raised it after publication, so a fast consumer drove it to -1
+   and siblings declared quiescence mid-enqueue). *)
+let test_external_injection () =
+  let min_pending = Atomic.make 0 in
+  let note_pending rt =
+    let p = Rt.Runtime.pending rt in
+    let rec floor_ () =
+      let seen = Atomic.get min_pending in
+      if p < seen && not (Atomic.compare_and_set min_pending seen p) then floor_ ()
+    in
+    floor_ ()
+  in
+  for run = 1 to 50 do
+    let workers = 2 + (run mod 3) in
+    let rt = Rt.Runtime.create ~workers () in
+    let h = Rt.Runtime.handler rt ~name:"inject" ~declared_cycles:30_000 () in
+    let per_injector = 60 and injectors = 3 in
+    let ran = Atomic.make 0 in
+    Rt.Runtime.start rt;
+    let feeders =
+      List.init injectors (fun j ->
+          Domain.spawn (fun () ->
+              let accepted = ref 0 in
+              for i = 0 to per_injector - 1 do
+                let color = 1 + ((j + (i * injectors)) mod 16) in
+                if
+                  Rt.Runtime.try_register rt ~color ~handler:h (fun _ ->
+                      busywork 1_000;
+                      Atomic.incr ran)
+                then incr accepted;
+                note_pending rt
+              done;
+              !accepted))
+    in
+    let accepted = List.fold_left (fun acc d -> acc + Domain.join d) 0 feeders in
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: live runtime accepts external registers" run)
+      (injectors * per_injector) accepted;
+    Rt.Runtime.quiesce rt;
+    Alcotest.(check int) (Printf.sprintf "run %d: quiesce drained" run) 0
+      (Rt.Runtime.pending rt);
+    Rt.Runtime.stop rt;
+    Alcotest.(check int) (Printf.sprintf "run %d: all injected ran" run) accepted
+      (Atomic.get ran);
+    Alcotest.(check int) (Printf.sprintf "run %d: conservation" run) accepted
+      (Rt.Runtime.executed rt)
+  done;
+  Alcotest.(check int) "pending never negative" 0 (min (Atomic.get min_pending) 0)
+
+(* Stop while loaded: injectors race [stop]; every accepted event must
+   execute (graceful drain), every rejected one must be counted, and
+   handler follow-ups enqueued during the drain must not be lost. *)
+let test_stop_while_loaded () =
+  for run = 1 to 12 do
+    let workers = 2 + (run mod 3) in
+    let rt = Rt.Runtime.create ~workers () in
+    let h = Rt.Runtime.handler rt ~name:"load" ~declared_cycles:50_000 () in
+    let ran = Atomic.make 0 and follow_ups = Atomic.make 0 in
+    Rt.Runtime.start rt;
+    let feeders =
+      List.init 3 (fun j ->
+          Domain.spawn (fun () ->
+              let accepted = ref 0 in
+              for i = 0 to 199 do
+                let color = 1 + ((j + (i * 3)) mod 12) in
+                if
+                  Rt.Runtime.try_register rt ~color ~handler:h (fun ctx ->
+                      busywork 3_000;
+                      Atomic.incr ran;
+                      (* One follow-up per fifth event: in-flight chains
+                         must survive the drain. *)
+                      if i mod 5 = 0 then
+                        ctx.register ~color ~handler:h (fun _ ->
+                            Atomic.incr follow_ups))
+                then incr accepted;
+                Alcotest.(check bool)
+                  (Printf.sprintf "run %d: pending non-negative" run)
+                  true
+                  (Rt.Runtime.pending rt >= 0)
+              done;
+              !accepted))
+    in
+    (* Let some load build, then stop in the middle of the injection. *)
+    busywork 200_000;
+    Rt.Runtime.stop rt;
+    let accepted = List.fold_left (fun acc d -> acc + Domain.join d) 0 feeders in
+    let attempts = 3 * 200 in
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: attempts = accepted + refused" run)
+      attempts
+      (accepted + Rt.Runtime.refused rt);
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: accepted externals all ran" run)
+      accepted (Atomic.get ran);
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: drain left nothing queued" run)
+      0 (Rt.Runtime.pending rt);
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: conservation incl. follow-ups" run)
+      (accepted + Atomic.get follow_ups)
+      (Rt.Runtime.executed rt)
+  done
+
 let suite =
   [
     Alcotest.test_case "steal/enqueue ownership x60" `Slow test_steal_enqueue_ownership;
     Alcotest.test_case "recycled colors x50" `Slow test_recycled_colors;
     Alcotest.test_case "fifo under stealing x50" `Slow test_fifo_under_stealing;
     Alcotest.test_case "parking on serial chain" `Quick test_parking_on_serial_chain;
+    Alcotest.test_case "raising handlers terminate (4 workers)" `Quick
+      test_raising_handlers_terminate;
+    Alcotest.test_case "stop_runtime policy aborts" `Quick test_stop_runtime_policy;
+    Alcotest.test_case "swallow policy keeps serving" `Quick test_swallow_keeps_serving;
+    Alcotest.test_case "external injection x50" `Slow test_external_injection;
+    Alcotest.test_case "stop while loaded x12" `Slow test_stop_while_loaded;
   ]
