@@ -140,6 +140,7 @@ type rt_bench_result = {
   rb_seconds : float;
   rb_steals : int;
   rb_parks : int;
+  rb_latencies : Rt.Trace.latency list;  (** empty when tracing was off *)
 }
 
 let rt_result ~name ~workers ~seconds rt =
@@ -155,10 +156,15 @@ let rt_result ~name ~workers ~seconds rt =
     rb_seconds = seconds;
     rb_steals = Rt.Runtime.steals rt;
     rb_parks = parks;
+    rb_latencies =
+      (match Rt.Runtime.trace rt with
+      | Some tr -> Rt.Trace.latency_summary tr
+      | None -> []);
   }
 
-let bench_rt_one_shot ~workers ~events =
-  let rt = Rt.Runtime.create ~workers () in
+let bench_rt_one_shot ?trace ~workers ~events () =
+  let name = match trace with None -> "rt_one_shot" | Some _ -> "rt_one_shot_traced" in
+  let rt = Rt.Runtime.create ~workers ?trace () in
   let h = Rt.Runtime.handler rt ~name:"bench" ~declared_cycles:20_000 () in
   let colors = 4 * workers in
   for i = 0 to events - 1 do
@@ -169,9 +175,9 @@ let bench_rt_one_shot ~workers ~events =
         done;
         ignore !acc)
   done;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rt.Clock.now_ns () in
   Rt.Runtime.run_until_idle rt;
-  rt_result ~name:"rt_one_shot" ~workers ~seconds:(Unix.gettimeofday () -. t0) rt
+  rt_result ~name ~workers ~seconds:(Rt.Clock.elapsed_seconds ~since:t0) rt
 
 (* Steady state: injector threads feed the live runtime as fast as they
    can while the workers drain it, so the measured rate includes the
@@ -182,7 +188,7 @@ let bench_rt_serve_injection ~workers ~events =
   let injectors = 2 in
   let colors = 4 * workers in
   Rt.Runtime.start rt;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Rt.Clock.now_ns () in
   let feeders =
     List.init injectors (fun j ->
         Domain.spawn (fun () ->
@@ -199,7 +205,7 @@ let bench_rt_serve_injection ~workers ~events =
   in
   List.iter Domain.join feeders;
   Rt.Runtime.quiesce rt;
-  let seconds = Unix.gettimeofday () -. t0 in
+  let seconds = Rt.Clock.elapsed_seconds ~since:t0 in
   Rt.Runtime.stop rt;
   rt_result ~name:"rt_serve_injection" ~workers ~seconds rt
 
@@ -208,7 +214,11 @@ let run_rt_json path =
   let events = 20_000 in
   let results =
     [
-      bench_rt_one_shot ~workers ~events;
+      bench_rt_one_shot ~workers ~events ();
+      (* Same workload under the flight recorder: its events_per_sec
+         gap vs. rt_one_shot is the recording overhead, and its
+         latency percentiles seed the trajectory across PRs. *)
+      bench_rt_one_shot ~trace:Rt.Trace.default_config ~workers ~events ();
       bench_rt_serve_injection ~workers ~events;
     ]
   in
@@ -219,12 +229,29 @@ let run_rt_json path =
       let events_per_sec =
         if r.rb_seconds > 0.0 then float_of_int r.rb_events /. r.rb_seconds else 0.0
       in
+      let latencies =
+        match r.rb_latencies with
+        | [] -> ""
+        | ls ->
+          let entries =
+            List.map
+              (fun (l : Rt.Trace.latency) ->
+                Printf.sprintf
+                  "{\"handler\": %S, \"count\": %d, \"queue_wait_p50_ns\": %.0f, \
+                   \"queue_wait_p99_ns\": %.0f, \"service_p50_ns\": %.0f, \
+                   \"service_p99_ns\": %.0f}"
+                  l.l_handler l.l_count l.l_qwait_p50 l.l_qwait_p99 l.l_service_p50
+                  l.l_service_p99)
+              ls
+          in
+          Printf.sprintf ", \"latencies\": [%s]" (String.concat ", " entries)
+      in
       Buffer.add_string buf
         (Printf.sprintf
            "    {\"name\": %S, \"workers\": %d, \"events\": %d, \"seconds\": %.6f, \
-            \"events_per_sec\": %.1f, \"steals\": %d, \"parks\": %d}%s\n"
+            \"events_per_sec\": %.1f, \"steals\": %d, \"parks\": %d%s}%s\n"
            r.rb_name r.rb_workers r.rb_events r.rb_seconds events_per_sec r.rb_steals
-           r.rb_parks
+           r.rb_parks latencies
            (if i < List.length results - 1 then "," else ""));
       Printf.printf "%-20s %d workers  %7d events  %8.3f s  %10.0f ev/s  %6d steals  %6d parks\n%!"
         r.rb_name r.rb_workers r.rb_events r.rb_seconds events_per_sec r.rb_steals

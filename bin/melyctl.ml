@@ -24,6 +24,78 @@ let run_all ~quick =
     (fun status e -> max status (run_one ~quick e.Harness.Experiments.id))
     0 Harness.Experiments.all
 
+(* Shared rendering for the rt subcommands: the run summary and the
+   per-worker stats, all through Mstd.Table / Mstd.Units so columns
+   align and durations carry their natural unit. *)
+let print_rt_summary rt ~workers ~seconds =
+  let table = Mstd.Table.create ~headers:[ "total"; "value" ] in
+  let add k v = Mstd.Table.add_row table [ k; v ] in
+  add "executed" (string_of_int (Rt.Runtime.executed rt));
+  add "workers" (string_of_int workers);
+  add "wall time" (Mstd.Units.seconds seconds);
+  add "throughput"
+    (Printf.sprintf "%sK ev/s"
+       (Mstd.Units.kevents_per_sec (float_of_int (Rt.Runtime.executed rt) /. seconds)));
+  add "steals" (string_of_int (Rt.Runtime.steals rt));
+  add "steal rounds" (string_of_int (Rt.Runtime.steal_attempts rt));
+  add "max same-color" (string_of_int (Rt.Runtime.max_concurrent_same_color rt));
+  add "handler errors" (string_of_int (Rt.Runtime.errors rt));
+  print_string (Mstd.Table.render table)
+
+let print_rt_stats rt =
+  let table =
+    Mstd.Table.create
+      ~headers:
+        [
+          "worker"; "executed"; "enqueued"; "steals in"; "steals out"; "failed rounds";
+          "visits"; "parks"; "park time"; "queue hwm"; "errors"; "last error";
+        ]
+  in
+  Array.iteri
+    (fun w (s : Rt.Metrics.snapshot) ->
+      Mstd.Table.add_row table
+        [
+          string_of_int w;
+          string_of_int s.executed;
+          string_of_int s.enqueued;
+          string_of_int s.steals_in;
+          string_of_int s.steals_out;
+          string_of_int s.failed_attempts;
+          string_of_int s.visits;
+          string_of_int s.parks;
+          Mstd.Units.seconds s.park_seconds;
+          string_of_int s.queue_hwm;
+          string_of_int s.errors;
+          (match s.last_error with None -> "-" | Some (h, _) -> h);
+        ])
+    (Rt.Runtime.stats rt);
+  print_string (Mstd.Table.render table)
+
+let print_rt_latencies tr =
+  match Rt.Trace.latency_summary tr with
+  | [] -> ()
+  | latencies ->
+    let table =
+      Mstd.Table.create
+        ~headers:
+          [
+            "handler"; "count"; "qwait p50"; "qwait p99"; "service p50"; "service p99";
+          ]
+    in
+    List.iter
+      (fun (l : Rt.Trace.latency) ->
+        Mstd.Table.add_row table
+          [
+            l.l_handler;
+            string_of_int l.l_count;
+            Mstd.Units.duration_ns l.l_qwait_p50;
+            Mstd.Units.duration_ns l.l_qwait_p99;
+            Mstd.Units.duration_ns l.l_service_p50;
+            Mstd.Units.duration_ns l.l_service_p99;
+          ])
+      latencies;
+    print_string (Mstd.Table.render table)
+
 (* Exercise the real OCaml 5 domain runtime and print its per-worker
    stats: a quick way to see stealing, parking and queue depths on the
    actual machine rather than the simulator. One-shot by default;
@@ -60,28 +132,27 @@ let run_rt workers events serve inject_rate duration =
       let interval = float_of_int injectors /. float_of_int inject_rate in
       let accepted = Atomic.make 0 and attempts = Atomic.make 0 in
       Rt.Runtime.start rt;
-      let t0 = Unix.gettimeofday () in
+      let t0 = Rt.Clock.now_ns () in
       let feeders =
         List.init injectors (fun j ->
             Domain.spawn (fun () ->
-                let deadline = t0 +. duration in
-                let next = ref (t0 +. (interval *. float_of_int j /. 2.0)) in
+                let next = ref (interval *. float_of_int j /. 2.0) in
                 let i = ref 0 in
-                while Unix.gettimeofday () < deadline do
+                while Rt.Clock.elapsed_seconds ~since:t0 < duration do
                   let color = 1 + (((!i * injectors) + j) mod colors) in
                   incr i;
                   Atomic.incr attempts;
                   if Rt.Runtime.try_register rt ~color ~handler:h busywork then
                     Atomic.incr accepted;
                   next := !next +. interval;
-                  let now = Unix.gettimeofday () in
+                  let now = Rt.Clock.elapsed_seconds ~since:t0 in
                   if !next > now then Unix.sleepf (!next -. now)
                 done))
       in
       List.iter Domain.join feeders;
       Rt.Runtime.quiesce rt;
       Rt.Runtime.stop rt;
-      let dt = Unix.gettimeofday () -. t0 in
+      let dt = Rt.Clock.elapsed_seconds ~since:t0 in
       Printf.printf
         "served %.3f s at target %d ev/s: %d injected, %d accepted, %d refused, %d executed\n"
         dt inject_rate (Atomic.get attempts) (Atomic.get accepted)
@@ -95,45 +166,94 @@ let run_rt workers events serve inject_rate duration =
             busywork ctx;
             if i mod 16 = 0 then ctx.register ~color ~handler:h busywork)
       done;
-      let t0 = Unix.gettimeofday () in
+      let t0 = Rt.Clock.now_ns () in
       Rt.Runtime.run_until_idle rt;
-      Unix.gettimeofday () -. t0
+      Rt.Clock.elapsed_seconds ~since:t0
     end
   in
-  Printf.printf
-    "executed %d events on %d workers in %.3f s — %d steals / %d attempts, max same-color concurrency %d, %d handler errors\n"
-    (Rt.Runtime.executed rt) workers dt (Rt.Runtime.steals rt)
-    (Rt.Runtime.steal_attempts rt)
-    (Rt.Runtime.max_concurrent_same_color rt)
-    (Rt.Runtime.errors rt);
-  let table =
-    Mstd.Table.create
-      ~headers:
-        [
-          "worker"; "executed"; "enqueued"; "steals in"; "steals out"; "failed rounds";
-          "parks"; "park ms"; "queue hwm"; "errors"; "last error";
-        ]
-  in
-  Array.iteri
-    (fun w (s : Rt.Metrics.snapshot) ->
-      Mstd.Table.add_row table
-        [
-          string_of_int w;
-          string_of_int s.executed;
-          string_of_int s.enqueued;
-          string_of_int s.steals_in;
-          string_of_int s.steals_out;
-          string_of_int s.failed_attempts;
-          string_of_int s.parks;
-          Printf.sprintf "%.2f" (s.park_seconds *. 1_000.0);
-          string_of_int s.queue_hwm;
-          string_of_int s.errors;
-          (match s.last_error with None -> "-" | Some (h, _) -> h);
-        ])
-    (Rt.Runtime.stats rt);
-  print_string (Mstd.Table.render table);
+  print_rt_summary rt ~workers ~seconds:dt;
+  print_rt_stats rt;
   flush stdout;
   0
+
+(* The flight-recorder subcommand: run the unbalanced microbenchmark on
+   the real runtime with tracing on — heavy handlers homed on worker 0,
+   light ones spread everywhere, so steals must happen — then replay
+   the trace through the invariant checkers, print the latency
+   percentiles, and write the Chrome trace JSON for Perfetto. *)
+let run_rt_trace workers events trace_out trace_cap histograms =
+  if workers < 1 then (
+    Printf.eprintf "melyctl: --workers must be >= 1 (got %d)\n" workers;
+    exit 2);
+  if events < 1 then (
+    Printf.eprintf "melyctl: --events must be >= 1 (got %d)\n" events;
+    exit 2);
+  if trace_cap < 1 then (
+    Printf.eprintf "melyctl: --trace-cap must be >= 1 (got %d)\n" trace_cap;
+    exit 2);
+  let rt =
+    Rt.Runtime.create ~workers ~trace:{ capacity = trace_cap; histograms } ()
+  in
+  let heavy = Rt.Runtime.handler rt ~name:"heavy" ~declared_cycles:400_000 () in
+  let light = Rt.Runtime.handler rt ~name:"light" ~declared_cycles:8_000 () in
+  let sink = Atomic.make 0 in
+  let busywork iters (_ : Rt.Runtime.ctx) =
+    let acc = ref 0 in
+    for j = 1 to iters do
+      acc := !acc + j
+    done;
+    Atomic.fetch_and_add sink !acc |> ignore
+  in
+  (* The unbalanced shape (paper Section V-B): a quarter of the load is
+     heavy and hashes onto worker 0's colors; the rest is light and
+     spreads. Workstealing has to move the heavy colors off worker 0. *)
+  for i = 0 to events - 1 do
+    if i mod 4 = 0 then
+      let color = workers * (1 + (i mod 8)) in
+      Rt.Runtime.register rt ~color ~handler:heavy (busywork 40_000)
+    else
+      let color = 1 + (i mod (8 * workers)) in
+      Rt.Runtime.register rt ~color ~handler:light (busywork 1_000)
+  done;
+  let t0 = Rt.Clock.now_ns () in
+  Rt.Runtime.run_until_idle rt;
+  let seconds = Rt.Clock.elapsed_seconds ~since:t0 in
+  print_rt_summary rt ~workers ~seconds;
+  print_rt_stats rt;
+  let tr = Option.get (Rt.Runtime.trace rt) in
+  if histograms then print_rt_latencies tr;
+  let retained =
+    List.init workers (fun w -> Rt.Trace.span_count tr w) |> List.fold_left ( + ) 0
+  in
+  Printf.printf "trace: %d spans retained (%d dropped, ring capacity %d/worker)\n"
+    retained (Rt.Trace.total_dropped tr) trace_cap;
+  let status =
+    match (Rt.Trace.check_mutual_exclusion tr, Rt.Trace.check_fifo_per_color tr) with
+    | None, None ->
+      Printf.printf "replay: mutual exclusion OK, per-color FIFO OK\n";
+      0
+    | Some v, _ ->
+      let (wa, a), (wb, b) = (v.va, v.vb) in
+      Printf.eprintf
+        "replay: MUTUAL EXCLUSION VIOLATION color %d: %s on w%d overlaps %s on w%d\n"
+        a.x_color a.x_handler wa b.x_handler wb;
+      1
+    | None, Some v ->
+      let (wa, a), (wb, b) = (v.va, v.vb) in
+      Printf.eprintf
+        "replay: FIFO VIOLATION color %d: seq %d (w%d) ran before seq %d (w%d)\n"
+        a.x_color b.x_seq wb a.x_seq wa;
+      1
+  in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Rt.Trace.export_chrome tr);
+    close_out oc;
+    Printf.printf "wrote %s — open it at https://ui.perfetto.dev\n" path);
+  flush stdout;
+  status
 
 open Cmdliner
 
@@ -183,10 +303,34 @@ let rt_cmd =
     let doc = "Injection window in seconds (with --serve)." in
     Arg.(value & opt float 1.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
   in
-  Cmd.v
+  let trace_out =
+    let doc = "Write the Chrome trace-event JSON here (open in Perfetto)." in
+    Arg.(value & opt (some string) None & info [ "trace-out" ] ~docv:"FILE" ~doc)
+  in
+  let trace_cap =
+    let doc = "Flight-recorder ring capacity, in spans per worker." in
+    Arg.(value & opt int 65_536 & info [ "trace-cap" ] ~docv:"N" ~doc)
+  in
+  let histograms =
+    let doc = "Collect per-handler latency histograms (p50/p99)." in
+    Arg.(value & flag & info [ "histograms" ] ~doc)
+  in
+  let trace_cmd =
+    Cmd.v
+      (Cmd.info "trace"
+         ~doc:
+           "Run the unbalanced microbenchmark with the flight recorder on: \
+            replay-check the trace, print latency percentiles, export \
+            Chrome trace JSON.")
+      Term.(const run_rt_trace $ workers $ events $ trace_out $ trace_cap $ histograms)
+  in
+  Cmd.group
+    ~default:Term.(const run_rt $ workers $ events $ serve $ inject_rate $ duration)
     (Cmd.info "rt"
-       ~doc:"Exercise the real multicore runtime and print per-worker stats.")
-    Term.(const run_rt $ workers $ events $ serve $ inject_rate $ duration)
+       ~doc:
+         "Exercise the real multicore runtime and print per-worker stats \
+          (subcommand $(b,trace) runs it under the flight recorder).")
+    [ trace_cmd ]
 
 let () =
   let doc = "Mely reproduction: workstealing for multicore event-driven systems" in

@@ -12,6 +12,11 @@
    on them — the runtime contains the failure, records it per-worker,
    and keeps serving.
 
+   The flight recorder stays on the whole time, as it would in
+   production: after the run we print per-handler latency percentiles,
+   replay-check the trace, and (with MELY_TRACE_OUT=FILE set) export a
+   Chrome trace to inspect at ui.perfetto.dev.
+
    Run with: dune exec examples/rt_webserver.exe *)
 
 let n_workers = 4
@@ -28,7 +33,10 @@ let () =
   let not_found =
     Httpkit.Response.build ~status:Httpkit.Response.Not_found ~body:"gone" ()
   in
-  let rt = Rt.Runtime.create ~workers:n_workers ~on_error:Rt.Runtime.Swallow () in
+  let rt =
+    Rt.Runtime.create ~workers:n_workers ~on_error:Rt.Runtime.Swallow
+      ~trace:Rt.Trace.default_config ()
+  in
   let parse_handler =
     (* Parsing + cache lookup is the hot path; declared cost makes a
        backed-up connection worth stealing. *)
@@ -90,4 +98,24 @@ let () =
   Printf.printf "contained %d malformed-request failures (%s), runtime stayed up\n"
     (Rt.Runtime.errors rt) errors_by_worker;
   assert (Atomic.get served + Rt.Runtime.errors rt = accepted);
-  assert (Rt.Runtime.executed rt = accepted)
+  assert (Rt.Runtime.executed rt = accepted);
+  let tr = Option.get (Rt.Runtime.trace rt) in
+  List.iter
+    (fun (l : Rt.Trace.latency) ->
+      Printf.printf "%s: %d served, queue wait p50 %s p99 %s, service p50 %s p99 %s\n"
+        l.l_handler l.l_count
+        (Mstd.Units.duration_ns l.l_qwait_p50)
+        (Mstd.Units.duration_ns l.l_qwait_p99)
+        (Mstd.Units.duration_ns l.l_service_p50)
+        (Mstd.Units.duration_ns l.l_service_p99))
+    (Rt.Trace.latency_summary tr);
+  assert (Rt.Trace.check_mutual_exclusion tr = None);
+  assert (Rt.Trace.check_fifo_per_color tr = None);
+  Printf.printf "replay: mutual exclusion OK, per-color FIFO OK\n";
+  match Sys.getenv_opt "MELY_TRACE_OUT" with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Rt.Trace.export_chrome tr);
+    close_out oc;
+    Printf.printf "wrote %s — open it at https://ui.perfetto.dev\n" path

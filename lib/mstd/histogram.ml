@@ -22,6 +22,12 @@ let add t v =
   t.counts.(b) <- t.counts.(b) + 1;
   t.total <- t.total + 1
 
+let merge ~into src =
+  if into.base <> src.base || Array.length into.counts <> Array.length src.counts then
+    invalid_arg "Histogram.merge: mismatched base or bucket count";
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) src.counts;
+  into.total <- into.total + src.total
+
 let count t = t.total
 let bucket_count t = Array.length t.counts
 

@@ -13,6 +13,11 @@ val create : ?base:float -> ?buckets:int -> unit -> t
 val add : t -> float -> unit
 (** Record one observation. Negative observations count in bucket 0. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every bucket of [src] into [into]. Raises
+    [Invalid_argument] if base or bucket count differ. Useful for
+    combining per-worker histograms into one distribution at export. *)
+
 val count : t -> int
 val bucket_count : t -> int
 

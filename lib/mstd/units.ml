@@ -14,6 +14,15 @@ let ratio v =
   let pct = v *. 100.0 in
   if pct >= 0.0 then Printf.sprintf "+%.0f%%" pct else Printf.sprintf "%.0f%%" pct
 
+let duration_ns ns =
+  let a = Float.abs ns in
+  if a < 1_000.0 then Printf.sprintf "%.0fns" ns
+  else if a < 1_000_000.0 then Printf.sprintf "%.1fus" (ns /. 1_000.0)
+  else if a < 1_000_000_000.0 then Printf.sprintf "%.1fms" (ns /. 1_000_000.0)
+  else Printf.sprintf "%.2fs" (ns /. 1_000_000_000.0)
+
+let seconds s = duration_ns (s *. 1_000_000_000.0)
+
 let bytes n =
   if n < 1024 then Printf.sprintf "%dB" n
   else if n < 1024 * 1024 then Printf.sprintf "%dKB" (n / 1024)

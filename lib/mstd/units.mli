@@ -17,5 +17,12 @@ val ratio : float -> string
 (** Signed percentage change, e.g. [ratio 0.73] is ["+73%"],
     [ratio (-0.33)] is ["-33%"]. *)
 
+val duration_ns : float -> string
+(** A duration given in nanoseconds, scaled to the natural unit:
+    ["840ns"], ["12.5us"], ["3.1ms"], ["1.25s"]. *)
+
+val seconds : float -> string
+(** [seconds 0.0031] is ["3.1ms"] — {!duration_ns} over seconds. *)
+
 val bytes : int -> string
 (** ["64B"], ["6MB"], ["200MB"]. *)

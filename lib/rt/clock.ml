@@ -1,0 +1,12 @@
+(* CLOCK_MONOTONIC via the bechamel stubs already linked for the
+   microbenchmarks — no new dependency. Wall clocks step under NTP and
+   corrupt interval measurements; everything in lib/rt that measures a
+   duration goes through here. *)
+
+let now_ns () = Monotonic_clock.now ()
+
+let elapsed_ns ~since = Int64.sub (now_ns ()) since
+
+let ns_to_seconds ns = Int64.to_float ns /. 1e9
+
+let elapsed_seconds ~since = ns_to_seconds (elapsed_ns ~since)

@@ -1,0 +1,17 @@
+(** Monotonic time for the real runtime.
+
+    [CLOCK_MONOTONIC] in integer nanoseconds — immune to wall-clock
+    steps, cheap enough to stamp every traced span. Durations are
+    meaningful only as differences between two [now_ns] readings from
+    the same boot. *)
+
+val now_ns : unit -> int64
+(** Current monotonic timestamp in nanoseconds. *)
+
+val elapsed_ns : since:int64 -> int64
+(** Nanoseconds elapsed since an earlier [now_ns] reading. *)
+
+val ns_to_seconds : int64 -> float
+
+val elapsed_seconds : since:int64 -> float
+(** [elapsed_seconds ~since] = [ns_to_seconds (elapsed_ns ~since)]. *)

@@ -4,6 +4,7 @@ type t = {
   steals_in : int Atomic.t;
   steals_out : int Atomic.t;
   failed_attempts : int Atomic.t;
+  visits : int Atomic.t;
   parks : int Atomic.t;
   park_seconds : float Atomic.t;
   queue_hwm : int Atomic.t;
@@ -17,6 +18,7 @@ type snapshot = {
   steals_in : int;
   steals_out : int;
   failed_attempts : int;
+  visits : int;
   parks : int;
   park_seconds : float;
   queue_hwm : int;
@@ -31,6 +33,7 @@ let create () : t =
     steals_in = Atomic.make 0;
     steals_out = Atomic.make 0;
     failed_attempts = Atomic.make 0;
+    visits = Atomic.make 0;
     parks = Atomic.make 0;
     park_seconds = Atomic.make 0.0;
     queue_hwm = Atomic.make 0;
@@ -43,6 +46,7 @@ let on_enqueue (t : t) = Atomic.incr t.enqueued
 let on_steal_in (t : t) = Atomic.incr t.steals_in
 let on_steal_out (t : t) = Atomic.incr t.steals_out
 let on_failed_attempt (t : t) = Atomic.incr t.failed_attempts
+let on_visit (t : t) = Atomic.incr t.visits
 
 (* Only the worker that ran the failing handler records the error, so
    the count-then-set pair needs no cross-field atomicity. *)
@@ -73,6 +77,7 @@ let snapshot (t : t) : snapshot =
     steals_in = Atomic.get t.steals_in;
     steals_out = Atomic.get t.steals_out;
     failed_attempts = Atomic.get t.failed_attempts;
+    visits = Atomic.get t.visits;
     parks = Atomic.get t.parks;
     park_seconds = Atomic.get t.park_seconds;
     queue_hwm = Atomic.get t.queue_hwm;

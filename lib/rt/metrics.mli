@@ -14,6 +14,9 @@ type snapshot = {
   steals_in : int;  (** color-queues this worker stole *)
   steals_out : int;  (** color-queues stolen from this worker *)
   failed_attempts : int;  (** steal rounds that found no victim *)
+  visits : int;
+      (** individual victims probed across all steal rounds; with the
+          per-visit trace spans this makes locality ordering auditable *)
   parks : int;  (** times the worker parked on the idle condition *)
   park_seconds : float;  (** total wall-clock time spent parked *)
   queue_hwm : int;  (** high-water mark of events queued at once *)
@@ -28,6 +31,9 @@ val on_enqueue : t -> unit
 val on_steal_in : t -> unit
 val on_steal_out : t -> unit
 val on_failed_attempt : t -> unit
+
+val on_visit : t -> unit
+(** One victim probed during a steal round (whatever the outcome). *)
 
 val on_error : t -> handler:string -> exn:string -> unit
 (** Record a handler failure contained by the runtime: bumps the error

@@ -2,7 +2,18 @@ type handler = { name : string; declared : int; penalty : int }
 
 type ctx = { worker : int; register : ?color:int -> handler:handler -> (ctx -> unit) -> unit }
 
-type event = { ev_handler : handler; ev_color : int; ev_run : ctx -> unit }
+(* [ev_seq]/[ev_enq] are flight-recorder stamps, written only when
+   tracing is on: the enqueue timestamp at the register call, the
+   sequence number under the owning worker's lock at push time (so
+   per-color seq order equals per-color queue order — the property the
+   FIFO replay check relies on). Left at 0 when tracing is off. *)
+type event = {
+  ev_handler : handler;
+  ev_color : int;
+  ev_run : ctx -> unit;
+  mutable ev_seq : int;
+  mutable ev_enq : int64;
+}
 
 (* Per-color queue, chained into its owner's core-queue through an
    intrusive doubly-linked list (the Mely structure, Section IV-A).
@@ -84,6 +95,7 @@ type t = {
   serving : bool Atomic.t;  (** workers persist across quiescence *)
   refused : int Atomic.t;  (** registers rejected by the shutdown gate *)
   error_count : int Atomic.t;  (** handler invocations that raised *)
+  trace : Trace.t option;  (** flight recorder; None = zero-cost disabled *)
   lifecycle_lock : Mutex.t;  (** serializes start/stop/run_until_idle *)
   mutable domains : unit Domain.t list;  (** serving-mode workers *)
   mutable running : bool;
@@ -107,7 +119,7 @@ let locality_victims n =
       List.sort (fun a b -> compare (key a) (key b)) others)
 
 let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
-    ?(worthy_threshold = 2_000) ?(on_error = Swallow) () =
+    ?(worthy_threshold = 2_000) ?(on_error = Swallow) ?trace () =
   let n =
     match workers with
     | Some n ->
@@ -154,6 +166,7 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
     serving = Atomic.make false;
     refused = Atomic.make 0;
     error_count = Atomic.make 0;
+    trace = Option.map (fun cfg -> Trace.create ~workers:n cfg) trace;
     lifecycle_lock = Mutex.create ();
     domains = [];
     running = false;
@@ -252,6 +265,9 @@ let rec publish t event =
       Spinlock.with_lock ws.lock (fun () ->
           if cq.owner <> owner || cq.retired then true (* stolen/unmapped while we raced *)
           else begin
+            (match t.trace with
+            | Some tr -> event.ev_seq <- Trace.next_seq tr
+            | None -> ());
             Queue.push event cq.q;
             cq.weighted <- cq.weighted + weighted_of t event.ev_handler;
             if cq.chained then ws.n_events <- ws.n_events + 1 else chain ws cq;
@@ -273,6 +289,7 @@ let rec publish t event =
    reads [pending] on its exit path also sees our increment (SC
    atomics), so it cannot declare the drain finished under our feet. *)
 let enqueue t ~internal event =
+  (match t.trace with Some _ -> event.ev_enq <- Clock.now_ns () | None -> ());
   Atomic.incr t.pending;
   let gate = Atomic.get t.shutdown in
   if gate = aborted || (gate = draining && not internal) then begin
@@ -285,20 +302,23 @@ let enqueue t ~internal event =
     true
   end
 
+let make_event ~handler ~color run =
+  { ev_handler = handler; ev_color = color; ev_run = run; ev_seq = 0; ev_enq = 0L }
+
 let try_register t ?(color = default_color) ~handler run =
   if color < 0 then invalid_arg "Rt.Runtime.try_register: color must be >= 0";
-  enqueue t ~internal:false { ev_handler = handler; ev_color = color; ev_run = run }
+  enqueue t ~internal:false (make_event ~handler ~color run)
 
 let register t ?(color = default_color) ~handler run =
   if color < 0 then invalid_arg "Rt.Runtime.register: color must be >= 0";
-  ignore (enqueue t ~internal:false { ev_handler = handler; ev_color = color; ev_run = run })
+  ignore (enqueue t ~internal:false (make_event ~handler ~color run))
 
 (* Handler follow-ups count as in-flight work: a draining [stop] lets
    them through so interrupted chains can finish, only an abort refuses
    them. *)
 let register_internal t ~color ~handler run =
   if color < 0 then invalid_arg "Rt.Runtime.register: color must be >= 0";
-  ignore (enqueue t ~internal:true { ev_handler = handler; ev_color = color; ev_run = run })
+  ignore (enqueue t ~internal:true (make_event ~handler ~color run))
 
 (* Pop one event from the head color-queue of worker [w]; returns the
    event together with its color-queue so execution never has to
@@ -413,6 +433,7 @@ let execute t w (cq : color_queue) event =
           register_internal t ~color ~handler run);
     }
   in
+  let t0 = match t.trace with None -> 0L | Some _ -> Clock.now_ns () in
   (match event.ev_run ctx with
   | () -> ()
   | exception e ->
@@ -420,6 +441,17 @@ let execute t w (cq : color_queue) event =
     Metrics.on_error t.states.(w).metrics ~handler:event.ev_handler.name
       ~exn:(Printexc.to_string e);
     (match t.on_error with Swallow -> () | Stop_runtime -> request_abort t));
+  (* The span is stamped and recorded before [running] is released (and
+     before [forget_if_drained] can retire the queue): everything inside
+     it lies within the color's exclusion window, so overlapping spans
+     in the trace always mean a real mutual-exclusion violation — a
+     recycled same-color queue can only start after this point. *)
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.record_exec tr ~worker:w ~handler:event.ev_handler.name
+      ~color:event.ev_color ~seq:event.ev_seq ~enq_ns:event.ev_enq ~start_ns:t0
+      ~end_ns:(Clock.now_ns ()));
   Atomic.decr cq.running;
   Atomic.incr t.executed;
   Metrics.on_execute t.states.(w).metrics;
@@ -440,86 +472,108 @@ let victim_order t w =
     List.filter (fun v -> v <> w) (List.init t.n (fun i -> (!most + i) mod t.n))
   end
 
-(* Steal one color-queue from [victim] into [w]; returns true on
-   success. Never holds two worker locks at once: ownership is handed
-   over through the [migrating] state, set under the victim's lock
-   (closing the enqueue double-chain window) and resolved under the
-   thief's lock when it publishes itself as the new owner. *)
+(* Steal one color-queue from [victim] into [w]; returns the visit
+   outcome ([Won] on success, otherwise why the victim yielded
+   nothing — the flight recorder and the [visits] counter make the
+   locality ordering auditable per probe, not just per round). Never
+   holds two worker locks at once: ownership is handed over through the
+   [migrating] state, set under the victim's lock (closing the enqueue
+   double-chain window) and resolved under the thief's lock when it
+   publishes itself as the new owner. *)
 let steal_from t w victim =
   let vs = t.states.(victim) in
-  let stolen =
-    if not (Spinlock.try_acquire vs.lock) then None
-    else begin
-      let result =
-        if t.ws.time_left then begin
-          (* Pop the first validated worthy color. *)
-          let rec pick budget =
-            if budget = 0 then None
-            else
-              match Queue.take_opt vs.stealing with
-              | None -> None
-              | Some cq ->
-                let valid =
-                  cq.owner = victim && cq.chained && cq.worthy
-                  && cq.weighted > t.worthy_threshold
-                in
-                if not valid then begin
-                  (* Stale entry. Only clear the flag if the queue still
-                     belongs to the victim — after a steal it is the new
-                     owner's lock that protects it. *)
-                  if cq.owner = victim then cq.worthy <- false;
-                  pick (budget - 1)
-                end
-                else if cq.color = vs.current_color then begin
-                  (* Still worthy, just executing: keep it listed. *)
-                  Queue.push cq vs.stealing;
-                  pick (budget - 1)
-                end
-                else Some cq
-          in
-          pick (Queue.length vs.stealing)
-        end
-        else begin
-          (* Baseline: first color that is not current and holds fewer
-             than half of the victim's events. *)
-          let total = vs.n_events in
-          let rec walk = function
+  if not (Spinlock.try_acquire vs.lock) then Trace.Lock_busy
+  else begin
+    let saw_executing = ref false in
+    let result =
+      if t.ws.time_left then begin
+        (* Pop the first validated worthy color. *)
+        let rec pick budget =
+          if budget = 0 then None
+          else
+            match Queue.take_opt vs.stealing with
             | None -> None
             | Some cq ->
-              if cq.color <> vs.current_color && Queue.length cq.q * 2 < total then Some cq
-              else walk cq.next
-          in
-          walk vs.head
-        end
-      in
-      (match result with
-      | Some cq ->
-        unchain vs cq;
-        cq.worthy <- false;
-        cq.owner <- migrating
-      | None -> ());
-      Spinlock.release vs.lock;
-      result
-    end
-  in
-  match stolen with
-  | None -> false
-  | Some cq ->
-    let ws = t.states.(w) in
-    Spinlock.with_lock ws.lock (fun () ->
-        cq.owner <- w;
-        chain ws cq;
-        note_worthy t ws cq;
-        Metrics.note_queue_len ws.metrics ws.n_events);
-    Atomic.incr t.steal_count;
-    Metrics.on_steal_in ws.metrics;
-    Metrics.on_steal_out vs.metrics;
-    true
+              let valid =
+                cq.owner = victim && cq.chained && cq.worthy
+                && cq.weighted > t.worthy_threshold
+              in
+              if not valid then begin
+                (* Stale entry. Only clear the flag if the queue still
+                   belongs to the victim — after a steal it is the new
+                   owner's lock that protects it. *)
+                if cq.owner = victim then cq.worthy <- false;
+                pick (budget - 1)
+              end
+              else if cq.color = vs.current_color then begin
+                (* Still worthy, just executing: keep it listed. *)
+                saw_executing := true;
+                Queue.push cq vs.stealing;
+                pick (budget - 1)
+              end
+              else Some cq
+        in
+        pick (Queue.length vs.stealing)
+      end
+      else begin
+        (* Baseline: first color that is not current and holds fewer
+           than half of the victim's events. *)
+        let total = vs.n_events in
+        let rec walk = function
+          | None -> None
+          | Some cq ->
+            if cq.color = vs.current_color then begin
+              saw_executing := true;
+              walk cq.next
+            end
+            else if Queue.length cq.q * 2 < total then Some cq
+            else walk cq.next
+        in
+        walk vs.head
+      end
+    in
+    let victim_events = vs.n_events in
+    (match result with
+    | Some cq ->
+      unchain vs cq;
+      cq.worthy <- false;
+      cq.owner <- migrating
+    | None -> ());
+    Spinlock.release vs.lock;
+    match result with
+    | None ->
+      if victim_events = 0 then Trace.Empty
+      else if !saw_executing then Trace.Executing
+      else Trace.Unworthy
+    | Some cq ->
+      let ws = t.states.(w) in
+      Spinlock.with_lock ws.lock (fun () ->
+          cq.owner <- w;
+          chain ws cq;
+          note_worthy t ws cq;
+          Metrics.note_queue_len ws.metrics ws.n_events);
+      Atomic.incr t.steal_count;
+      Metrics.on_steal_in ws.metrics;
+      Metrics.on_steal_out vs.metrics;
+      Trace.Won
+  end
 
 let try_steal t w =
   Atomic.incr t.attempt_count;
-  let won = List.exists (fun victim -> steal_from t w victim) (victim_order t w) in
-  if not won then Metrics.on_failed_attempt t.states.(w).metrics;
+  let ws = t.states.(w) in
+  let rec visit = function
+    | [] -> false
+    | victim :: rest ->
+      let outcome = steal_from t w victim in
+      Metrics.on_visit ws.metrics;
+      (match t.trace with
+      | Some tr ->
+        Trace.record_visit tr ~worker:w ~victim ~outcome ~ns:(Clock.now_ns ())
+      | None -> ());
+      (match outcome with Trace.Won -> true | _ -> visit rest)
+  in
+  let won = visit (victim_order t w) in
+  if not won then Metrics.on_failed_attempt ws.metrics;
   won
 
 (* Idle policy: exponential backoff while unstealable work is pending
@@ -534,10 +588,10 @@ let max_idle_backoff = 4_096
    either someone is still executing (their follow-ups may wake us) or
    the runtime is serving with no stop requested (quiescent but alive).
    An abort always breaks the sleep. *)
-let park t ws =
+let park t w ws =
   Mutex.lock t.park_mutex;
   Atomic.incr t.n_parked;
-  let t0 = Unix.gettimeofday () in
+  let t0 = Clock.now_ns () in
   let slept = ref false in
   while
     Atomic.get t.shutdown <> aborted
@@ -553,10 +607,18 @@ let park t ws =
   done;
   Atomic.decr t.n_parked;
   Mutex.unlock t.park_mutex;
-  if !slept then Metrics.on_park_end ws.metrics ~seconds:(Unix.gettimeofday () -. t0)
+  if !slept then begin
+    Metrics.on_park_end ws.metrics ~seconds:(Clock.elapsed_seconds ~since:t0);
+    match t.trace with
+    | Some tr -> Trace.record_park tr ~worker:w ~start_ns:t0 ~end_ns:(Clock.now_ns ())
+    | None -> ()
+  end
 
 let worker_loop t w =
   let ws = t.states.(w) in
+  (match t.trace with
+  | Some tr -> Trace.record_start tr ~worker:w ~ns:(Clock.now_ns ())
+  | None -> ());
   let rec loop backoff =
     if Atomic.get t.shutdown = aborted then
       (* Exit without draining; wake siblings (and [stop]/[quiesce]
@@ -580,7 +642,7 @@ let worker_loop t w =
           loop (min max_idle_backoff (backoff * 2))
         end
         else if Atomic.get t.active > 0 then begin
-          park t ws;
+          park t w ws;
           loop 1
         end
         else if Atomic.get t.serving && Atomic.get t.shutdown = accepting then begin
@@ -589,7 +651,7 @@ let worker_loop t w =
              broadcasting to parked siblings here would just ping-pong
              wakeups between idle workers forever. *)
           if Atomic.get t.n_waiters > 0 then broadcast_all t;
-          park t ws;
+          park t w ws;
           loop 1
         end
         else if Atomic.get t.pending > 0 || Atomic.get t.active > 0 then
@@ -677,3 +739,5 @@ let errors t = Atomic.get t.error_count
 let is_serving t = Atomic.get t.serving
 
 let stats t = Array.map (fun ws -> Metrics.snapshot ws.metrics) t.states
+
+let trace t = t.trace

@@ -67,6 +67,7 @@ val create :
   ?batch_threshold:int ->
   ?worthy_threshold:int ->
   ?on_error:failure_policy ->
+  ?trace:Trace.config ->
   unit ->
   t
 (** [workers] defaults to [Domain.recommended_domain_count () - 1],
@@ -75,7 +76,10 @@ val create :
     lands on the stealing list — the unit is declared cycles as given
     to {!handler}, already divided by the penalty when that heuristic
     is on. [on_error] (default [Swallow]) is the handler-failure
-    policy. *)
+    policy. [trace] enables the {!Trace} flight recorder for the
+    lifetime of the runtime (per-worker span rings, optional latency
+    histograms); omitted, recording is compiled in but skipped behind
+    one branch per event. *)
 
 val workers : t -> int
 
@@ -153,5 +157,10 @@ val max_concurrent_same_color : t -> int
 
 val stats : t -> Metrics.snapshot array
 (** Per-worker counters (executed, enqueued, steals in/out, failed
-    steal rounds, parks and park time, queue high-water mark),
-    cumulative across runs; index [w] is worker [w]. *)
+    steal rounds, victim visits, parks and park time, queue high-water
+    mark), cumulative across runs; index [w] is worker [w]. *)
+
+val trace : t -> Trace.t option
+(** The flight recorder, when enabled at {!create}. Cumulative across
+    runs; read it only after the domains joined ({!run_until_idle} /
+    {!stop} returned) or at a quiescent moment. *)

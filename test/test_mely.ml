@@ -14,6 +14,7 @@ let () =
       ("httpkit", Test_httpkit.suite);
       ("rt", Test_rt.suite);
       ("rt-stress", Test_rt_stress.suite);
+      ("rt-trace", Test_rt_trace.suite);
       ("properties", Test_properties.suite);
       ("harness", Test_harness.suite);
     ]
