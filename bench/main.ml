@@ -263,6 +263,88 @@ let run_rt_json path =
   close_out oc;
   Printf.printf "wrote %s\n%!" path
 
+(* Real-TCP serving bench: in-process Rtnet.Server + Loadgen over
+   loopback, flight recorder on. `bench/main.exe net-json [FILE]`
+   writes BENCH_net.json (req/s plus per-handler p50/p99 from the
+   trace) for CI to upload alongside BENCH_rt.json. *)
+let run_net_json path =
+  let workers = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
+  let conns = 16 and requests = 250 and pipeline = 8 in
+  let site = Rtnet.Loadgen.default_site ~files:8 ~file_bytes:1024 () in
+  let cache = Httpkit.Response.prebuild_cache ~files:site in
+  let targets = List.map (fun (p, _) -> (p, Hashtbl.find cache p)) site in
+  let rt =
+    Rt.Runtime.create ~workers ~on_error:Rt.Runtime.Swallow
+      ~trace:Rt.Trace.default_config ()
+  in
+  Rt.Runtime.start rt;
+  let server = Rtnet.Server.create ~rt ~cache ~port:0 () in
+  Rtnet.Server.start server;
+  let res =
+    Rtnet.Loadgen.run ~port:(Rtnet.Server.port server) ~conns ~requests
+      ~pipeline ~torn_every:0 ~close_last:true ~targets ()
+  in
+  Rtnet.Server.stop server;
+  Rt.Runtime.stop rt;
+  let s = Rtnet.Server.stats server in
+  let tr = Option.get (Rt.Runtime.trace rt) in
+  let replay_ok =
+    Rt.Trace.check_mutual_exclusion tr = None
+    && Rt.Trace.check_fifo_per_color tr = None
+  in
+  let req_per_sec = Rtnet.Loadgen.req_per_sec res in
+  let latencies =
+    Rt.Trace.latency_summary tr
+    |> List.map (fun (l : Rt.Trace.latency) ->
+           Printf.sprintf
+             "{\"handler\": %S, \"count\": %d, \"queue_wait_p50_ns\": %.0f, \
+              \"queue_wait_p99_ns\": %.0f, \"service_p50_ns\": %.0f, \
+              \"service_p99_ns\": %.0f}"
+             l.l_handler l.l_count l.l_qwait_p50 l.l_qwait_p99 l.l_service_p50
+             l.l_service_p99)
+    |> String.concat ", "
+  in
+  let json =
+    Printf.sprintf
+      "{\n\
+      \  \"bench\": \"net_serve_loopback\",\n\
+      \  \"workers\": %d,\n\
+      \  \"conns\": %d,\n\
+      \  \"pipeline\": %d,\n\
+      \  \"requests_sent\": %d,\n\
+      \  \"responses_ok\": %d,\n\
+      \  \"mismatches\": %d,\n\
+      \  \"failed_conns\": %d,\n\
+      \  \"seconds\": %.6f,\n\
+      \  \"req_per_sec\": %.1f,\n\
+      \  \"reqs_parsed\": %d,\n\
+      \  \"reqs_served\": %d,\n\
+      \  \"steals\": %d,\n\
+      \  \"replay_ok\": %b,\n\
+      \  \"latencies\": [%s]\n\
+       }\n"
+      workers conns pipeline res.Rtnet.Loadgen.requests_sent
+      res.Rtnet.Loadgen.responses_ok res.Rtnet.Loadgen.mismatches
+      res.Rtnet.Loadgen.failed_conns res.Rtnet.Loadgen.seconds req_per_sec
+      s.Rtnet.Server.reqs_parsed s.Rtnet.Server.reqs_served
+      (Rt.Runtime.steals rt) replay_ok latencies
+  in
+  let oc = open_out path in
+  output_string oc json;
+  close_out oc;
+  Printf.printf
+    "net_serve_loopback: %d workers, %d conns x %d reqs: %d/%d ok, %.0f req/s, replay %s\n"
+    workers conns requests res.Rtnet.Loadgen.responses_ok
+    res.Rtnet.Loadgen.requests_sent req_per_sec
+    (if replay_ok then "OK" else "VIOLATION");
+  Printf.printf "wrote %s\n%!" path;
+  if
+    res.Rtnet.Loadgen.mismatches > 0
+    || res.Rtnet.Loadgen.failed_conns > 0
+    || res.Rtnet.Loadgen.responses_ok <> conns * requests
+    || not replay_ok
+  then exit 1
+
 let run_micro () =
   let open Bechamel in
   let benchmarks =
@@ -304,4 +386,6 @@ let () =
   | [ "micro" ] -> run_micro ()
   | [ "rt-json" ] -> run_rt_json "BENCH_rt.json"
   | [ "rt-json"; path ] -> run_rt_json path
+  | [ "net-json" ] -> run_net_json "BENCH_net.json"
+  | [ "net-json"; path ] -> run_net_json path
   | ids -> List.iter (run_experiment ~quick) ids

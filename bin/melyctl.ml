@@ -255,6 +255,131 @@ let run_rt_trace workers events trace_out trace_cap histograms =
   flush stdout;
   status
 
+(* Serve real TCP traffic: the rtnet poller owns the sockets and the
+   worker domains run the fd-colored handlers (paper Figure 6). Runs
+   until --duration elapses or SIGINT/SIGTERM, then drains, replays the
+   flight-recorder trace, and exits nonzero on any invariant violation. *)
+let run_rt_serve workers port max_clients duration files file_bytes trace_out =
+  if workers < 1 then (
+    Printf.eprintf "melyctl: --workers must be >= 1 (got %d)\n" workers;
+    exit 2);
+  if port < 0 || port > 65535 then (
+    Printf.eprintf "melyctl: --port must be in 0..65535 (got %d)\n" port;
+    exit 2);
+  if max_clients < 1 then (
+    Printf.eprintf "melyctl: --max-clients must be >= 1 (got %d)\n" max_clients;
+    exit 2);
+  if files < 1 then (
+    Printf.eprintf "melyctl: --files must be >= 1 (got %d)\n" files;
+    exit 2);
+  if file_bytes < 1 then (
+    Printf.eprintf "melyctl: --file-bytes must be >= 1 (got %d)\n" file_bytes;
+    exit 2);
+  let site = Rtnet.Loadgen.default_site ~files ~file_bytes () in
+  let cache = Httpkit.Response.prebuild_cache ~files:site in
+  let rt =
+    Rt.Runtime.create ~workers ~on_error:Rt.Runtime.Swallow
+      ~trace:Rt.Trace.default_config ()
+  in
+  Rt.Runtime.start rt;
+  let server = Rtnet.Server.create ~rt ~cache ~max_clients ~port () in
+  Rtnet.Server.start server;
+  Printf.printf "serving %d files on 127.0.0.1:%d (%d workers, max %d clients)\n%!"
+    files (Rtnet.Server.port server) workers max_clients;
+  let stop_flag = Atomic.make false in
+  let handle _ = Atomic.set stop_flag true in
+  Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle handle);
+  let t0 = Rt.Clock.now_ns () in
+  while
+    (not (Atomic.get stop_flag))
+    && (duration <= 0.0 || Rt.Clock.elapsed_seconds ~since:t0 < duration)
+  do
+    try Unix.sleepf 0.05 with Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  let seconds = Rt.Clock.elapsed_seconds ~since:t0 in
+  Rtnet.Server.stop server;
+  Rt.Runtime.stop rt;
+  let s = Rtnet.Server.stats server in
+  let table = Mstd.Table.create ~headers:[ "server"; "value" ] in
+  let add k v = Mstd.Table.add_row table [ k; string_of_int v ] in
+  add "conns accepted" s.Rtnet.Server.conns_accepted;
+  add "conns refused" s.Rtnet.Server.conns_refused;
+  add "conns closed" s.Rtnet.Server.conns_closed;
+  add "conns failed" s.Rtnet.Server.conns_failed;
+  add "reqs parsed" s.Rtnet.Server.reqs_parsed;
+  add "reqs served" s.Rtnet.Server.reqs_served;
+  add "reqs failed" s.Rtnet.Server.reqs_failed;
+  add "reqs malformed" s.Rtnet.Server.reqs_malformed;
+  add "injections refused" s.Rtnet.Server.injections_refused;
+  print_string (Mstd.Table.render table);
+  print_rt_summary rt ~workers ~seconds;
+  print_rt_stats rt;
+  let tr = Option.get (Rt.Runtime.trace rt) in
+  print_rt_latencies tr;
+  let status =
+    match (Rt.Trace.check_mutual_exclusion tr, Rt.Trace.check_fifo_per_color tr) with
+    | None, None ->
+      Printf.printf "replay: mutual exclusion OK, per-color FIFO OK\n";
+      if s.Rtnet.Server.conns_accepted = s.Rtnet.Server.conns_closed then 0
+      else begin
+        Printf.eprintf "conservation violation: %d accepted but %d closed\n"
+          s.Rtnet.Server.conns_accepted s.Rtnet.Server.conns_closed;
+        1
+      end
+    | Some _, _ ->
+      Printf.eprintf "replay: MUTUAL EXCLUSION VIOLATION\n";
+      1
+    | None, Some _ ->
+      Printf.eprintf "replay: FIFO VIOLATION\n";
+      1
+  in
+  (match trace_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    output_string oc (Rt.Trace.export_chrome tr);
+    close_out oc;
+    Printf.printf "wrote %s — open it at https://ui.perfetto.dev\n" path);
+  flush stdout;
+  status
+
+(* Drive a running rtnet server over loopback TCP with pipelined
+   keep-alive batches and torn writes, comparing every response
+   byte-for-byte against the same prebuilt site the server uses.
+   Exits nonzero on any mismatch or failed connection. *)
+let run_rt_loadgen port conns requests pipeline torn_every client_domains files
+    file_bytes =
+  if port < 1 || port > 65535 then (
+    Printf.eprintf "melyctl: --port must be in 1..65535 (got %d)\n" port;
+    exit 2);
+  if conns < 1 then (
+    Printf.eprintf "melyctl: --conns must be >= 1 (got %d)\n" conns;
+    exit 2);
+  if requests < 1 then (
+    Printf.eprintf "melyctl: --requests must be >= 1 (got %d)\n" requests;
+    exit 2);
+  let site = Rtnet.Loadgen.default_site ~files ~file_bytes () in
+  let cache = Httpkit.Response.prebuild_cache ~files:site in
+  let targets = List.map (fun (p, _) -> (p, Hashtbl.find cache p)) site in
+  let res =
+    Rtnet.Loadgen.run ~port ~conns ~requests ~pipeline ~torn_every
+      ~close_last:true ~client_domains ~targets ()
+  in
+  Printf.printf
+    "%d/%d responses byte-exact in %.3f s (%.0f req/s); %d mismatches, %d failed conns\n"
+    res.Rtnet.Loadgen.responses_ok res.Rtnet.Loadgen.requests_sent
+    res.Rtnet.Loadgen.seconds
+    (Rtnet.Loadgen.req_per_sec res)
+    res.Rtnet.Loadgen.mismatches res.Rtnet.Loadgen.failed_conns;
+  flush stdout;
+  if
+    res.Rtnet.Loadgen.mismatches = 0
+    && res.Rtnet.Loadgen.failed_conns = 0
+    && res.Rtnet.Loadgen.responses_ok = conns * requests
+  then 0
+  else 1
+
 open Cmdliner
 
 let quick =
@@ -324,13 +449,79 @@ let rt_cmd =
             Chrome trace JSON.")
       Term.(const run_rt_trace $ workers $ events $ trace_out $ trace_cap $ histograms)
   in
+  let port ~default ~doc =
+    Arg.(value & opt int default & info [ "port" ] ~docv:"PORT" ~doc)
+  in
+  let files =
+    let doc = "Number of files in the prebuilt site." in
+    Arg.(value & opt int 8 & info [ "files" ] ~docv:"N" ~doc)
+  in
+  let file_bytes =
+    let doc = "Body size of each file in bytes." in
+    Arg.(value & opt int 1024 & info [ "file-bytes" ] ~docv:"BYTES" ~doc)
+  in
+  let serve_cmd =
+    let max_clients =
+      let doc = "Maximum simultaneous client connections (the paper's Accept cap)." in
+      Arg.(value & opt int 512 & info [ "max-clients" ] ~docv:"N" ~doc)
+    in
+    let serve_duration =
+      let doc = "Serve for this many seconds then drain (0 = until SIGINT/SIGTERM)." in
+      Arg.(value & opt float 0.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "serve"
+         ~doc:
+           "Serve real TCP traffic on loopback: the rtnet poller owns the \
+            sockets, worker domains run fd-colored handlers, the flight \
+            recorder stays on, and the trace is replay-checked at exit.")
+      Term.(
+        const run_rt_serve $ workers
+        $ port ~default:8080 ~doc:"Port to listen on (0 = ephemeral)."
+        $ max_clients $ serve_duration $ files $ file_bytes $ trace_out)
+  in
+  let loadgen_cmd =
+    let conns =
+      let doc = "Client connections to open." in
+      Arg.(value & opt int 16 & info [ "conns" ] ~docv:"N" ~doc)
+    in
+    let requests =
+      let doc = "Requests per connection." in
+      Arg.(value & opt int 100 & info [ "requests" ] ~docv:"N" ~doc)
+    in
+    let pipeline =
+      let doc = "Requests per pipelined batch." in
+      Arg.(value & opt int 8 & info [ "pipeline" ] ~docv:"N" ~doc)
+    in
+    let torn_every =
+      let doc = "Tear every Nth batch into tiny writes (0 = never)." in
+      Arg.(value & opt int 8 & info [ "torn-every" ] ~docv:"N" ~doc)
+    in
+    let client_domains =
+      let doc = "Client domains driving the connections." in
+      Arg.(value & opt int 4 & info [ "client-domains" ] ~docv:"N" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "loadgen"
+         ~doc:
+           "Drive a running $(b,melyctl rt serve) instance with pipelined \
+            keep-alive batches and torn writes; every response is compared \
+            byte-for-byte. Exits nonzero on any mismatch.")
+      Term.(
+        const run_rt_loadgen
+        $ port ~default:8080 ~doc:"Port the server listens on."
+        $ conns $ requests $ pipeline $ torn_every $ client_domains $ files
+        $ file_bytes)
+  in
   Cmd.group
     ~default:Term.(const run_rt $ workers $ events $ serve $ inject_rate $ duration)
     (Cmd.info "rt"
        ~doc:
          "Exercise the real multicore runtime and print per-worker stats \
-          (subcommand $(b,trace) runs it under the flight recorder).")
-    [ trace_cmd ]
+          (subcommands: $(b,trace) runs the microbenchmark under the flight \
+          recorder, $(b,serve) serves real TCP traffic, $(b,loadgen) drives \
+          a server).")
+    [ trace_cmd; serve_cmd; loadgen_cmd ]
 
 let () =
   let doc = "Mely reproduction: workstealing for multicore event-driven systems" in

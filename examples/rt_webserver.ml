@@ -1,16 +1,17 @@
-(* SWS-in-miniature on the real multicore runtime, run as a persistent
-   service: the serving lifecycle (start / live injection / quiesce /
-   stop) plus fault containment, which a long-running server needs —
-   one bad request must never take a worker domain down.
+(* SWS-in-miniature on the real multicore runtime, serving *real TCP
+   sockets*: an Rtnet.Server poller owns the listening socket and the
+   connection fds, and injects fd-colored events into the live runtime
+   (the paper's Figure 6 shape — Accept/ReadRequest/.../Send as colored
+   handlers, connection = color).
 
    Client connections are colors: requests of one connection are parsed
    and answered strictly in order, different connections spread across
-   the workers via stealing. Feeder threads play the clients, injecting
-   raw HTTP/1.1 request bytes into the live runtime; responses come from
-   a prebuilt cache (the Flash optimization SWS keeps). A slice of the
-   traffic is garbage bytes, and the parse handler deliberately raises
-   on them — the runtime contains the failure, records it per-worker,
-   and keeps serving.
+   the workers via stealing. An in-process Rtnet.Loadgen plays the
+   clients over loopback TCP with pipelined keep-alive batches and
+   deliberately torn writes; responses come from a prebuilt cache (the
+   Flash optimization SWS keeps) and are compared byte-for-byte. One
+   connection sends garbage bytes — the server answers 400 and closes
+   that one connection; the domains keep serving.
 
    The flight recorder stays on the whole time, as it would in
    production: after the run we print per-handler latency percentiles,
@@ -22,83 +23,73 @@
 let n_workers = 4
 let n_connections = 16
 let requests_per_connection = 50
-let feeders = 4
 
 let () =
-  let files =
-    List.init 8 (fun i ->
-        (Printf.sprintf "/file%d.html" i, String.make (512 * (i + 1)) 'x'))
-  in
-  let cache = Httpkit.Response.prebuild_cache ~files in
-  let not_found =
-    Httpkit.Response.build ~status:Httpkit.Response.Not_found ~body:"gone" ()
+  let site = Rtnet.Loadgen.default_site ~files:8 ~file_bytes:1024 () in
+  let cache =
+    Httpkit.Response.prebuild_cache
+      ~files:(List.map (fun (p, body) -> (p, body)) site)
   in
   let rt =
     Rt.Runtime.create ~workers:n_workers ~on_error:Rt.Runtime.Swallow
       ~trace:Rt.Trace.default_config ()
   in
-  let parse_handler =
-    (* Parsing + cache lookup is the hot path; declared cost makes a
-       backed-up connection worth stealing. *)
-    Rt.Runtime.handler rt ~name:"http-parse" ~declared_cycles:100_000 ()
-  in
-  let bytes_out = Array.make n_connections 0 in (* per-connection: color-serialized *)
-  let served = Atomic.make 0 in
-  let serve_request conn raw (_ctx : Rt.Runtime.ctx) =
-    match Httpkit.Request.parse raw with
-    | Ok (req, _consumed) ->
-      let response =
-        match Hashtbl.find_opt cache req.Httpkit.Request.target with
-        | Some r -> r
-        | None -> not_found
-      in
-      bytes_out.(conn) <- bytes_out.(conn) + String.length response;
-      Atomic.incr served
-    | Error _ -> failwith "malformed request"  (* contained by the runtime *)
-  in
   Rt.Runtime.start rt;
-  let clients =
-    List.init feeders (fun f ->
-        Domain.spawn (fun () ->
-            let accepted = ref 0 in
-            for i = 0 to requests_per_connection - 1 do
-              let conn = ref f in
-              while !conn < n_connections do
-                let raw =
-                  if (i + !conn) mod 25 = 24 then "BOGUS /\r\n\r\n" (* bad verb line *)
-                  else
-                    Printf.sprintf "GET /file%d.html HTTP/1.1\r\nHost: mely\r\n\r\n"
-                      ((i + !conn) mod 10)
-                in
-                if
-                  Rt.Runtime.try_register rt ~color:(!conn + 1)
-                    ~handler:parse_handler
-                    (serve_request !conn raw)
-                then incr accepted;
-                conn := !conn + feeders
-              done
-            done;
-            !accepted))
+  let server = Rtnet.Server.create ~rt ~cache ~port:0 () in
+  Rtnet.Server.start server;
+  let port = Rtnet.Server.port server in
+  Printf.printf "serving on 127.0.0.1:%d with %d worker domains\n%!" port n_workers;
+
+  (* Well-formed traffic: pipelined keep-alive batches, every 8th batch
+     torn into 19-byte writes so requests straddle reads. *)
+  let targets =
+    List.map
+      (fun (p, _) -> (p, Hashtbl.find cache p))
+      site
   in
-  let accepted = List.fold_left (fun acc d -> acc + Domain.join d) 0 clients in
-  Rt.Runtime.quiesce rt;
-  Printf.printf "quiesced: %d requests in flight or queued (must be 0)\n"
-    (Rt.Runtime.pending rt);
-  Rt.Runtime.stop rt;
-  let total_bytes = Array.fold_left ( + ) 0 bytes_out in
-  let errors_by_worker =
-    Rt.Runtime.stats rt
-    |> Array.to_list
-    |> List.mapi (fun w (s : Rt.Metrics.snapshot) -> Printf.sprintf "w%d:%d" w s.errors)
-    |> String.concat " "
+  let res =
+    Rtnet.Loadgen.run ~port ~conns:n_connections
+      ~requests:requests_per_connection ~pipeline:8 ~torn_every:8
+      ~close_last:true ~targets ()
   in
+
+  (* One hostile connection: garbage verb line. The server must answer
+     400, close just that connection, and keep the domains alive. *)
+  let bad_got_answer =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.0;
+        let garbage = "BOGUS garbage\r\n\r\n" in
+        ignore (Unix.write_substring fd garbage 0 (String.length garbage));
+        let buf = Bytes.create 512 in
+        match Unix.read fd buf 0 512 with
+        | 0 -> false
+        | n -> String.length (Bytes.sub_string buf 0 n) > 0
+        | exception Unix.Unix_error (_, _, _) -> false)
+  in
+
+  Rtnet.Server.stop server;
+  let s = Rtnet.Server.stats server in
   Printf.printf
-    "served %d/%d accepted requests (%d KiB) on %d workers, %d steals\n"
-    (Atomic.get served) accepted (total_bytes / 1024) n_workers (Rt.Runtime.steals rt);
-  Printf.printf "contained %d malformed-request failures (%s), runtime stayed up\n"
-    (Rt.Runtime.errors rt) errors_by_worker;
-  assert (Atomic.get served + Rt.Runtime.errors rt = accepted);
-  assert (Rt.Runtime.executed rt = accepted);
+    "served %d/%d responses byte-exact (%d mismatches, %d failed conns), %.0f req/s\n"
+    res.Rtnet.Loadgen.responses_ok res.Rtnet.Loadgen.requests_sent
+    res.Rtnet.Loadgen.mismatches res.Rtnet.Loadgen.failed_conns
+    (Rtnet.Loadgen.req_per_sec res);
+  Printf.printf
+    "server: %d accepted, %d closed, %d parsed, %d served, %d malformed; %d steals\n"
+    s.Rtnet.Server.conns_accepted s.Rtnet.Server.conns_closed
+    s.Rtnet.Server.reqs_parsed s.Rtnet.Server.reqs_served s.Rtnet.Server.reqs_malformed
+    (Rt.Runtime.steals rt);
+  Printf.printf "hostile connection got a 400 and was closed: %b\n" bad_got_answer;
+  assert (res.Rtnet.Loadgen.mismatches = 0);
+  assert (res.Rtnet.Loadgen.failed_conns = 0);
+  assert (res.Rtnet.Loadgen.responses_ok = n_connections * requests_per_connection);
+  assert bad_got_answer;
+  assert (s.Rtnet.Server.conns_accepted = s.Rtnet.Server.conns_closed);
+  Rt.Runtime.stop rt;
   let tr = Option.get (Rt.Runtime.trace rt) in
   List.iter
     (fun (l : Rt.Trace.latency) ->

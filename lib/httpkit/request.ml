@@ -21,8 +21,11 @@ let method_to_string = function
   | POST -> "POST"
   | Other s -> s
 
-(* Find the end of the header block: CRLFCRLF (tolerating bare LFLF). *)
-let find_terminator buf =
+(* Find the end of the header block: CRLFCRLF (tolerating bare LFLF).
+   [from] is a resume hint: no terminator *ends* before byte [from], so
+   scanning may start at [from - 3] (a CRLFCRLF can straddle the old
+   buffer end by up to three bytes). *)
+let find_terminator ?(from = 0) buf =
   let n = String.length buf in
   let rec scan i =
     if i + 3 < n && buf.[i] = '\r' && buf.[i + 1] = '\n' && buf.[i + 2] = '\r'
@@ -32,7 +35,7 @@ let find_terminator buf =
     else if i >= n then None
     else scan (i + 1)
   in
-  scan 0
+  scan (max 0 (from - 3))
 
 let split_lines block =
   String.split_on_char '\n' block
@@ -63,8 +66,8 @@ let parse_header line =
     let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
     if name = "" then Error (Malformed "empty header name") else Ok (name, value)
 
-let parse buf =
-  match find_terminator buf with
+let parse ?(scan_from = 0) buf =
+  match find_terminator ~from:scan_from buf with
   | None -> Error Incomplete
   | Some (header_end, consumed) -> (
     let block = String.sub buf 0 header_end in

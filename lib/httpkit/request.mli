@@ -19,10 +19,18 @@ type error =
   | Incomplete  (** need more bytes: no blank line yet *)
   | Malformed of string  (** irrecoverable syntax error *)
 
-val parse : string -> (t * int, error) result
+val parse : ?scan_from:int -> string -> (t * int, error) result
 (** [parse buf] parses one request from the start of [buf]; on success
     returns it with the number of bytes consumed (including the blank
-    line). *)
+    line).
+
+    [scan_from] (default 0) is a resume hint for incremental callers:
+    it asserts that parsing the first [scan_from] bytes of [buf]
+    already returned [Incomplete], so the terminator scan may skip
+    them. After an [Incomplete], pass the buffer length you had as the
+    next call's [scan_from] — the scan then only visits bytes arrived
+    since, turning the retry loop from O(n²) in total to O(n). With a
+    valid hint the result is byte-identical to [parse buf]. *)
 
 val header : t -> string -> string option
 (** Case-insensitive header lookup. *)

@@ -1,0 +1,132 @@
+type result = {
+  requests_sent : int;
+  responses_ok : int;
+  mismatches : int;
+  failed_conns : int;
+  seconds : float;
+}
+
+let req_per_sec r =
+  if r.seconds > 0.0 then float_of_int r.responses_ok /. r.seconds else 0.0
+
+let default_site ?(files = 8) ?(file_bytes = 1024) () =
+  List.init files (fun i ->
+      ( Printf.sprintf "/f%d.html" i,
+        String.make file_bytes (Char.chr (Char.code 'a' + (i mod 26))) ))
+
+let request ~path ~close =
+  if close then Printf.sprintf "GET %s HTTP/1.1\r\nHost: mely\r\nConnection: close\r\n\r\n" path
+  else Printf.sprintf "GET %s HTTP/1.1\r\nHost: mely\r\n\r\n" path
+
+(* Write the whole string; [chunk > 0] tears it into small writes with
+   short pauses so the bytes land in separate reads server-side. *)
+let write_all ?(chunk = 0) fd s =
+  let n = String.length s in
+  let rec go off =
+    if off < n then begin
+      let len = if chunk > 0 then min chunk (n - off) else n - off in
+      let w = Unix.write_substring fd s off len in
+      if chunk > 0 && off + w < n then Unix.sleepf 0.0002;
+      go (off + w)
+    end
+  in
+  go 0
+
+(* Read exactly [len] bytes (bounded by SO_RCVTIMEO); false on EOF,
+   timeout or error. *)
+let read_exact fd buf len =
+  let rec fill off =
+    if off >= len then true
+    else
+      match Unix.read fd buf off (len - off) with
+      | 0 -> false
+      | n -> fill (off + n)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> false
+      | exception Unix.Unix_error (EINTR, _, _) -> fill off
+      | exception Unix.Unix_error (_, _, _) -> false
+  in
+  fill 0
+
+let run ~port ?(host = Unix.inet_addr_loopback) ~conns ~requests ?(pipeline = 4)
+    ?(torn_every = 0) ?(close_last = false) ?(client_domains = 4) ?(timeout = 10.0)
+    ~targets () =
+  if conns < 1 then invalid_arg "Rtnet.Loadgen.run: conns must be >= 1";
+  if requests < 1 then invalid_arg "Rtnet.Loadgen.run: requests must be >= 1";
+  let pipeline = max 1 pipeline in
+  let targets = Array.of_list targets in
+  let ntargets = Array.length targets in
+  if ntargets = 0 then invalid_arg "Rtnet.Loadgen.run: targets must be non-empty";
+  let sent = Atomic.make 0
+  and ok = Atomic.make 0
+  and bad = Atomic.make 0
+  and failed = Atomic.make 0 in
+  let drive_conn c =
+    let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect fd (Unix.ADDR_INET (host, port)) with
+    | exception _ ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Atomic.incr failed
+    | () ->
+      (try
+         Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+         Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
+         Unix.setsockopt fd Unix.TCP_NODELAY true
+       with Unix.Unix_error _ -> ());
+      let alive = ref true in
+      let start = ref 0 in
+      let bidx = ref 0 in
+      while !alive && !start < requests do
+        let bsize = min pipeline (requests - !start) in
+        let reqs = Buffer.create 256 and expected = Buffer.create 4096 in
+        for j = 0 to bsize - 1 do
+          let r = !start + j in
+          let path, resp = targets.((c + r) mod ntargets) in
+          let close = close_last && r = requests - 1 in
+          Buffer.add_string reqs (request ~path ~close);
+          Buffer.add_string expected resp
+        done;
+        let torn = torn_every > 0 && !bidx mod torn_every = 0 in
+        incr bidx;
+        (match write_all ~chunk:(if torn then 19 else 0) fd (Buffer.contents reqs) with
+        | () ->
+          ignore (Atomic.fetch_and_add sent bsize);
+          let want = Buffer.length expected in
+          let got = Bytes.create want in
+          if read_exact fd got want && Bytes.to_string got = Buffer.contents expected
+          then ignore (Atomic.fetch_and_add ok bsize)
+          else begin
+            Atomic.incr bad;
+            alive := false
+          end
+        | exception Unix.Unix_error (_, _, _) ->
+          Atomic.incr failed;
+          alive := false);
+        start := !start + bsize
+      done;
+      (if !alive && close_last then
+         (* The server must close after Connection: close. *)
+         match Unix.read fd (Bytes.create 1) 0 1 with
+         | 0 -> ()
+         | _ -> Atomic.incr bad
+         | exception Unix.Unix_error (_, _, _) -> Atomic.incr bad);
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  in
+  let nd = max 1 (min client_domains conns) in
+  let t0 = Rt.Clock.now_ns () in
+  let domains =
+    List.init nd (fun d ->
+        Domain.spawn (fun () ->
+            let c = ref d in
+            while !c < conns do
+              drive_conn !c;
+              c := !c + nd
+            done))
+  in
+  List.iter Domain.join domains;
+  {
+    requests_sent = Atomic.get sent;
+    responses_ok = Atomic.get ok;
+    mismatches = Atomic.get bad;
+    failed_conns = Atomic.get failed;
+    seconds = Rt.Clock.elapsed_seconds ~since:t0;
+  }

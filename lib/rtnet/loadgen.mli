@@ -1,0 +1,46 @@
+(** Loopback load generator for {!Server}: N real client sockets × M
+    pipelined keep-alive requests each, with optional deliberately torn
+    writes, validating every response byte-for-byte against the
+    expected prebuilt bytes. Used by the e2e tests, [melyctl rt
+    loadgen], the [rt_webserver] example and [bench net-json]. *)
+
+type result = {
+  requests_sent : int;
+  responses_ok : int;  (** byte-exact, in order *)
+  mismatches : int;  (** batches whose bytes differed from expected *)
+  failed_conns : int;  (** connect/read/write failures or timeouts *)
+  seconds : float;  (** wall time across all clients *)
+}
+
+val req_per_sec : result -> float
+
+val default_site : ?files:int -> ?file_bytes:int -> unit -> (string * string) list
+(** The synthetic site served by [melyctl rt serve] and expected by
+    [melyctl rt loadgen]: [files] (default 8) paths [/f<i>.html] with
+    [file_bytes] (default 1024) bodies. Feed it to
+    {!Httpkit.Response.prebuild_cache} on the server side. *)
+
+val run :
+  port:int ->
+  ?host:Unix.inet_addr ->
+  conns:int ->
+  requests:int ->
+  ?pipeline:int ->
+  ?torn_every:int ->
+  ?close_last:bool ->
+  ?client_domains:int ->
+  ?timeout:float ->
+  targets:(string * string) list ->
+  unit ->
+  result
+(** Drive [conns] connections of [requests] requests each against
+    [host]:[port] (default loopback). Requests go out pipelined in
+    batches of [pipeline] (default 4); target paths rotate
+    deterministically through [targets], a list of
+    [(path, expected full response bytes)]. Every [torn_every]-th batch
+    (0 = never, the default) is written torn into small chunks with
+    short pauses to exercise the server's incremental parser.
+    [close_last] (default false) sends [Connection: close] on each
+    connection's final request and asserts the server closes the
+    socket. Connections are spread over [client_domains] (default 4)
+    domains; [timeout] (default 10 s) bounds each read. *)

@@ -1,0 +1,496 @@
+(* Real TCP serving on the domain runtime.
+
+   Division of labour (DESIGN.md §5e):
+
+   - The poller domain owns every fd: select, accept (capped), read,
+     close. It never touches a connection's parse or output state.
+   - Worker domains own a connection's mutable record, but only inside
+     events colored with the connection's fd — the runtime's per-color
+     mutual exclusion is the lock.
+   - The two sides communicate through atomics: [inflight] (events of
+     this color queued or executing; the poller closes the fd only at
+     zero, so a handler can never write into a recycled descriptor),
+     [want_write] (output pending, select for writability),
+     [flush_pending] (a flush event is queued; don't inject another),
+     [wants_close]/[failed] (handler verdicts the poller acts on), and
+     a self-pipe to cut the select nap short. *)
+
+(* On Unix a [file_descr] is the raw int; the runtime wants the fd as
+   the event color (the paper's scheme: connection = color). *)
+external int_of_fd : Unix.file_descr -> int = "%identity"
+
+type conn = {
+  fd : Unix.file_descr;
+  color : int;
+  (* Handler-owned: touched only inside events of [color]. *)
+  mutable pending : string;  (** unparsed request bytes *)
+  mutable scan_hint : int;  (** parse resume hint: bytes already scanned *)
+  mutable stop_parsing : bool;  (** close decided; ignore further bytes *)
+  out : Buffer.t;  (** unwritten response bytes *)
+  mutable out_off : int;
+  (* Shared: written by handlers, read by the poller (or both). *)
+  inflight : int Atomic.t;
+  want_write : bool Atomic.t;
+  flush_pending : bool Atomic.t;
+  wants_close : bool Atomic.t;
+  failed : bool Atomic.t;
+  (* Poller-owned. *)
+  mutable eof : bool;
+  mutable kill : bool;  (** I/O error or refused injection: drop it *)
+}
+
+type stats = {
+  conns_accepted : int;
+  conns_refused : int;
+  conns_closed : int;
+  conns_failed : int;
+  reqs_parsed : int;
+  reqs_served : int;
+  reqs_failed : int;
+  reqs_malformed : int;
+  injections_refused : int;
+}
+
+type state = Created | Started | Stopped
+
+type t = {
+  rt : Rt.Runtime.t;
+  app : Httpkit.Request.t -> string;
+  max_clients : int;
+  max_request_bytes : int;
+  drain_deadline : float;
+  listen_fd : Unix.file_descr;
+  bound_port : int;
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  conns : (int, conn) Hashtbl.t;  (** poller-owned, keyed by fd int *)
+  h_read : Rt.Runtime.handler;
+  h_respond : Rt.Runtime.handler;
+  h_flush : Rt.Runtime.handler;
+  resp_400 : string;
+  resp_500 : string;
+  resp_404 : string;
+  draining : bool Atomic.t;
+  c_accepted : int Atomic.t;
+  c_refused : int Atomic.t;
+  c_closed : int Atomic.t;
+  c_failed : int Atomic.t;
+  r_parsed : int Atomic.t;
+  r_served : int Atomic.t;
+  r_failed : int Atomic.t;
+  r_malformed : int Atomic.t;
+  r_inj_refused : int Atomic.t;
+  read_buf : Bytes.t;  (** poller scratch *)
+  lifecycle : Mutex.t;
+  mutable state : state;
+  mutable poller : unit Domain.t option;
+}
+
+(* Wake the poller out of its select nap. Nonblocking pipe: a full pipe
+   already guarantees a pending wake, so EAGAIN is success. *)
+let wake t =
+  try ignore (Unix.write_substring t.wake_w "!" 0 1)
+  with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Handler side: everything below runs inside events of [conn.color]. *)
+
+(* Flush as much of [conn.out] as the socket takes; short writes leave
+   the rest buffered and raise write interest for the poller. *)
+let try_write t conn =
+  let rec go () =
+    let len = Buffer.length conn.out - conn.out_off in
+    if len = 0 then begin
+      Buffer.clear conn.out;
+      conn.out_off <- 0;
+      Atomic.set conn.want_write false
+    end
+    else
+      match Unix.write_substring conn.fd (Buffer.contents conn.out) conn.out_off len with
+      | n ->
+        conn.out_off <- conn.out_off + n;
+        go ()
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Atomic.set conn.want_write true;
+        wake t
+      | exception Unix.Unix_error (EINTR, _, _) -> go ()
+      | exception Unix.Unix_error (_, _, _) ->
+        (* Peer gone (EPIPE/ECONNRESET/...): drop the buffered output
+           and let the poller reap the connection. *)
+        Buffer.clear conn.out;
+        conn.out_off <- 0;
+        Atomic.set conn.want_write false;
+        Atomic.set conn.failed true;
+        Atomic.set conn.wants_close true;
+        wake t
+  in
+  go ()
+
+let finish_conn t conn =
+  conn.stop_parsing <- true;
+  Atomic.set conn.wants_close true;
+  wake t
+
+(* Serve one parsed request: app → output buffer → write attempt. An
+   app exception is answered with a 500, closes this one connection,
+   and is re-raised so the runtime contains and counts it — sibling
+   connections never notice. *)
+let respond t conn req ~close_after (_ctx : Rt.Runtime.ctx) =
+  Fun.protect ~finally:(fun () ->
+      Atomic.decr conn.inflight;
+      wake t)
+  @@ fun () ->
+  if not (Atomic.get conn.failed) then
+    match t.app req with
+    | response ->
+      Buffer.add_string conn.out response;
+      Atomic.incr t.r_served;
+      if close_after then finish_conn t conn;
+      try_write t conn
+    | exception e ->
+      Atomic.incr t.r_failed;
+      Buffer.add_string conn.out t.resp_500;
+      finish_conn t conn;
+      try_write t conn;
+      raise e
+
+let malformed t conn =
+  Atomic.incr t.r_malformed;
+  Buffer.add_string conn.out t.resp_400;
+  finish_conn t conn;
+  try_write t conn
+
+(* Parse every complete request accumulated so far, registering one
+   respond event per request (same color: responses stay in request
+   order). [scan_hint] makes the Incomplete retries O(new bytes). *)
+let rec parse_loop t conn (ctx : Rt.Runtime.ctx) =
+  if not conn.stop_parsing then
+    match Httpkit.Request.parse ~scan_from:conn.scan_hint conn.pending with
+    | Error Httpkit.Request.Incomplete ->
+      conn.scan_hint <- String.length conn.pending;
+      if String.length conn.pending > t.max_request_bytes then malformed t conn
+    | Error (Httpkit.Request.Malformed _) -> malformed t conn
+    | Ok (req, consumed) ->
+      conn.pending <-
+        String.sub conn.pending consumed (String.length conn.pending - consumed);
+      conn.scan_hint <- 0;
+      Atomic.incr t.r_parsed;
+      let close_after = not (Httpkit.Request.keep_alive req) in
+      if close_after then conn.stop_parsing <- true;
+      Atomic.incr conn.inflight;
+      ctx.register ~color:conn.color ~handler:t.h_respond
+        (respond t conn req ~close_after);
+      if not close_after then parse_loop t conn ctx
+
+let on_chunk t conn chunk ctx =
+  Fun.protect ~finally:(fun () ->
+      Atomic.decr conn.inflight;
+      wake t)
+  @@ fun () ->
+  if not conn.stop_parsing then begin
+    conn.pending <- (if conn.pending = "" then chunk else conn.pending ^ chunk);
+    parse_loop t conn ctx
+  end
+
+let on_writable t conn (_ctx : Rt.Runtime.ctx) =
+  Fun.protect ~finally:(fun () ->
+      (* Order matters: clear [flush_pending] last so the poller never
+         sees a writable fd it cannot re-arm a flush for. *)
+      Atomic.decr conn.inflight;
+      Atomic.set conn.flush_pending false;
+      wake t)
+  @@ fun () -> if not (Atomic.get conn.failed) then try_write t conn
+
+(* ------------------------------------------------------------------ *)
+(* Poller side. *)
+
+let inject t conn handler run =
+  Atomic.incr conn.inflight;
+  if not (Rt.Runtime.try_register t.rt ~color:conn.color ~handler run) then begin
+    (* The runtime's shutdown gate refused us: the connection cannot be
+       served any more; close it cleanly once its backlog drains. *)
+    Atomic.decr conn.inflight;
+    Atomic.incr t.r_inj_refused;
+    conn.kill <- true
+  end
+
+let read_conn t conn =
+  match Unix.read conn.fd t.read_buf 0 (Bytes.length t.read_buf) with
+  | 0 -> conn.eof <- true
+  | n -> inject t conn t.h_read (on_chunk t conn (Bytes.sub_string t.read_buf 0 n))
+  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  | exception Unix.Unix_error (_, _, _) -> conn.kill <- true
+
+let accept_budget = 64
+
+let rec accept_batch t budget =
+  if budget > 0
+     && (Atomic.get t.draining || Hashtbl.length t.conns < t.max_clients)
+  then
+    match Unix.accept ~cloexec:true t.listen_fd with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> accept_batch t budget
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | fd, _ ->
+      if Atomic.get t.draining then begin
+        (* Arriving mid-drain: refused cleanly, counted. *)
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Atomic.incr t.c_refused;
+        accept_batch t (budget - 1)
+      end
+      else begin
+        Unix.set_nonblock fd;
+        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        let conn =
+          {
+            fd;
+            color = int_of_fd fd;
+            pending = "";
+            scan_hint = 0;
+            stop_parsing = false;
+            out = Buffer.create 512;
+            out_off = 0;
+            inflight = Atomic.make 0;
+            want_write = Atomic.make false;
+            flush_pending = Atomic.make false;
+            wants_close = Atomic.make false;
+            failed = Atomic.make false;
+            eof = false;
+            kill = false;
+          }
+        in
+        Hashtbl.replace t.conns (int_of_fd fd) conn;
+        Atomic.incr t.c_accepted;
+        accept_batch t (budget - 1)
+      end
+
+let close_conn t conn =
+  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  Hashtbl.remove t.conns (int_of_fd conn.fd);
+  Atomic.incr t.c_closed;
+  if conn.kill || Atomic.get conn.failed then Atomic.incr t.c_failed
+
+(* A connection is reapable once no event of its color is queued or
+   executing and no output is pending — only then is closing the fd
+   safe (no handler can touch it again, and the fd number may be
+   recycled by the next accept). *)
+let reapable conn =
+  Atomic.get conn.inflight = 0
+  && (not (Atomic.get conn.want_write))
+  && not (Atomic.get conn.flush_pending)
+
+let should_close ~draining conn =
+  (conn.kill && Atomic.get conn.inflight = 0)
+  || (reapable conn && (Atomic.get conn.wants_close || conn.eof || draining))
+
+let drain_wake_pipe t =
+  let b = Bytes.create 64 in
+  let rec go () =
+    match Unix.read t.wake_r b 0 64 with
+    | n when n > 0 -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
+  in
+  go ()
+
+let poller_loop t =
+  let drain_started = ref None in
+  let finished = ref false in
+  while not !finished do
+    let draining = Atomic.get t.draining in
+    (if draining && !drain_started = None then
+       drain_started := Some (Rt.Clock.now_ns ()));
+    let past_deadline =
+      match !drain_started with
+      | None -> false
+      | Some t0 -> Rt.Clock.elapsed_seconds ~since:t0 > t.drain_deadline
+    in
+    let rds = ref [ t.wake_r ] and wrs = ref [] in
+    if draining || Hashtbl.length t.conns < t.max_clients then
+      rds := t.listen_fd :: !rds;
+    Hashtbl.iter
+      (fun _ c ->
+        if (not draining) && (not c.eof) && (not c.kill)
+           && not (Atomic.get c.wants_close)
+        then rds := c.fd :: !rds;
+        if (not c.kill) && Atomic.get c.want_write
+           && not (Atomic.get c.flush_pending)
+        then wrs := c.fd :: !wrs)
+      t.conns;
+    (match Unix.select !rds !wrs [] 0.05 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | readable, writable, _ ->
+      if List.memq t.wake_r readable then drain_wake_pipe t;
+      if List.memq t.listen_fd readable then accept_batch t accept_budget;
+      List.iter
+        (fun fd ->
+          if fd != t.wake_r && fd != t.listen_fd then
+            match Hashtbl.find_opt t.conns (int_of_fd fd) with
+            | Some conn when not conn.kill -> read_conn t conn
+            | _ -> ())
+        readable;
+      List.iter
+        (fun fd ->
+          match Hashtbl.find_opt t.conns (int_of_fd fd) with
+          | Some conn
+            when (not conn.kill)
+                 && Atomic.get conn.want_write
+                 && not (Atomic.get conn.flush_pending) ->
+            Atomic.set conn.flush_pending true;
+            inject t conn t.h_flush (on_writable t conn)
+          | _ -> ())
+        writable);
+    (* Reap. Collect first: closing mutates the table. *)
+    let doomed = ref [] in
+    Hashtbl.iter
+      (fun _ c -> if should_close ~draining c || past_deadline then doomed := c :: !doomed)
+      t.conns;
+    List.iter (close_conn t) !doomed;
+    if draining && Hashtbl.length t.conns = 0 then finished := true
+  done;
+  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+
+(* ------------------------------------------------------------------ *)
+
+(* Headers-only variant of a prebuilt response, for HEAD: everything up
+   to and including the blank line (Content-Length intact, as HEAD
+   requires). *)
+let head_of_response resp =
+  let n = String.length resp in
+  let rec find i =
+    if i + 3 >= n then resp
+    else if resp.[i] = '\r' && resp.[i + 1] = '\n' && resp.[i + 2] = '\r'
+            && resp.[i + 3] = '\n'
+    then String.sub resp 0 (i + 4)
+    else find (i + 1)
+  in
+  find 0
+
+let default_app ~cache ~resp_404 (req : Httpkit.Request.t) =
+  let full =
+    match Hashtbl.find_opt cache req.Httpkit.Request.target with
+    | Some r -> r
+    | None -> resp_404
+  in
+  match req.Httpkit.Request.meth with
+  | Httpkit.Request.HEAD -> head_of_response full
+  | _ -> full
+
+let create ~rt ?(max_clients = 1024) ?(backlog = 128) ?(max_request_bytes = 65_536)
+    ?(drain_deadline = 5.0) ?app ~cache ~port () =
+  if max_clients < 1 then invalid_arg "Rtnet.Server.create: max_clients must be >= 1";
+  (* A dropped client mid-write must not kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let bound_port =
+    try
+      Unix.setsockopt listen_fd Unix.SO_REUSEADDR true;
+      Unix.bind listen_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.listen listen_fd backlog;
+      Unix.set_nonblock listen_fd;
+      match Unix.getsockname listen_fd with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> port
+    with e ->
+      (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock wake_r;
+  Unix.set_nonblock wake_w;
+  let resp_404 =
+    Httpkit.Response.build ~status:Httpkit.Response.Not_found ~body:"not found" ()
+  in
+  let app = match app with Some f -> f | None -> default_app ~cache ~resp_404 in
+  {
+    rt;
+    app;
+    max_clients;
+    max_request_bytes;
+    drain_deadline;
+    listen_fd;
+    bound_port;
+    wake_r;
+    wake_w;
+    conns = Hashtbl.create 64;
+    (* Declared cycles feed the time-left heuristic: a connection with
+       a backlog of requests is worth stealing. *)
+    h_read = Rt.Runtime.handler rt ~name:"net.read" ~declared_cycles:30_000 ();
+    h_respond = Rt.Runtime.handler rt ~name:"net.respond" ~declared_cycles:40_000 ();
+    h_flush = Rt.Runtime.handler rt ~name:"net.flush" ~declared_cycles:10_000 ();
+    resp_400 =
+      Httpkit.Response.build ~status:Httpkit.Response.Bad_request ~keep_alive:false
+        ~body:"bad request" ();
+    resp_500 =
+      Httpkit.Response.build ~status:Httpkit.Response.Internal_error ~keep_alive:false
+        ~body:"internal error" ();
+    resp_404;
+    draining = Atomic.make false;
+    c_accepted = Atomic.make 0;
+    c_refused = Atomic.make 0;
+    c_closed = Atomic.make 0;
+    c_failed = Atomic.make 0;
+    r_parsed = Atomic.make 0;
+    r_served = Atomic.make 0;
+    r_failed = Atomic.make 0;
+    r_malformed = Atomic.make 0;
+    r_inj_refused = Atomic.make 0;
+    read_buf = Bytes.create 16_384;
+    lifecycle = Mutex.create ();
+    state = Created;
+    poller = None;
+  }
+
+let port t = t.bound_port
+
+let start t =
+  Mutex.lock t.lifecycle;
+  let fail msg =
+    Mutex.unlock t.lifecycle;
+    invalid_arg msg
+  in
+  if t.state <> Created then fail "Rtnet.Server.start: already started";
+  if not (Rt.Runtime.is_serving t.rt) then
+    fail "Rtnet.Server.start: the runtime is not serving (call Rt.Runtime.start first)";
+  t.state <- Started;
+  t.poller <- Some (Domain.spawn (fun () -> poller_loop t));
+  Mutex.unlock t.lifecycle
+
+let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let stop t =
+  Mutex.lock t.lifecycle;
+  (match t.state with
+  | Stopped -> ()
+  | Created ->
+    t.state <- Stopped;
+    close_quietly t.listen_fd;
+    close_quietly t.wake_r;
+    close_quietly t.wake_w
+  | Started ->
+    t.state <- Stopped;
+    Atomic.set t.draining true;
+    wake t;
+    (match t.poller with Some d -> Domain.join d | None -> ());
+    t.poller <- None;
+    (* The poller closed every connection and the listener. Any handler
+       still unwinding its finally may touch the wake pipe, so wait for
+       the runtime to go quiescent before closing it (quiesce returns
+       immediately on a stopped or aborted runtime). *)
+    Rt.Runtime.quiesce t.rt;
+    close_quietly t.wake_r;
+    close_quietly t.wake_w);
+  Mutex.unlock t.lifecycle
+
+let stats t =
+  {
+    conns_accepted = Atomic.get t.c_accepted;
+    conns_refused = Atomic.get t.c_refused;
+    conns_closed = Atomic.get t.c_closed;
+    conns_failed = Atomic.get t.c_failed;
+    reqs_parsed = Atomic.get t.r_parsed;
+    reqs_served = Atomic.get t.r_served;
+    reqs_failed = Atomic.get t.r_failed;
+    reqs_malformed = Atomic.get t.r_malformed;
+    injections_refused = Atomic.get t.r_inj_refused;
+  }

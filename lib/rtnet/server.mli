@@ -1,0 +1,93 @@
+(** A real TCP front-end for the domain runtime — SWS's Figure 6 mapped
+    onto {!Rt.Runtime} and actual sockets.
+
+    One poller/acceptor loop (its own domain, [Unix.select]) owns every
+    file descriptor: it accepts clients up to [max_clients] (the
+    paper's [Accept] cap), reads request bytes, and injects work into
+    the live runtime through {!Rt.Runtime.try_register} with the
+    connection's fd as the color — so one connection's requests stay
+    strictly ordered while distinct connections spread across the
+    worker domains via stealing.
+
+    Ownership boundary (see DESIGN.md §5e): every mutable field of a
+    connection record is touched only inside events of that
+    connection's color (parse state, output buffer), or only by the
+    poller (fd lifetime, readiness interest); the two sides talk
+    through a few atomics ([inflight], [want_write], [wants_close]).
+    The poller closes an fd only once no event of that connection is
+    queued or executing, so a handler can never write into a recycled
+    descriptor.
+
+    Per-connection state machine: accumulate bytes →
+    {!Httpkit.Request.parse} (with the resume hint, so torn requests
+    cost O(bytes) not O(bytes²)) → serve pipelined keep-alive requests
+    from the response cache → retry short writes when the socket
+    drains. A malformed request gets a [400] and closes that one
+    connection; a raising handler gets a [500], closes that one
+    connection, and is contained by the runtime — sibling connections
+    keep serving either way.
+
+    Lifecycle: {!stop} drains gracefully — the listener refuses
+    connections arriving mid-drain, queued requests complete, output
+    buffers flush, then every fd is closed (a deadline bounds the
+    wait). If the *runtime* is stopped instead, its shutdown gate
+    refuses the poller's injections and the affected connections are
+    closed cleanly. *)
+
+type t
+
+type stats = {
+  conns_accepted : int;  (** connections the poller accepted *)
+  conns_refused : int;  (** connections refused while draining *)
+  conns_closed : int;  (** connections closed (any reason) *)
+  conns_failed : int;
+      (** connections dropped on I/O error or refused injection *)
+  reqs_parsed : int;  (** complete requests parsed off the wire *)
+  reqs_served : int;  (** responses handed to the output buffer *)
+  reqs_failed : int;  (** app raised; 500 sent, connection closed *)
+  reqs_malformed : int;  (** parse errors; 400 sent, connection closed *)
+  injections_refused : int;
+      (** poller registers rejected by the runtime's shutdown gate *)
+}
+
+val create :
+  rt:Rt.Runtime.t ->
+  ?max_clients:int ->
+  ?backlog:int ->
+  ?max_request_bytes:int ->
+  ?drain_deadline:float ->
+  ?app:(Httpkit.Request.t -> string) ->
+  cache:(string, string) Hashtbl.t ->
+  port:int ->
+  unit ->
+  t
+(** Bind a listening socket on [port] ([0] picks an ephemeral port,
+    read it back with {!port}) and prepare the serving state; no domain
+    is spawned yet. [app] maps a parsed request to complete response
+    bytes and may raise (the failure is contained); it defaults to a
+    lookup in [cache] (the prebuilt-response Flash cache, see
+    {!Httpkit.Response.prebuild_cache}) with 404 on miss and
+    headers-only answers for [HEAD]. [max_clients] (default 1024) caps
+    simultaneous accepted connections; [max_request_bytes] (default
+    65536) bounds one request's header block; [drain_deadline] (default
+    5 s) bounds the graceful drain in {!stop}. Ignores [SIGPIPE]
+    process-wide (a server must). *)
+
+val start : t -> unit
+(** Spawn the poller domain and begin serving. The runtime must already
+    be serving ({!Rt.Runtime.start}); raises [Invalid_argument]
+    otherwise, or if this server was already started or stopped. *)
+
+val port : t -> int
+(** The actually-bound TCP port. *)
+
+val stop : t -> unit
+(** Graceful drain: refuse new connections, let accepted requests
+    complete and output buffers flush (bounded by [drain_deadline]),
+    close every connection and the listener, join the poller domain.
+    Does not stop the runtime — that is the caller's. Idempotent. *)
+
+val stats : t -> stats
+(** Conservation: [conns_accepted = conns_closed] after {!stop}, and
+    [reqs_parsed = reqs_served + reqs_failed] whenever every accepted
+    request has run (e.g. after a graceful drain). *)

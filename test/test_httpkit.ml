@@ -72,6 +72,97 @@ let test_pipelined_offset () =
   let req2, _ = ok (Httpkit.Request.parse rest) in
   Alcotest.(check string) "second" "/b" req2.Httpkit.Request.target
 
+let test_head_request () =
+  let req, consumed = ok (Httpkit.Request.parse "HEAD /f0.html HTTP/1.1\r\nHost: x\r\n\r\n") in
+  Alcotest.(check bool) "meth" true (req.Httpkit.Request.meth = Httpkit.Request.HEAD);
+  Alcotest.(check string) "target" "/f0.html" req.Httpkit.Request.target;
+  Alcotest.(check bool) "keep-alive" true (Httpkit.Request.keep_alive req);
+  Alcotest.(check int) "consumed" 35 consumed
+
+(* A pipelined stream split at *every* byte boundary: the prefix up to
+   the first request's end parses Incomplete strictly before the
+   boundary, then yields an identical (request, consumed) pair at and
+   after it. This is exactly the contract the rtnet read loop relies
+   on when TCP tears requests across reads. *)
+let test_split_every_boundary () =
+  let stream =
+    "GET /a/b.html HTTP/1.1\r\nHost: mely\r\nX-Pad: zzzz\r\n\r\n"
+    ^ "HEAD /c HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+    ^ "GET /d HTTP/1.1\r\nConnection: close\r\n\r\n"
+  in
+  let whole = ok (Httpkit.Request.parse stream) in
+  let _, consumed1 = whole in
+  for cut = 0 to String.length stream do
+    let prefix = String.sub stream 0 cut in
+    match Httpkit.Request.parse prefix with
+    | Error Httpkit.Request.Incomplete ->
+      if cut >= consumed1 then
+        Alcotest.failf "cut=%d >= consumed=%d but still Incomplete" cut consumed1
+    | Error (Httpkit.Request.Malformed m) ->
+      Alcotest.failf "cut=%d: unexpected Malformed: %s" cut m
+    | Ok (req, consumed) ->
+      if cut < consumed1 then
+        Alcotest.failf "cut=%d < consumed=%d but parsed" cut consumed1;
+      Alcotest.(check int) "same consumed" consumed1 consumed;
+      Alcotest.(check bool) "same request" true (req = fst whole)
+  done;
+  (* Walk the full stream request by request; each must parse whole. *)
+  let rec drain off count =
+    if off >= String.length stream then count
+    else
+      let rest = String.sub stream off (String.length stream - off) in
+      let _, c = ok (Httpkit.Request.parse rest) in
+      drain (off + c) (count + 1)
+  in
+  Alcotest.(check int) "three requests in stream" 3 (drain 0 0)
+
+(* The [?scan_from] resume hint must never change the result as long as
+   the hint is valid (i.e. no terminator ends before it). The rtnet
+   loop passes the previous buffer length after each Incomplete. *)
+let prop_scan_hint_equivalent =
+  QCheck.Test.make ~name:"scan_from hint never changes the parse" ~count:300
+    QCheck.(pair (string_gen_of_size (Gen.int_range 0 20) Gen.printable) small_nat)
+    (fun (pad, n) ->
+      let clean =
+        String.map (fun c -> if c = ' ' || c = '\r' || c = '\n' || c = ':' then '_' else c) pad
+      in
+      let raw =
+        Printf.sprintf "GET /%s HTTP/1.1\r\nHost: h\r\nX-Pad: %s\r\n\r\n" clean clean
+      in
+      (* Simulate incremental arrival: feed byte-by-byte, resuming the
+         terminator scan from the previous length each time. *)
+      let hinted = ref None in
+      let prev = ref 0 in
+      (try
+         for len = 1 to String.length raw do
+           let prefix = String.sub raw 0 len in
+           match Httpkit.Request.parse ~scan_from:!prev prefix with
+           | Error Httpkit.Request.Incomplete -> prev := len
+           | other ->
+             hinted := Some other;
+             raise Exit
+         done
+       with Exit -> ());
+      let hint = min (n mod (String.length raw + 1)) (String.length raw) in
+      let direct = Httpkit.Request.parse raw in
+      !hinted = Some direct
+      (* Any hint strictly below the terminator end is also valid
+         (at the end itself the terminator has already ended, which the
+         resume contract forbids). *)
+      && (hint >= (match direct with Ok (_, c) -> c | Error _ -> 0)
+          || Httpkit.Request.parse ~scan_from:hint raw = direct))
+
+let prop_garbage_is_malformed =
+  (* Garbage with a guaranteed terminator either fails Malformed or
+     parses; it must never raise and never report Incomplete. *)
+  QCheck.Test.make ~name:"terminated garbage never raises nor stalls" ~count:500
+    QCheck.(string_gen_of_size (Gen.int_range 0 64) (Gen.char_range '\000' '\255'))
+    (fun s ->
+      let buf = s ^ "\r\n\r\n" in
+      match Httpkit.Request.parse buf with
+      | Error (Httpkit.Request.Malformed _) | Ok _ -> true
+      | Error Httpkit.Request.Incomplete -> false)
+
 let prop_never_raises =
   QCheck.Test.make ~name:"parser never raises" ~count:500 QCheck.string (fun s ->
       match Httpkit.Request.parse s with
@@ -103,6 +194,10 @@ let suite =
     Alcotest.test_case "other method" `Quick test_other_method;
     Alcotest.test_case "bare lf" `Quick test_bare_lf;
     Alcotest.test_case "pipelined offset" `Quick test_pipelined_offset;
+    Alcotest.test_case "head request" `Quick test_head_request;
+    Alcotest.test_case "split at every byte boundary" `Quick test_split_every_boundary;
     QCheck_alcotest.to_alcotest prop_never_raises;
     QCheck_alcotest.to_alcotest prop_roundtrip;
+    QCheck_alcotest.to_alcotest prop_scan_hint_equivalent;
+    QCheck_alcotest.to_alcotest prop_garbage_is_malformed;
   ]

@@ -15,6 +15,7 @@ let () =
       ("rt", Test_rt.suite);
       ("rt-stress", Test_rt_stress.suite);
       ("rt-trace", Test_rt_trace.suite);
+      ("rtnet", Test_rtnet.suite);
       ("properties", Test_properties.suite);
       ("harness", Test_harness.suite);
     ]

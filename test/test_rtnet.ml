@@ -1,0 +1,305 @@
+(* Loopback end-to-end tests for the real TCP front-end (lib/rtnet):
+   real sockets, real worker domains, byte-exact responses, lifecycle
+   under traffic, fd conservation, per-connection fault containment. *)
+
+let site = Rtnet.Loadgen.default_site ~files:8 ~file_bytes:1024 ()
+
+let cache () = Httpkit.Response.prebuild_cache ~files:site
+
+let targets cache =
+  List.map (fun (path, _) -> (path, Hashtbl.find cache path)) site
+
+(* What the server sends on malformed input / app failure (must stay in
+   sync with lib/rtnet/server.ml). *)
+let resp_400 =
+  Httpkit.Response.build ~status:Httpkit.Response.Bad_request ~keep_alive:false
+    ~body:"bad request" ()
+
+let resp_500 =
+  Httpkit.Response.build ~status:Httpkit.Response.Internal_error ~keep_alive:false
+    ~body:"internal error" ()
+
+let open_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Some (Array.length entries)
+  | exception Sys_error _ -> None
+
+(* Raw blocking client socket with receive timeouts. *)
+let connect ?(timeout = 10.0) port =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+  | () ->
+    Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    fd
+  | exception e ->
+    Unix.close fd;
+    raise e
+
+let send fd s = ignore (Unix.write_substring fd s 0 (String.length s))
+
+let read_n fd n =
+  let buf = Bytes.create n in
+  let rec fill off =
+    if off >= n then Bytes.to_string buf
+    else
+      match Unix.read fd buf off (n - off) with
+      | 0 -> Bytes.sub_string buf 0 off
+      | k -> fill (off + k)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Bytes.sub_string buf 0 off
+      | exception Unix.Unix_error (EINTR, _, _) -> fill off
+  in
+  fill 0
+
+let read_until_eof fd =
+  let buf = Buffer.create 1024 in
+  let b = Bytes.create 4096 in
+  let rec go () =
+    match Unix.read fd b 0 4096 with
+    | 0 -> Buffer.contents buf
+    | n ->
+      Buffer.add_subbytes buf b 0 n;
+      go ()
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> Buffer.contents buf
+    | exception Unix.Unix_error (EINTR, _, _) -> go ()
+    | exception Unix.Unix_error (_, _, _) -> Buffer.contents buf
+  in
+  go ()
+
+let get path = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path
+
+let with_server ?(workers = 2) ?trace ?max_clients ?app body =
+  let rt = Rt.Runtime.create ~workers ?trace () in
+  let cache = cache () in
+  Rt.Runtime.start rt;
+  let server = Rtnet.Server.create ~rt ?max_clients ?app ~cache ~port:0 () in
+  Rtnet.Server.start server;
+  Fun.protect
+    ~finally:(fun () ->
+      Rtnet.Server.stop server;
+      if Rt.Runtime.is_serving rt then Rt.Runtime.stop rt)
+    (fun () -> body rt server cache)
+
+(* The acceptance run: >= 4 workers, >= 5k pipelined keep-alive requests
+   over real TCP with torn writes, zero mismatches, conservation, and a
+   clean flight-recorder replay. *)
+let test_e2e_pipelined () =
+  let conns = 16 and requests = 320 in
+  with_server ~workers:4 ~trace:Rt.Trace.default_config (fun rt server cache ->
+      let r =
+        Rtnet.Loadgen.run ~port:(Rtnet.Server.port server) ~conns ~requests
+          ~pipeline:8 ~torn_every:8 ~close_last:true ~targets:(targets cache) ()
+      in
+      let total = conns * requests in
+      Alcotest.(check int) "all sent" total r.requests_sent;
+      Alcotest.(check int) "all byte-exact" total r.responses_ok;
+      Alcotest.(check int) "no mismatches" 0 r.mismatches;
+      Alcotest.(check int) "no failed conns" 0 r.failed_conns;
+      Rtnet.Server.stop server;
+      let s = Rtnet.Server.stats server in
+      Alcotest.(check int) "parsed all" total s.reqs_parsed;
+      Alcotest.(check int) "served all" total s.reqs_served;
+      Alcotest.(check int) "no handler failures" 0 s.reqs_failed;
+      Alcotest.(check int) "no malformed" 0 s.reqs_malformed;
+      Alcotest.(check int) "accepted" conns s.conns_accepted;
+      Alcotest.(check int) "accepted = closed" s.conns_accepted s.conns_closed;
+      Alcotest.(check int) "none dropped" 0 s.conns_failed;
+      Rt.Runtime.stop rt;
+      Alcotest.(check int) "mutual exclusion held live" 1
+        (Rt.Runtime.max_concurrent_same_color rt);
+      let tr = Option.get (Rt.Runtime.trace rt) in
+      Alcotest.(check bool) "replay: mutual exclusion" true
+        (Rt.Trace.check_mutual_exclusion tr = None);
+      Alcotest.(check bool) "replay: per-color FIFO" true
+        (Rt.Trace.check_fifo_per_color tr = None))
+
+(* Graceful server drain under load: accepted requests complete (client
+   sees a byte-exact prefix), new connects are refused, no fd leaks. *)
+let test_server_stop_under_traffic () =
+  let fds_before = open_fds () in
+  with_server ~workers:2 (fun _rt server cache ->
+      let port = Rtnet.Server.port server in
+      let expected = Hashtbl.find cache "/f0.html" in
+      let c1 = connect port in
+      let n = 64 in
+      for _ = 1 to n do
+        send c1 (get "/f0.html")
+      done;
+      Rtnet.Server.stop server;
+      (* Everything that made it past the parser was answered, in
+         order, before the drain closed the socket. *)
+      let got = read_until_eof c1 in
+      let k = String.length got / String.length expected in
+      Alcotest.(check bool) "whole responses only" true
+        (String.length got = k * String.length expected);
+      let all = String.concat "" (List.init k (fun _ -> expected)) in
+      Alcotest.(check bool) "byte-exact prefix" true (got = all);
+      Unix.close c1;
+      let s = Rtnet.Server.stats server in
+      Alcotest.(check int) "accepted = closed" s.conns_accepted s.conns_closed;
+      Alcotest.(check int) "drain served what it parsed" s.reqs_parsed
+        (s.reqs_served + s.reqs_failed);
+      (* The listener is gone: a late connect is refused cleanly. *)
+      (match connect port with
+      | fd ->
+        (* A racing listen queue may still accept; then we must see
+           immediate EOF with zero bytes served. *)
+        send fd (get "/f0.html");
+        Alcotest.(check string) "late conn gets nothing" "" (read_until_eof fd);
+        Unix.close fd
+      | exception Unix.Unix_error ((ECONNREFUSED | ECONNRESET | EPIPE), _, _) -> ()));
+  match fds_before with
+  | None -> ()
+  | Some before ->
+    let after = Option.get (open_fds ()) in
+    Alcotest.(check int) "no fd leak" before after
+
+(* Stopping the *runtime* mid-pipeline: already-accepted requests
+   complete, further injections are refused and the connection is
+   closed cleanly — the poller never hangs. *)
+let test_runtime_stop_under_traffic () =
+  with_server ~workers:2 (fun rt server cache ->
+      let port = Rtnet.Server.port server in
+      let expected = Hashtbl.find cache "/f1.html" in
+      let c = connect port in
+      send c (get "/f1.html");
+      Alcotest.(check string) "served before stop" expected
+        (read_n c (String.length expected));
+      Rt.Runtime.stop rt;
+      (* The gate is closed: new bytes cannot be injected; the server
+         reaps the connection instead of serving it. *)
+      send c (get "/f1.html");
+      Alcotest.(check string) "nothing after runtime stop" "" (read_until_eof c);
+      Unix.close c;
+      Rtnet.Server.stop server;
+      let s = Rtnet.Server.stats server in
+      Alcotest.(check bool) "refused injection counted" true
+        (s.injections_refused >= 1);
+      Alcotest.(check int) "accepted = closed" s.conns_accepted s.conns_closed)
+
+(* One connection's raising handler is contained: it gets a 500 and a
+   close, the sibling connection keeps serving, the runtime stays up. *)
+let test_raising_handler_contained () =
+  let cache_for_app = cache () in
+  let app (req : Httpkit.Request.t) =
+    if req.Httpkit.Request.target = "/boom" then failwith "handler exploded"
+    else
+      match Hashtbl.find_opt cache_for_app req.Httpkit.Request.target with
+      | Some r -> r
+      | None -> resp_400
+  in
+  with_server ~workers:2 ~app (fun rt server cache ->
+      let port = Rtnet.Server.port server in
+      let expected = Hashtbl.find cache "/f2.html" in
+      let sibling = connect port in
+      let victim = connect port in
+      send victim (get "/boom");
+      Alcotest.(check string) "victim gets the 500" resp_500
+        (read_n victim (String.length resp_500));
+      Alcotest.(check string) "victim closed" "" (read_until_eof victim);
+      Unix.close victim;
+      for _ = 1 to 20 do
+        send sibling (get "/f2.html");
+        Alcotest.(check string) "sibling keeps serving" expected
+          (read_n sibling (String.length expected))
+      done;
+      Unix.close sibling;
+      (* The error counter is bumped just after the handler's raise
+         propagates; give the worker a moment to get there. *)
+      let rec await n =
+        if Rt.Runtime.errors rt = 0 && n > 0 then begin
+          Unix.sleepf 0.01;
+          await (n - 1)
+        end
+      in
+      await 200;
+      Alcotest.(check int) "runtime counted the failure" 1 (Rt.Runtime.errors rt);
+      Rtnet.Server.stop server;
+      let s = Rtnet.Server.stats server in
+      Alcotest.(check int) "request counted failed" 1 s.reqs_failed;
+      Alcotest.(check int) "parsed = served + failed" s.reqs_parsed
+        (s.reqs_served + s.reqs_failed))
+
+(* Malformed bytes 400-close their own connection and nothing else. *)
+let test_malformed_contained () =
+  with_server ~workers:2 (fun _rt server cache ->
+      let port = Rtnet.Server.port server in
+      let expected = Hashtbl.find cache "/f3.html" in
+      let sibling = connect port in
+      let victim = connect port in
+      send victim "BOGUS garbage\r\n\r\n";
+      Alcotest.(check string) "victim gets the 400" resp_400
+        (read_n victim (String.length resp_400));
+      Alcotest.(check string) "victim closed" "" (read_until_eof victim);
+      Unix.close victim;
+      send sibling (get "/f3.html");
+      Alcotest.(check string) "sibling keeps serving" expected
+        (read_n sibling (String.length expected));
+      Unix.close sibling;
+      let s = Rtnet.Server.stats server in
+      Alcotest.(check int) "malformed counted" 1 s.reqs_malformed;
+      Alcotest.(check int) "no handler failures" 0 s.reqs_failed)
+
+(* HEAD answers with the cached response's header block only. *)
+let test_head_headers_only () =
+  with_server ~workers:2 (fun _rt server cache ->
+      let port = Rtnet.Server.port server in
+      let full = Hashtbl.find cache "/f4.html" in
+      let header_end =
+        let rec find i =
+          if String.sub full i 4 = "\r\n\r\n" then i + 4 else find (i + 1)
+        in
+        find 0
+      in
+      let expected = String.sub full 0 header_end in
+      let c = connect port in
+      send c "HEAD /f4.html HTTP/1.1\r\nHost: t\r\n\r\n";
+      Alcotest.(check string) "headers only" expected
+        (read_n c (String.length expected));
+      (* Still keep-alive: a GET on the same connection serves the body. *)
+      send c (get "/f4.html");
+      Alcotest.(check string) "body afterwards" full (read_n c (String.length full));
+      Unix.close c)
+
+(* The Accept cap: with max_clients = 1, a second client is only
+   accepted (and served) once the first connection closes. *)
+let test_max_clients_cap () =
+  with_server ~workers:2 ~max_clients:1 (fun _rt server cache ->
+      let port = Rtnet.Server.port server in
+      let expected = Hashtbl.find cache "/f5.html" in
+      let holder = connect port in
+      send holder (get "/f5.html");
+      Alcotest.(check string) "holder served" expected
+        (read_n holder (String.length expected));
+      let closer =
+        Domain.spawn (fun () ->
+            Unix.sleepf 0.5;
+            Unix.close holder)
+      in
+      let t0 = Unix.gettimeofday () in
+      let second = connect port in
+      send second (get "/f5.html");
+      Alcotest.(check string) "second served after cap clears" expected
+        (read_n second (String.length expected));
+      let waited = Unix.gettimeofday () -. t0 in
+      Domain.join closer;
+      Unix.close second;
+      Alcotest.(check bool) "second waited for the slot" true (waited >= 0.3))
+
+let suite =
+  [
+    Alcotest.test_case "e2e: 5k pipelined torn requests, 4 workers" `Slow
+      test_e2e_pipelined;
+    Alcotest.test_case "lifecycle: server drain under traffic + fd conservation"
+      `Quick test_server_stop_under_traffic;
+    Alcotest.test_case "lifecycle: runtime stop under traffic" `Quick
+      test_runtime_stop_under_traffic;
+    Alcotest.test_case "containment: raising handler closes only its connection"
+      `Quick test_raising_handler_contained;
+    Alcotest.test_case "containment: malformed request closes only its connection"
+      `Quick test_malformed_contained;
+    Alcotest.test_case "HEAD serves headers only" `Quick test_head_headers_only;
+    Alcotest.test_case "accept cap delays the second client" `Quick
+      test_max_clients_cap;
+  ]
