@@ -265,14 +265,30 @@ let run_rt_json path =
 
 (* Real-TCP serving bench: in-process Rtnet.Server + Loadgen over
    loopback, flight recorder on. `bench/main.exe net-json [FILE]`
-   writes BENCH_net.json (req/s plus per-handler p50/p99 from the
-   trace) for CI to upload alongside BENCH_rt.json. *)
+   writes BENCH_net.json for CI: the steady-state entry (req/s plus
+   per-handler p50/p99 from the trace; the fault shim is passthrough,
+   so this doubles as the armor's no-overhead regression gate) and an
+   overload entry — a deliberately slow app saturated past a tiny shed
+   budget, reporting served vs shed throughput and the net.respond p99
+   under saturation. *)
 let run_net_json path =
   let workers = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
   let conns = 16 and requests = 250 and pipeline = 8 in
   let site = Rtnet.Loadgen.default_site ~files:8 ~file_bytes:1024 () in
   let cache = Httpkit.Response.prebuild_cache ~files:site in
   let targets = List.map (fun (p, _) -> (p, Hashtbl.find cache p)) site in
+  let latency_json tr =
+    Rt.Trace.latency_summary tr
+    |> List.map (fun (l : Rt.Trace.latency) ->
+           Printf.sprintf
+             "{\"handler\": %S, \"count\": %d, \"queue_wait_p50_ns\": %.0f, \
+              \"queue_wait_p99_ns\": %.0f, \"service_p50_ns\": %.0f, \
+              \"service_p99_ns\": %.0f}"
+             l.l_handler l.l_count l.l_qwait_p50 l.l_qwait_p99 l.l_service_p50
+             l.l_service_p99)
+    |> String.concat ", "
+  in
+  (* Steady state: default armor thresholds, passthrough faults. *)
   let rt =
     Rt.Runtime.create ~workers ~on_error:Rt.Runtime.Swallow
       ~trace:Rt.Trace.default_config ()
@@ -293,16 +309,51 @@ let run_net_json path =
     && Rt.Trace.check_fifo_per_color tr = None
   in
   let req_per_sec = Rtnet.Loadgen.req_per_sec res in
-  let latencies =
-    Rt.Trace.latency_summary tr
-    |> List.map (fun (l : Rt.Trace.latency) ->
-           Printf.sprintf
-             "{\"handler\": %S, \"count\": %d, \"queue_wait_p50_ns\": %.0f, \
-              \"queue_wait_p99_ns\": %.0f, \"service_p50_ns\": %.0f, \
-              \"service_p99_ns\": %.0f}"
-             l.l_handler l.l_count l.l_qwait_p50 l.l_qwait_p99 l.l_service_p50
-             l.l_service_p99)
-    |> String.concat ", "
+  (* Overload: a slow app saturated past a tiny shed budget. The armor
+     must keep serving what it admits and shed the rest with 503s. *)
+  let rt_o =
+    Rt.Runtime.create ~workers ~on_error:Rt.Runtime.Swallow
+      ~trace:Rt.Trace.default_config ()
+  in
+  Rt.Runtime.start rt_o;
+  let sink = Atomic.make 0 in
+  let slow_app (req : Httpkit.Request.t) =
+    let acc = ref 0 in
+    for j = 1 to 300_000 do
+      acc := !acc + j
+    done;
+    Atomic.fetch_and_add sink (Sys.opaque_identity !acc) |> ignore;
+    match Hashtbl.find_opt cache req.Httpkit.Request.target with
+    | Some r -> r
+    | None -> Httpkit.Response.build ~status:Httpkit.Response.Not_found ~body:"" ()
+  in
+  let overload = { Rtnet.Server.default_overload with shed_pending_hwm = 8 } in
+  let server_o =
+    Rtnet.Server.create ~rt:rt_o ~overload ~app:slow_app ~cache ~port:0 ()
+  in
+  Rtnet.Server.start server_o;
+  let res_o =
+    Rtnet.Loadgen.run ~port:(Rtnet.Server.port server_o) ~conns ~requests:64
+      ~pipeline:16 ~targets ()
+  in
+  Rtnet.Server.stop server_o;
+  Rt.Runtime.stop rt_o;
+  let s_o = Rtnet.Server.stats server_o in
+  let tr_o = Option.get (Rt.Runtime.trace rt_o) in
+  let replay_ok_o =
+    Rt.Trace.check_mutual_exclusion tr_o = None
+    && Rt.Trace.check_fifo_per_color tr_o = None
+  in
+  let conserved_o =
+    s_o.Rtnet.Server.reqs_parsed
+    = s_o.Rtnet.Server.reqs_served + s_o.Rtnet.Server.reqs_failed
+      + s_o.Rtnet.Server.reqs_shed
+  in
+  let per_sec n = float_of_int n /. res_o.Rtnet.Loadgen.seconds in
+  let respond_p99_o =
+    Rt.Trace.latency_summary tr_o
+    |> List.find_opt (fun (l : Rt.Trace.latency) -> l.l_handler = "net.respond")
+    |> Option.fold ~none:0.0 ~some:(fun (l : Rt.Trace.latency) -> l.l_service_p99)
   in
   let json =
     Printf.sprintf
@@ -313,6 +364,7 @@ let run_net_json path =
       \  \"pipeline\": %d,\n\
       \  \"requests_sent\": %d,\n\
       \  \"responses_ok\": %d,\n\
+      \  \"sheds\": %d,\n\
       \  \"mismatches\": %d,\n\
       \  \"failed_conns\": %d,\n\
       \  \"seconds\": %.6f,\n\
@@ -321,13 +373,29 @@ let run_net_json path =
       \  \"reqs_served\": %d,\n\
       \  \"steals\": %d,\n\
       \  \"replay_ok\": %b,\n\
-      \  \"latencies\": [%s]\n\
+      \  \"latencies\": [%s],\n\
+      \  \"overload\": {\n\
+      \    \"shed_pending_hwm\": %d,\n\
+      \    \"reqs_served\": %d,\n\
+      \    \"reqs_shed\": %d,\n\
+      \    \"served_per_sec\": %.1f,\n\
+      \    \"shed_per_sec\": %.1f,\n\
+      \    \"respond_service_p99_ns\": %.0f,\n\
+      \    \"mismatches\": %d,\n\
+      \    \"conservation_ok\": %b,\n\
+      \    \"replay_ok\": %b\n\
+      \  }\n\
        }\n"
       workers conns pipeline res.Rtnet.Loadgen.requests_sent
-      res.Rtnet.Loadgen.responses_ok res.Rtnet.Loadgen.mismatches
-      res.Rtnet.Loadgen.failed_conns res.Rtnet.Loadgen.seconds req_per_sec
-      s.Rtnet.Server.reqs_parsed s.Rtnet.Server.reqs_served
-      (Rt.Runtime.steals rt) replay_ok latencies
+      res.Rtnet.Loadgen.responses_ok res.Rtnet.Loadgen.sheds
+      res.Rtnet.Loadgen.mismatches res.Rtnet.Loadgen.failed_conns
+      res.Rtnet.Loadgen.seconds req_per_sec s.Rtnet.Server.reqs_parsed
+      s.Rtnet.Server.reqs_served (Rt.Runtime.steals rt) replay_ok
+      (latency_json tr) overload.Rtnet.Server.shed_pending_hwm
+      s_o.Rtnet.Server.reqs_served s_o.Rtnet.Server.reqs_shed
+      (per_sec s_o.Rtnet.Server.reqs_served)
+      (per_sec s_o.Rtnet.Server.reqs_shed)
+      respond_p99_o res_o.Rtnet.Loadgen.mismatches conserved_o replay_ok_o
   in
   let oc = open_out path in
   output_string oc json;
@@ -337,12 +405,20 @@ let run_net_json path =
     workers conns requests res.Rtnet.Loadgen.responses_ok
     res.Rtnet.Loadgen.requests_sent req_per_sec
     (if replay_ok then "OK" else "VIOLATION");
+  Printf.printf
+    "net_serve_overload: %.0f served/s vs %.0f shed/s (hwm %d), respond p99 %.0f ns, replay %s\n"
+    (per_sec s_o.Rtnet.Server.reqs_served)
+    (per_sec s_o.Rtnet.Server.reqs_shed)
+    overload.Rtnet.Server.shed_pending_hwm respond_p99_o
+    (if replay_ok_o then "OK" else "VIOLATION");
   Printf.printf "wrote %s\n%!" path;
   if
     res.Rtnet.Loadgen.mismatches > 0
     || res.Rtnet.Loadgen.failed_conns > 0
     || res.Rtnet.Loadgen.responses_ok <> conns * requests
     || not replay_ok
+    || res_o.Rtnet.Loadgen.mismatches > 0
+    || not conserved_o || not replay_ok_o
   then exit 1
 
 let run_micro () =

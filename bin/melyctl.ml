@@ -48,7 +48,8 @@ let print_rt_stats rt =
       ~headers:
         [
           "worker"; "executed"; "enqueued"; "steals in"; "steals out"; "failed rounds";
-          "visits"; "parks"; "park time"; "queue hwm"; "errors"; "last error";
+          "visits"; "parks"; "park time"; "queue hwm"; "sheds"; "evicts"; "errors";
+          "last error";
         ]
   in
   Array.iteri
@@ -65,6 +66,8 @@ let print_rt_stats rt =
           string_of_int s.parks;
           Mstd.Units.seconds s.park_seconds;
           string_of_int s.queue_hwm;
+          string_of_int s.sheds;
+          string_of_int s.evictions;
           string_of_int s.errors;
           (match s.last_error with None -> "-" | Some (h, _) -> h);
         ])
@@ -307,11 +310,16 @@ let run_rt_serve workers port max_clients duration files file_bytes trace_out =
   add "conns refused" s.Rtnet.Server.conns_refused;
   add "conns closed" s.Rtnet.Server.conns_closed;
   add "conns failed" s.Rtnet.Server.conns_failed;
+  add "conns evicted" s.Rtnet.Server.conns_evicted;
   add "reqs parsed" s.Rtnet.Server.reqs_parsed;
   add "reqs served" s.Rtnet.Server.reqs_served;
   add "reqs failed" s.Rtnet.Server.reqs_failed;
   add "reqs malformed" s.Rtnet.Server.reqs_malformed;
+  add "reqs too large" s.Rtnet.Server.reqs_too_large;
+  add "reqs shed" s.Rtnet.Server.reqs_shed;
   add "injections refused" s.Rtnet.Server.injections_refused;
+  add "accept errors" s.Rtnet.Server.accept_errors;
+  add "accept backoffs" s.Rtnet.Server.accept_backoffs;
   print_string (Mstd.Table.render table);
   print_rt_summary rt ~workers ~seconds;
   print_rt_stats rt;
@@ -367,11 +375,13 @@ let run_rt_loadgen port conns requests pipeline torn_every client_domains files
       ~close_last:true ~client_domains ~targets ()
   in
   Printf.printf
-    "%d/%d responses byte-exact in %.3f s (%.0f req/s); %d mismatches, %d failed conns\n"
+    "%d/%d responses byte-exact in %.3f s (%.0f req/s); %d shed, %d mismatches, \
+     %d failed conns\n"
     res.Rtnet.Loadgen.responses_ok res.Rtnet.Loadgen.requests_sent
     res.Rtnet.Loadgen.seconds
     (Rtnet.Loadgen.req_per_sec res)
-    res.Rtnet.Loadgen.mismatches res.Rtnet.Loadgen.failed_conns;
+    res.Rtnet.Loadgen.sheds res.Rtnet.Loadgen.mismatches
+    res.Rtnet.Loadgen.failed_conns;
   flush stdout;
   if
     res.Rtnet.Loadgen.mismatches = 0
@@ -379,6 +389,206 @@ let run_rt_loadgen port conns requests pipeline torn_every client_domains files
     && res.Rtnet.Loadgen.responses_ok = conns * requests
   then 0
   else 1
+
+(* Chaos drill: serve under a seeded deterministic fault schedule plus
+   hostile clients, and assert the armor's books balance. Two phases:
+
+   A. hostile syscall faults + slow-loris clients alongside a real
+      pipelined load — no response mismatches allowed, every loris must
+      be evicted with a 408, fds and requests must conserve.
+   B. saturation against a deliberately slow app with a tiny shed
+      budget — the server must shed with 503s (not wedge, not lie) and
+      the books must still balance.
+
+   Exits nonzero on any violated invariant; --json writes a
+   machine-readable report for CI. *)
+let run_rt_chaos seed workers conns requests loris json_out =
+  if workers < 1 then (
+    Printf.eprintf "melyctl: --workers must be >= 1 (got %d)\n" workers;
+    exit 2);
+  if conns < 1 then (
+    Printf.eprintf "melyctl: --conns must be >= 1 (got %d)\n" conns;
+    exit 2);
+  if requests < 1 then (
+    Printf.eprintf "melyctl: --requests must be >= 1 (got %d)\n" requests;
+    exit 2);
+  if loris < 0 then (
+    Printf.eprintf "melyctl: --loris must be >= 0 (got %d)\n" loris;
+    exit 2);
+  let site = Rtnet.Loadgen.default_site ~files:8 ~file_bytes:1024 () in
+  let cache = Httpkit.Response.prebuild_cache ~files:site in
+  let targets = List.map (fun (p, _) -> (p, Hashtbl.find cache p)) site in
+  let checks = ref [] in
+  let check phase name ok =
+    checks := (phase, name, ok) :: !checks;
+    if not ok then Printf.eprintf "chaos [%s] FAILED: %s\n" phase name
+  in
+  let replay_ok tr =
+    Rt.Trace.check_mutual_exclusion tr = None
+    && Rt.Trace.check_fifo_per_color tr = None
+  in
+  (* ---- Phase A: fault schedule + slow loris under real load. ---- *)
+  let faults = Rt.Faults.seeded ~plan:Rt.Faults.hostile_plan seed in
+  let rt = Rt.Runtime.create ~workers ~trace:Rt.Trace.default_config () in
+  Rt.Runtime.start rt;
+  let overload =
+    { Rtnet.Server.default_overload with header_deadline = 0.5 }
+  in
+  let server = Rtnet.Server.create ~rt ~overload ~faults ~cache ~port:0 () in
+  Rtnet.Server.start server;
+  let port = Rtnet.Server.port server in
+  let evicted_408 = Atomic.make 0 in
+  let loris_domains =
+    List.init loris (fun i ->
+        Domain.spawn (fun () ->
+            let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+            match Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port)) with
+            | exception _ -> (try Unix.close fd with Unix.Unix_error _ -> ())
+            | () ->
+              (try
+                 Unix.setsockopt_float fd Unix.SO_RCVTIMEO 20.0;
+                 let partial = Printf.sprintf "GET /loris%d HTT" i in
+                 ignore (Unix.write_substring fd partial 0 (String.length partial))
+               with Unix.Unix_error _ -> ());
+              let b = Bytes.create 1024 in
+              let buf = Buffer.create 256 in
+              let rec drain () =
+                match Unix.read fd b 0 1024 with
+                | 0 -> ()
+                | n ->
+                  Buffer.add_subbytes buf b 0 n;
+                  drain ()
+                | exception Unix.Unix_error _ -> ()
+              in
+              drain ();
+              let got = Buffer.contents buf in
+              if String.length got >= 12 && String.sub got 0 12 = "HTTP/1.1 408" then
+                Atomic.incr evicted_408;
+              (try Unix.close fd with Unix.Unix_error _ -> ())))
+  in
+  let ra =
+    Rtnet.Loadgen.run ~port ~conns ~requests ~pipeline:4 ~torn_every:5
+      ~client_domains:4 ~timeout:20.0 ~targets ()
+  in
+  List.iter Domain.join loris_domains;
+  Rtnet.Server.stop server;
+  Rt.Runtime.stop rt;
+  let sa = Rtnet.Server.stats server in
+  check "A" "no response mismatches" (ra.Rtnet.Loadgen.mismatches = 0);
+  check "A" "some responses served" (ra.Rtnet.Loadgen.responses_ok > 0);
+  check "A" "faults were injected" (sa.Rtnet.Server.faults_injected > 0);
+  (* Every loris domain terminated (the joins above prove liveness);
+     under injected write faults a 408 can be torn away from an
+     individual loris, so require eviction evidence, not a per-loris
+     byte guarantee. *)
+  check "A" "slow-loris evictions observed"
+    (loris = 0
+    || (sa.Rtnet.Server.conns_evicted >= 1 && Atomic.get evicted_408 >= 1));
+  check "A" "conns accepted = closed"
+    (sa.Rtnet.Server.conns_accepted = sa.Rtnet.Server.conns_closed);
+  check "A" "reqs parsed = served + failed + shed"
+    (sa.Rtnet.Server.reqs_parsed
+    = sa.Rtnet.Server.reqs_served + sa.Rtnet.Server.reqs_failed
+      + sa.Rtnet.Server.reqs_shed);
+  check "A" "mutual exclusion held" (Rt.Runtime.max_concurrent_same_color rt = 1);
+  let tra = Option.get (Rt.Runtime.trace rt) in
+  check "A" "trace replay clean" (replay_ok tra);
+  (* ---- Phase B: saturation shedding against a slow app. ---- *)
+  let rtb = Rt.Runtime.create ~workers ~trace:Rt.Trace.default_config () in
+  Rt.Runtime.start rtb;
+  let sink = Atomic.make 0 in
+  let slow_app (req : Httpkit.Request.t) =
+    let acc = ref 0 in
+    for j = 1 to 500_000 do
+      acc := !acc + j
+    done;
+    Atomic.fetch_and_add sink (Sys.opaque_identity !acc) |> ignore;
+    match Hashtbl.find_opt cache req.Httpkit.Request.target with
+    | Some r -> r
+    | None -> Httpkit.Response.build ~status:Httpkit.Response.Not_found ~body:"" ()
+  in
+  let overload_b = { Rtnet.Server.default_overload with shed_pending_hwm = 4 } in
+  let server_b =
+    Rtnet.Server.create ~rt:rtb ~overload:overload_b ~app:slow_app ~cache ~port:0 ()
+  in
+  Rtnet.Server.start server_b;
+  let rb =
+    Rtnet.Loadgen.run ~port:(Rtnet.Server.port server_b) ~conns:(max conns 8)
+      ~requests:(max 8 (requests / 4)) ~pipeline:16 ~client_domains:4
+      ~timeout:20.0 ~targets ()
+  in
+  Rtnet.Server.stop server_b;
+  Rt.Runtime.stop rtb;
+  let sb = Rtnet.Server.stats server_b in
+  check "B" "no response mismatches" (rb.Rtnet.Loadgen.mismatches = 0);
+  check "B" "load was shed with 503s" (sb.Rtnet.Server.reqs_shed > 0);
+  check "B" "client observed the sheds" (rb.Rtnet.Loadgen.sheds > 0);
+  check "B" "some responses served" (rb.Rtnet.Loadgen.responses_ok > 0);
+  check "B" "conns accepted = closed"
+    (sb.Rtnet.Server.conns_accepted = sb.Rtnet.Server.conns_closed);
+  check "B" "reqs parsed = served + failed + shed"
+    (sb.Rtnet.Server.reqs_parsed
+    = sb.Rtnet.Server.reqs_served + sb.Rtnet.Server.reqs_failed
+      + sb.Rtnet.Server.reqs_shed);
+  let trb = Option.get (Rt.Runtime.trace rtb) in
+  check "B" "trace replay clean" (replay_ok trb);
+  let all_ok = List.for_all (fun (_, _, ok) -> ok) !checks in
+  Printf.printf
+    "phase A (seed %d): %d/%d ok, %d shed, %d mismatches, %d failed conns; %d \
+     faults injected, %d evicted (%d loris 408s), %d accept errors\n"
+    seed ra.Rtnet.Loadgen.responses_ok ra.Rtnet.Loadgen.requests_sent
+    ra.Rtnet.Loadgen.sheds ra.Rtnet.Loadgen.mismatches
+    ra.Rtnet.Loadgen.failed_conns sa.Rtnet.Server.faults_injected
+    sa.Rtnet.Server.conns_evicted (Atomic.get evicted_408)
+    sa.Rtnet.Server.accept_errors;
+  Printf.printf
+    "phase B (saturation): %d served, %d shed by server, %d sheds seen by \
+     client, %d mismatches\n"
+    sb.Rtnet.Server.reqs_served sb.Rtnet.Server.reqs_shed
+    rb.Rtnet.Loadgen.sheds rb.Rtnet.Loadgen.mismatches;
+  Printf.printf "chaos: %s (%d checks)\n"
+    (if all_ok then "all invariants held" else "INVARIANT VIOLATED")
+    (List.length !checks);
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let stats_json (s : Rtnet.Server.stats) =
+      Printf.sprintf
+        "{\"conns_accepted\":%d,\"conns_closed\":%d,\"conns_failed\":%d,\
+         \"conns_evicted\":%d,\"reqs_parsed\":%d,\"reqs_served\":%d,\
+         \"reqs_failed\":%d,\"reqs_malformed\":%d,\"reqs_too_large\":%d,\
+         \"reqs_shed\":%d,\"accept_errors\":%d,\"accept_backoffs\":%d,\
+         \"faults_injected\":%d}"
+        s.conns_accepted s.conns_closed s.conns_failed s.conns_evicted
+        s.reqs_parsed s.reqs_served s.reqs_failed s.reqs_malformed
+        s.reqs_too_large s.reqs_shed s.accept_errors s.accept_backoffs
+        s.faults_injected
+    in
+    let load_json (r : Rtnet.Loadgen.result) =
+      Printf.sprintf
+        "{\"sent\":%d,\"ok\":%d,\"sheds\":%d,\"mismatches\":%d,\
+         \"failed_conns\":%d,\"seconds\":%.4f}"
+        r.requests_sent r.responses_ok r.sheds r.mismatches r.failed_conns
+        r.seconds
+    in
+    let checks_json =
+      !checks |> List.rev
+      |> List.map (fun (phase, name, ok) ->
+             Printf.sprintf "{\"phase\":%S,\"name\":%S,\"ok\":%b}" phase name ok)
+      |> String.concat ","
+    in
+    Printf.fprintf oc
+      "{\"seed\":%d,\"workers\":%d,\"ok\":%b,\n\
+       \ \"phase_a\":{\"server\":%s,\"loadgen\":%s,\"loris_408\":%d},\n\
+       \ \"phase_b\":{\"server\":%s,\"loadgen\":%s},\n\
+       \ \"checks\":[%s]}\n"
+      seed workers all_ok (stats_json sa) (load_json ra)
+      (Atomic.get evicted_408) (stats_json sb) (load_json rb) checks_json;
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  flush stdout;
+  if all_ok then 0 else 1
 
 open Cmdliner
 
@@ -513,6 +723,38 @@ let rt_cmd =
         $ conns $ requests $ pipeline $ torn_every $ client_domains $ files
         $ file_bytes)
   in
+  let chaos_cmd =
+    let seed =
+      let doc = "Seed for the deterministic fault schedule." in
+      Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+    in
+    let conns =
+      let doc = "Well-behaved client connections." in
+      Arg.(value & opt int 12 & info [ "conns" ] ~docv:"N" ~doc)
+    in
+    let requests =
+      let doc = "Requests per well-behaved connection." in
+      Arg.(value & opt int 80 & info [ "requests" ] ~docv:"N" ~doc)
+    in
+    let loris =
+      let doc = "Slow-loris clients trickling unfinished headers." in
+      Arg.(value & opt int 4 & info [ "loris" ] ~docv:"N" ~doc)
+    in
+    let json_out =
+      let doc = "Write a machine-readable JSON report here (for CI)." in
+      Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "chaos"
+         ~doc:
+           "Serve under a seeded deterministic syscall fault schedule plus \
+            slow-loris clients, then saturate a deliberately slow app with a \
+            tiny shed budget. Asserts the armor's conservation invariants \
+            (conns accepted = closed, reqs parsed = served+failed+shed), \
+            loris 408 evictions, 503 shedding, and a clean flight-recorder \
+            replay; exits nonzero on any violation.")
+      Term.(const run_rt_chaos $ seed $ workers $ conns $ requests $ loris $ json_out)
+  in
   Cmd.group
     ~default:Term.(const run_rt $ workers $ events $ serve $ inject_rate $ duration)
     (Cmd.info "rt"
@@ -520,8 +762,8 @@ let rt_cmd =
          "Exercise the real multicore runtime and print per-worker stats \
           (subcommands: $(b,trace) runs the microbenchmark under the flight \
           recorder, $(b,serve) serves real TCP traffic, $(b,loadgen) drives \
-          a server).")
-    [ trace_cmd; serve_cmd; loadgen_cmd ]
+          a server, $(b,chaos) runs the fault-injection drill).")
+    [ trace_cmd; serve_cmd; loadgen_cmd; chaos_cmd ]
 
 let () =
   let doc = "Mely reproduction: workstealing for multicore event-driven systems" in

@@ -11,7 +11,10 @@
    deliberately torn writes; responses come from a prebuilt cache (the
    Flash optimization SWS keeps) and are compared byte-for-byte. One
    connection sends garbage bytes — the server answers 400 and closes
-   that one connection; the domains keep serving.
+   that one connection; the domains keep serving. Another plays a slow
+   loris, trickling an unfinished header — the overload armor evicts it
+   with a 408 on the header-read deadline while everyone else is
+   served.
 
    The flight recorder stays on the whole time, as it would in
    production: after the run we print per-handler latency percentiles,
@@ -35,10 +38,21 @@ let () =
       ~trace:Rt.Trace.default_config ()
   in
   Rt.Runtime.start rt;
-  let server = Rtnet.Server.create ~rt ~cache ~port:0 () in
+  (* A tight header-read deadline so the slow-loris probe below is
+     evicted within the demo's runtime. *)
+  let overload = { Rtnet.Server.default_overload with header_deadline = 1.0 } in
+  let server = Rtnet.Server.create ~rt ~overload ~cache ~port:0 () in
   Rtnet.Server.start server;
   let port = Rtnet.Server.port server in
   Printf.printf "serving on 127.0.0.1:%d with %d worker domains\n%!" port n_workers;
+
+  (* The slow loris: an unfinished header and then silence. Started
+     first so its deadline expires while real traffic is in flight. *)
+  let loris_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.connect loris_fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.setsockopt_float loris_fd Unix.SO_RCVTIMEO 10.0;
+  let partial = "GET /never-finishes HTT" in
+  ignore (Unix.write_substring loris_fd partial 0 (String.length partial));
 
   (* Well-formed traffic: pipelined keep-alive batches, every 8th batch
      torn into 19-byte writes so requests straddle reads. *)
@@ -71,6 +85,19 @@ let () =
         | exception Unix.Unix_error (_, _, _) -> false)
   in
 
+  (* The loris got told off: a 408 and a closed socket. *)
+  let loris_evicted =
+    Fun.protect
+      ~finally:(fun () -> try Unix.close loris_fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        let buf = Bytes.create 512 in
+        match Unix.read loris_fd buf 0 512 with
+        | 0 -> false
+        | n ->
+          n >= 12 && Bytes.sub_string buf 0 12 = "HTTP/1.1 408"
+        | exception Unix.Unix_error (_, _, _) -> false)
+  in
+
   Rtnet.Server.stop server;
   let s = Rtnet.Server.stats server in
   Printf.printf
@@ -79,15 +106,20 @@ let () =
     res.Rtnet.Loadgen.mismatches res.Rtnet.Loadgen.failed_conns
     (Rtnet.Loadgen.req_per_sec res);
   Printf.printf
-    "server: %d accepted, %d closed, %d parsed, %d served, %d malformed; %d steals\n"
+    "server: %d accepted, %d closed, %d parsed, %d served, %d malformed, %d \
+     evicted; %d steals\n"
     s.Rtnet.Server.conns_accepted s.Rtnet.Server.conns_closed
     s.Rtnet.Server.reqs_parsed s.Rtnet.Server.reqs_served s.Rtnet.Server.reqs_malformed
+    s.Rtnet.Server.conns_evicted
     (Rt.Runtime.steals rt);
   Printf.printf "hostile connection got a 400 and was closed: %b\n" bad_got_answer;
+  Printf.printf "slow loris evicted with a 408: %b\n" loris_evicted;
   assert (res.Rtnet.Loadgen.mismatches = 0);
   assert (res.Rtnet.Loadgen.failed_conns = 0);
   assert (res.Rtnet.Loadgen.responses_ok = n_connections * requests_per_connection);
   assert bad_got_answer;
+  assert loris_evicted;
+  assert (s.Rtnet.Server.conns_evicted >= 1);
   assert (s.Rtnet.Server.conns_accepted = s.Rtnet.Server.conns_closed);
   Rt.Runtime.stop rt;
   let tr = Option.get (Rt.Runtime.trace rt) in

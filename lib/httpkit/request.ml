@@ -7,7 +7,7 @@ type t = {
   headers : (string * string) list;
 }
 
-type error = Incomplete | Malformed of string
+type error = Incomplete | Malformed of string | Too_large of int
 
 let method_of_string = function
   | "GET" -> GET
@@ -66,9 +66,14 @@ let parse_header line =
     let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
     if name = "" then Error (Malformed "empty header name") else Ok (name, value)
 
-let parse ?(scan_from = 0) buf =
+let parse ?(scan_from = 0) ?(limit = max_int) buf =
   match find_terminator ~from:scan_from buf with
-  | None -> Error Incomplete
+  | None ->
+    (* No terminator within the budget: more bytes cannot make this
+       request acceptable, so the caller can answer 431 immediately
+       instead of buffering a slow-loris header forever. *)
+    if String.length buf > limit then Error (Too_large limit) else Error Incomplete
+  | Some (header_end, _) when header_end > limit -> Error (Too_large limit)
   | Some (header_end, consumed) -> (
     let block = String.sub buf 0 header_end in
     match split_lines block with

@@ -18,11 +18,20 @@ type t = {
 type error =
   | Incomplete  (** need more bytes: no blank line yet *)
   | Malformed of string  (** irrecoverable syntax error *)
+  | Too_large of int
+      (** header block exceeds the caller's [limit]; answer 431 *)
 
-val parse : ?scan_from:int -> string -> (t * int, error) result
+val parse : ?scan_from:int -> ?limit:int -> string -> (t * int, error) result
 (** [parse buf] parses one request from the start of [buf]; on success
     returns it with the number of bytes consumed (including the blank
     line).
+
+    [limit] (default unbounded) caps the header block: when no
+    terminator exists within the first [limit] bytes — or the
+    terminator lands beyond it — the result is [Error (Too_large
+    limit)] rather than [Incomplete], so incremental callers can
+    reject oversized or slow-loris headers with a 431 instead of
+    buffering them indefinitely.
 
     [scan_from] (default 0) is a resume hint for incremental callers:
     it asserts that parsing the first [scan_from] bytes of [buf]

@@ -1,16 +1,29 @@
-type status = OK | Not_found | Bad_request | Internal_error
+type status =
+  | OK
+  | Not_found
+  | Bad_request
+  | Internal_error
+  | Request_timeout
+  | Header_fields_too_large
+  | Service_unavailable
 
 let status_code = function
   | OK -> 200
   | Not_found -> 404
   | Bad_request -> 400
   | Internal_error -> 500
+  | Request_timeout -> 408
+  | Header_fields_too_large -> 431
+  | Service_unavailable -> 503
 
 let status_reason = function
   | OK -> "OK"
   | Not_found -> "Not Found"
   | Bad_request -> "Bad Request"
   | Internal_error -> "Internal Server Error"
+  | Request_timeout -> "Request Timeout"
+  | Header_fields_too_large -> "Request Header Fields Too Large"
+  | Service_unavailable -> "Service Unavailable"
 
 let build ?(status = OK) ?(content_type = "text/html") ?(keep_alive = true)
     ?(extra_headers = []) ~body () =

@@ -4,7 +4,14 @@
     optimization the paper keeps) and serves them from an in-memory
     map; this module renders those byte strings. *)
 
-type status = OK | Not_found | Bad_request | Internal_error
+type status =
+  | OK
+  | Not_found
+  | Bad_request
+  | Internal_error
+  | Request_timeout  (** 408: slow-loris eviction *)
+  | Header_fields_too_large  (** 431: header block over the size limit *)
+  | Service_unavailable  (** 503: load shed past the in-flight budget *)
 
 val status_code : status -> int
 val status_reason : status -> string

@@ -10,6 +10,8 @@ type t = {
   queue_hwm : int Atomic.t;
   errors : int Atomic.t;
   last_error : (string * string) option Atomic.t;
+  sheds : int Atomic.t;
+  evictions : int Atomic.t;
 }
 
 type snapshot = {
@@ -24,6 +26,8 @@ type snapshot = {
   queue_hwm : int;
   errors : int;
   last_error : (string * string) option;
+  sheds : int;
+  evictions : int;
 }
 
 let create () : t =
@@ -39,6 +43,8 @@ let create () : t =
     queue_hwm = Atomic.make 0;
     errors = Atomic.make 0;
     last_error = Atomic.make None;
+    sheds = Atomic.make 0;
+    evictions = Atomic.make 0;
   }
 
 let on_execute (t : t) = Atomic.incr t.executed
@@ -47,6 +53,8 @@ let on_steal_in (t : t) = Atomic.incr t.steals_in
 let on_steal_out (t : t) = Atomic.incr t.steals_out
 let on_failed_attempt (t : t) = Atomic.incr t.failed_attempts
 let on_visit (t : t) = Atomic.incr t.visits
+let on_shed (t : t) = Atomic.incr t.sheds
+let on_evict (t : t) = Atomic.incr t.evictions
 
 (* Only the worker that ran the failing handler records the error, so
    the count-then-set pair needs no cross-field atomicity. *)
@@ -83,4 +91,6 @@ let snapshot (t : t) : snapshot =
     queue_hwm = Atomic.get t.queue_hwm;
     errors = Atomic.get t.errors;
     last_error = Atomic.get t.last_error;
+    sheds = Atomic.get t.sheds;
+    evictions = Atomic.get t.evictions;
   }

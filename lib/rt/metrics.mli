@@ -23,6 +23,12 @@ type snapshot = {
   errors : int;  (** handler invocations that raised on this worker *)
   last_error : (string * string) option;
       (** most recent failure as [(handler name, exception text)] *)
+  sheds : int;
+      (** requests this worker refused with a 503 load shed
+          ({!Runtime.note_shed}) *)
+  evictions : int;
+      (** connection evictions this worker carried out
+          ({!Runtime.note_evict}) *)
 }
 
 val create : unit -> t
@@ -34,6 +40,12 @@ val on_failed_attempt : t -> unit
 
 val on_visit : t -> unit
 (** One victim probed during a steal round (whatever the outcome). *)
+
+val on_shed : t -> unit
+(** One request refused under overload (503). *)
+
+val on_evict : t -> unit
+(** One connection evicted by a deadline (408). *)
 
 val on_error : t -> handler:string -> exn:string -> unit
 (** Record a handler failure contained by the runtime: bumps the error

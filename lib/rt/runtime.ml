@@ -741,3 +741,19 @@ let is_serving t = Atomic.get t.serving
 let stats t = Array.map (fun ws -> Metrics.snapshot ws.metrics) t.states
 
 let trace t = t.trace
+
+(* Overload-armor notifications from serving layers above the runtime
+   (lib/rtnet). Both must be called from inside a handler running on
+   [worker]: the trace ring is single-writer per worker domain, so the
+   calling domain has to be the one executing that worker's loop. *)
+let note_shed t ~worker ~color =
+  Metrics.on_shed t.states.(worker).metrics;
+  match t.trace with
+  | Some tr -> Trace.record_shed tr ~worker ~color ~ns:(Clock.now_ns ())
+  | None -> ()
+
+let note_evict t ~worker ~color =
+  Metrics.on_evict t.states.(worker).metrics;
+  match t.trace with
+  | Some tr -> Trace.record_evict tr ~worker ~color ~ns:(Clock.now_ns ())
+  | None -> ()

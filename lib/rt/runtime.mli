@@ -155,6 +155,17 @@ val max_concurrent_same_color : t -> int
     single color; the mutual-exclusion invariant requires this to be 1.
     Tracked always (cheap atomics); the property tests assert on it. *)
 
+val note_shed : t -> worker:int -> color:int -> unit
+(** Record a 503 load shed decided inside a handler: bumps the
+    executing worker's {!Metrics} shed counter and, when tracing is on,
+    leaves a [Shed] span in its ring. Must be called from inside a
+    handler currently running on [worker] (the trace rings are
+    single-writer per worker domain). *)
+
+val note_evict : t -> worker:int -> color:int -> unit
+(** Record a deadline eviction (408) carried out inside a handler; same
+    calling contract as {!note_shed}. *)
+
 val stats : t -> Metrics.snapshot array
 (** Per-worker counters (executed, enqueued, steals in/out, failed
     steal rounds, victim visits, parks and park time, queue high-water

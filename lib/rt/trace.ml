@@ -44,6 +44,10 @@ type span =
       (** the worker's loop began; on oversubscribed hosts this lands
           visibly late, and it guarantees every worker leaves at least
           one span in any trace of a run *)
+  | Shed of { sh_color : int; sh_ns : int64 }
+      (** overload armor refused work for this color (503 load shed) *)
+  | Evict of { ev_color : int; ev_ns : int64 }
+      (** a deadline evicted this color's connection (408 slow-loris) *)
 
 type ring = {
   spans : span array;
@@ -135,6 +139,12 @@ let record_park t ~worker ~start_ns ~end_ns =
   push t.recorders.(worker).ring (Park { p_start = start_ns; p_end = end_ns })
 
 let record_start t ~worker ~ns = push t.recorders.(worker).ring (Start { s_ns = ns })
+
+let record_shed t ~worker ~color ~ns =
+  push t.recorders.(worker).ring (Shed { sh_color = color; sh_ns = ns })
+
+let record_evict t ~worker ~color ~ns =
+  push t.recorders.(worker).ring (Evict { ev_color = color; ev_ns = ns })
 
 (* ------------------------------------------------------------------ *)
 (* Offline access.                                                     *)
@@ -347,7 +357,19 @@ let export_chrome ?(pid = 0) t =
               (Printf.sprintf
                  "{\"name\":\"worker-start\",\"cat\":\"lifecycle\",\"ph\":\"i\",\
                   \"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d}"
-                 (us s.s_ns) pid w))
+                 (us s.s_ns) pid w)
+          | Shed s ->
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"shed\",\"cat\":\"overload\",\"ph\":\"i\",\"s\":\"t\",\
+                  \"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"color\":%d}}"
+                 (us s.sh_ns) pid w s.sh_color)
+          | Evict e ->
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"evict\",\"cat\":\"overload\",\"ph\":\"i\",\"s\":\"t\",\
+                  \"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"color\":%d}}"
+                 (us e.ev_ns) pid w e.ev_color))
         (spans t w))
     t.recorders;
   Buffer.add_string buf "\n]}\n";

@@ -41,6 +41,12 @@ type span =
       (** the worker's loop began (one per epoch); guarantees every
           worker leaves at least one span, and makes late domain
           startup on oversubscribed hosts visible in the trace *)
+  | Shed of { sh_color : int; sh_ns : int64 }
+      (** overload armor refused work for this color: the serving stack
+          answered 503 instead of queueing past its in-flight budget *)
+  | Evict of { ev_color : int; ev_ns : int64 }
+      (** a per-connection deadline fired and this color's connection
+          was evicted (slow-loris 408) *)
 
 type config = {
   capacity : int;  (** spans retained per worker ring *)
@@ -76,6 +82,8 @@ val record_exec :
 val record_visit : t -> worker:int -> victim:int -> outcome:visit_outcome -> ns:int64 -> unit
 val record_park : t -> worker:int -> start_ns:int64 -> end_ns:int64 -> unit
 val record_start : t -> worker:int -> ns:int64 -> unit
+val record_shed : t -> worker:int -> color:int -> ns:int64 -> unit
+val record_evict : t -> worker:int -> color:int -> ns:int64 -> unit
 
 (** {1 Offline access} *)
 

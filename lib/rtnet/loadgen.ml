@@ -1,6 +1,7 @@
 type result = {
   requests_sent : int;
   responses_ok : int;
+  sheds : int;
   mismatches : int;
   failed_conns : int;
   seconds : float;
@@ -32,20 +33,53 @@ let write_all ?(chunk = 0) fd s =
   in
   go 0
 
-(* Read exactly [len] bytes (bounded by SO_RCVTIMEO); false on EOF,
-   timeout or error. *)
-let read_exact fd buf len =
+(* Read up to [len] bytes (bounded by SO_RCVTIMEO), stopping early at
+   EOF, timeout or error; return whatever arrived. The caller
+   classifies short reads — an armored server closing a connection
+   early (503 shed, 408 eviction) is an expected outcome, not a
+   protocol violation. *)
+let read_upto fd buf len =
   let rec fill off =
-    if off >= len then true
+    if off >= len then off
     else
       match Unix.read fd buf off (len - off) with
-      | 0 -> false
+      | 0 -> off
       | n -> fill (off + n)
-      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> false
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> off
       | exception Unix.Unix_error (EINTR, _, _) -> fill off
-      | exception Unix.Unix_error (_, _, _) -> false
+      | exception Unix.Unix_error (_, _, _) -> off
   in
   fill 0
+
+let starts_with ~prefix s =
+  String.length s >= String.length prefix
+  && String.sub s 0 (String.length prefix) = prefix
+
+(* A status line the armor sends before closing the connection. *)
+let is_shed_status s =
+  starts_with ~prefix:"HTTP/1.1 503" s || starts_with ~prefix:"HTTP/1.1 408" s
+
+(* Classify one batch's bytes against the expected responses, in order:
+   every byte-exact response counts ok; the first divergence decides
+   the rest of the batch. A 503/408 tail, an early EOF between
+   responses, or a response truncated by the server's close are [`Shed]
+   (the armor refused us — correct server behavior under overload or
+   fault injection); anything else is a real [`Mismatch]. *)
+let classify expected got =
+  let rec go exp got ok =
+    match exp with
+    | [] -> (ok, `Ok)
+    | e :: rest ->
+      if starts_with ~prefix:e got then
+        go rest (String.sub got (String.length e) (String.length got - String.length e)) (ok + 1)
+      else if got = "" then (ok, `Shed)
+      else if is_shed_status got then (ok, `Shed)
+      else if String.length got < String.length e
+              && starts_with ~prefix:got e
+      then (ok, `Shed)
+      else (ok, `Mismatch)
+  in
+  go expected got 0
 
 let run ~port ?(host = Unix.inet_addr_loopback) ~conns ~requests ?(pipeline = 4)
     ?(torn_every = 0) ?(close_last = false) ?(client_domains = 4) ?(timeout = 10.0)
@@ -58,6 +92,7 @@ let run ~port ?(host = Unix.inet_addr_loopback) ~conns ~requests ?(pipeline = 4)
   if ntargets = 0 then invalid_arg "Rtnet.Loadgen.run: targets must be non-empty";
   let sent = Atomic.make 0
   and ok = Atomic.make 0
+  and shed = Atomic.make 0
   and bad = Atomic.make 0
   and failed = Atomic.make 0 in
   let drive_conn c =
@@ -77,28 +112,36 @@ let run ~port ?(host = Unix.inet_addr_loopback) ~conns ~requests ?(pipeline = 4)
       let bidx = ref 0 in
       while !alive && !start < requests do
         let bsize = min pipeline (requests - !start) in
-        let reqs = Buffer.create 256 and expected = Buffer.create 4096 in
+        let reqs = Buffer.create 256 and expected = ref [] in
         for j = 0 to bsize - 1 do
           let r = !start + j in
           let path, resp = targets.((c + r) mod ntargets) in
           let close = close_last && r = requests - 1 in
           Buffer.add_string reqs (request ~path ~close);
-          Buffer.add_string expected resp
+          expected := resp :: !expected
         done;
+        let expected = List.rev !expected in
         let torn = torn_every > 0 && !bidx mod torn_every = 0 in
         incr bidx;
         (match write_all ~chunk:(if torn then 19 else 0) fd (Buffer.contents reqs) with
         | () ->
           ignore (Atomic.fetch_and_add sent bsize);
-          let want = Buffer.length expected in
+          let want = List.fold_left (fun a e -> a + String.length e) 0 expected in
           let got = Bytes.create want in
-          if read_exact fd got want && Bytes.to_string got = Buffer.contents expected
-          then ignore (Atomic.fetch_and_add ok bsize)
-          else begin
-            Atomic.incr bad;
+          let n = read_upto fd got want in
+          let got_ok, verdict = classify expected (Bytes.sub_string got 0 n) in
+          ignore (Atomic.fetch_and_add ok got_ok);
+          (match verdict with
+          | `Ok -> ()
+          | `Shed ->
+            ignore (Atomic.fetch_and_add shed (bsize - got_ok));
             alive := false
-          end
+          | `Mismatch ->
+            Atomic.incr bad;
+            alive := false)
         | exception Unix.Unix_error (_, _, _) ->
+          (* The peer closed on us mid-write: an armored server does
+             that after a 503/408; count the connection, not a lie. *)
           Atomic.incr failed;
           alive := false);
         start := !start + bsize
@@ -126,6 +169,7 @@ let run ~port ?(host = Unix.inet_addr_loopback) ~conns ~requests ?(pipeline = 4)
   {
     requests_sent = Atomic.get sent;
     responses_ok = Atomic.get ok;
+    sheds = Atomic.get shed;
     mismatches = Atomic.get bad;
     failed_conns = Atomic.get failed;
     seconds = Rt.Clock.elapsed_seconds ~since:t0;

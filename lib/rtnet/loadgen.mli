@@ -7,6 +7,11 @@
 type result = {
   requests_sent : int;
   responses_ok : int;  (** byte-exact, in order *)
+  sheds : int;
+      (** requests answered with the armor's 503/408 or cut off by a
+          server-initiated close — correct overload behavior, kept
+          separate from {!mismatches} so only real protocol violations
+          fail a run *)
   mismatches : int;  (** batches whose bytes differed from expected *)
   failed_conns : int;  (** connect/read/write failures or timeouts *)
   seconds : float;  (** wall time across all clients *)

@@ -13,7 +13,17 @@
      [want_write] (output pending, select for writability),
      [flush_pending] (a flush event is queued; don't inject another),
      [wants_close]/[failed] (handler verdicts the poller acts on), and
-     a self-pipe to cut the select nap short. *)
+     a self-pipe to cut the select nap short.
+
+   Overload armor (DESIGN.md §5f): every network syscall goes through
+   the [Rt.Faults] shim (passthrough by default, a seeded deterministic
+   fault schedule under chaos), a hashed timer wheel in the poller
+   enforces per-connection deadlines (header-read 408, keep-alive idle,
+   write-progress), header blocks over [max_request_bytes] get a 431,
+   requests parsed while the runtime backlog is past
+   [overload.shed_pending_hwm] are shed with a 503 + close, and
+   EMFILE/ENFILE on accept backs the acceptor off exponentially instead
+   of hot-looping. *)
 
 (* On Unix a [file_descr] is the raw int; the runtime wants the fd as
    the event color (the paper's scheme: connection = color). *)
@@ -34,7 +44,15 @@ type conn = {
   flush_pending : bool Atomic.t;
   wants_close : bool Atomic.t;
   failed : bool Atomic.t;
+  (* Armor state shared across the boundary: the poller's deadline
+     checks read these, handlers refresh them. *)
+  last_progress : int64 Atomic.t;
+      (** last parse/write progress or response queued (ns) *)
+  partial : bool Atomic.t;  (** unparsed bytes pending a terminator *)
+  completed : bool Atomic.t;  (** >= 1 request parsed on this conn *)
   (* Poller-owned. *)
+  mutable last_read_ns : int64;  (** last bytes off the wire (or accept) *)
+  mutable evicting : bool;  (** a deadline fired; stop reading/checking *)
   mutable eof : bool;
   mutable kill : bool;  (** I/O error or refused injection: drop it *)
 }
@@ -44,12 +62,33 @@ type stats = {
   conns_refused : int;
   conns_closed : int;
   conns_failed : int;
+  conns_evicted : int;
   reqs_parsed : int;
   reqs_served : int;
   reqs_failed : int;
   reqs_malformed : int;
+  reqs_too_large : int;
+  reqs_shed : int;
   injections_refused : int;
+  accept_errors : int;
+  accept_backoffs : int;
+  faults_injected : int;
 }
+
+type overload = {
+  header_deadline : float;
+  idle_deadline : float;
+  write_deadline : float;
+  shed_pending_hwm : int;
+}
+
+let default_overload =
+  {
+    header_deadline = 10.0;
+    idle_deadline = 30.0;
+    write_deadline = 10.0;
+    shed_pending_hwm = 4096;
+  }
 
 type state = Created | Started | Stopped
 
@@ -59,35 +98,107 @@ type t = {
   max_clients : int;
   max_request_bytes : int;
   drain_deadline : float;
+  overload : overload;
+  faults : Rt.Faults.t;
   listen_fd : Unix.file_descr;
   bound_port : int;
   wake_r : Unix.file_descr;
   wake_w : Unix.file_descr;
   conns : (int, conn) Hashtbl.t;  (** poller-owned, keyed by fd int *)
+  wheel : Wheel.t;  (** poller-owned deadline wheel, keyed by fd int *)
   h_read : Rt.Runtime.handler;
   h_respond : Rt.Runtime.handler;
   h_flush : Rt.Runtime.handler;
+  h_evict : Rt.Runtime.handler;
   resp_400 : string;
   resp_500 : string;
   resp_404 : string;
+  resp_408 : string;
+  resp_431 : string;
+  resp_503 : string;
   draining : bool Atomic.t;
   c_accepted : int Atomic.t;
   c_refused : int Atomic.t;
   c_closed : int Atomic.t;
   c_failed : int Atomic.t;
+  c_evicted : int Atomic.t;
   r_parsed : int Atomic.t;
   r_served : int Atomic.t;
   r_failed : int Atomic.t;
   r_malformed : int Atomic.t;
+  r_too_large : int Atomic.t;
+  r_shed : int Atomic.t;
   r_inj_refused : int Atomic.t;
+  a_errors : int Atomic.t;
+  a_backoffs : int Atomic.t;
+  (* Poller-owned accept backoff state. *)
+  mutable backoff_until : int64;
+  mutable backoff_ns : int64;  (** current step; 0 = not backing off *)
   read_buf : Bytes.t;  (** poller scratch *)
   lifecycle : Mutex.t;
   mutable state : state;
   mutable poller : unit Domain.t option;
 }
 
+let ns_of_seconds s = Int64.of_float (s *. 1e9)
+let i64max a b = if Int64.compare a b >= 0 then a else b
+
+(* ------------------------------------------------------------------ *)
+(* Syscall shim: every Unix call on the serving path consults the fault
+   plane first. Passthrough costs one constructor check. An injected
+   errno raises *instead of* performing the call; [Torn] caps the byte
+   count (partial reads/writes); [Delay] sleeps, then performs. *)
+
+let injected_error site e =
+  raise (Unix.Unix_error (e, Rt.Faults.site_name site, "injected"))
+
+let sys_read t fd buf off len =
+  match Rt.Faults.decide t.faults Rt.Faults.Read with
+  | Rt.Faults.Pass -> Unix.read fd buf off len
+  | Rt.Faults.Errno e -> injected_error Rt.Faults.Read e
+  | Rt.Faults.Torn n -> Unix.read fd buf off (max 1 (min len n))
+  | Rt.Faults.Delay s ->
+    Unix.sleepf s;
+    Unix.read fd buf off len
+
+let sys_write t fd s off len =
+  match Rt.Faults.decide t.faults Rt.Faults.Write with
+  | Rt.Faults.Pass -> Unix.write_substring fd s off len
+  | Rt.Faults.Errno e -> injected_error Rt.Faults.Write e
+  | Rt.Faults.Torn n -> Unix.write_substring fd s off (max 1 (min len n))
+  | Rt.Faults.Delay d ->
+    Unix.sleepf d;
+    Unix.write_substring fd s off len
+
+let sys_accept t =
+  match Rt.Faults.decide t.faults Rt.Faults.Accept with
+  | Rt.Faults.Pass | Rt.Faults.Torn _ -> Unix.accept ~cloexec:true t.listen_fd
+  | Rt.Faults.Errno e -> injected_error Rt.Faults.Accept e
+  | Rt.Faults.Delay s ->
+    Unix.sleepf s;
+    Unix.accept ~cloexec:true t.listen_fd
+
+let sys_select t rds wrs timeout =
+  match Rt.Faults.decide t.faults Rt.Faults.Select with
+  | Rt.Faults.Pass | Rt.Faults.Torn _ -> Unix.select rds wrs [] timeout
+  | Rt.Faults.Errno e -> injected_error Rt.Faults.Select e
+  | Rt.Faults.Delay s ->
+    Unix.sleepf s;
+    Unix.select rds wrs [] timeout
+
+(* An injected close error still closes for real first: on Linux the fd
+   is gone even when close reports a fault, and fd conservation must
+   survive the chaos schedule. *)
+let sys_close t fd =
+  match Rt.Faults.decide t.faults Rt.Faults.Close with
+  | Rt.Faults.Pass | Rt.Faults.Torn _ | Rt.Faults.Delay _ -> Unix.close fd
+  | Rt.Faults.Errno e ->
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    injected_error Rt.Faults.Close e
+
 (* Wake the poller out of its select nap. Nonblocking pipe: a full pipe
-   already guarantees a pending wake, so EAGAIN is success. *)
+   already guarantees a pending wake, so EAGAIN is success. The wake
+   pipe is internal plumbing, not network I/O — it stays unshimmed. *)
 let wake t =
   try ignore (Unix.write_substring t.wake_w "!" 0 1)
   with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
@@ -106,9 +217,10 @@ let try_write t conn =
       Atomic.set conn.want_write false
     end
     else
-      match Unix.write_substring conn.fd (Buffer.contents conn.out) conn.out_off len with
+      match sys_write t conn.fd (Buffer.contents conn.out) conn.out_off len with
       | n ->
         conn.out_off <- conn.out_off + n;
+        if n > 0 then Atomic.set conn.last_progress (Rt.Clock.now_ns ());
         go ()
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
         Atomic.set conn.want_write true;
@@ -134,17 +246,21 @@ let finish_conn t conn =
 (* Serve one parsed request: app → output buffer → write attempt. An
    app exception is answered with a 500, closes this one connection,
    and is re-raised so the runtime contains and counts it — sibling
-   connections never notice. *)
+   connections never notice. A request whose connection already failed
+   counts as failed too, so [reqs_parsed = served + failed + shed]
+   holds even when the peer vanished mid-pipeline. *)
 let respond t conn req ~close_after (_ctx : Rt.Runtime.ctx) =
   Fun.protect ~finally:(fun () ->
       Atomic.decr conn.inflight;
       wake t)
   @@ fun () ->
-  if not (Atomic.get conn.failed) then
+  if Atomic.get conn.failed then Atomic.incr t.r_failed
+  else
     match t.app req with
     | response ->
       Buffer.add_string conn.out response;
       Atomic.incr t.r_served;
+      Atomic.set conn.last_progress (Rt.Clock.now_ns ());
       if close_after then finish_conn t conn;
       try_write t conn
     | exception e ->
@@ -154,33 +270,70 @@ let respond t conn req ~close_after (_ctx : Rt.Runtime.ctx) =
       try_write t conn;
       raise e
 
-let malformed t conn =
-  Atomic.incr t.r_malformed;
-  Buffer.add_string conn.out t.resp_400;
-  finish_conn t conn;
-  try_write t conn
+(* Reject with a prebuilt response and close: 400 for syntax, 431 for
+   an oversized header block, 503 for load shed. The response is
+   appended by a follow-up event of the same color, not inline —
+   earlier pipelined requests already have respond events queued, and
+   per-color FIFO is what keeps the reject *after* their bytes on the
+   wire. [note] runs inside that event (trace rings are single-writer
+   per executing worker). *)
+let reject t conn response counter ?note (ctx : Rt.Runtime.ctx) =
+  Atomic.incr counter;
+  conn.stop_parsing <- true;
+  Atomic.incr conn.inflight;
+  ctx.register ~color:conn.color ~handler:t.h_respond
+    (fun (ictx : Rt.Runtime.ctx) ->
+      Fun.protect ~finally:(fun () ->
+          Atomic.decr conn.inflight;
+          wake t)
+      @@ fun () ->
+      (match note with Some f -> f ictx | None -> ());
+      if Atomic.get conn.failed then finish_conn t conn
+      else begin
+        Buffer.add_string conn.out response;
+        finish_conn t conn;
+        try_write t conn
+      end)
 
 (* Parse every complete request accumulated so far, registering one
    respond event per request (same color: responses stay in request
-   order). [scan_hint] makes the Incomplete retries O(new bytes). *)
+   order). [scan_hint] makes the Incomplete retries O(new bytes).
+   A request parsed while the runtime backlog is past the high-water
+   mark is answered 503 + close instead of queued — the budget bounds
+   in-flight work no matter how fast requests arrive. *)
 let rec parse_loop t conn (ctx : Rt.Runtime.ctx) =
   if not conn.stop_parsing then
-    match Httpkit.Request.parse ~scan_from:conn.scan_hint conn.pending with
+    match
+      Httpkit.Request.parse ~scan_from:conn.scan_hint ~limit:t.max_request_bytes
+        conn.pending
+    with
     | Error Httpkit.Request.Incomplete ->
       conn.scan_hint <- String.length conn.pending;
-      if String.length conn.pending > t.max_request_bytes then malformed t conn
-    | Error (Httpkit.Request.Malformed _) -> malformed t conn
+      Atomic.set conn.partial (String.length conn.pending > 0)
+    | Error (Httpkit.Request.Too_large _) ->
+      reject t conn t.resp_431 t.r_too_large ctx
+    | Error (Httpkit.Request.Malformed _) ->
+      reject t conn t.resp_400 t.r_malformed ctx
     | Ok (req, consumed) ->
       conn.pending <-
         String.sub conn.pending consumed (String.length conn.pending - consumed);
       conn.scan_hint <- 0;
       Atomic.incr t.r_parsed;
-      let close_after = not (Httpkit.Request.keep_alive req) in
-      if close_after then conn.stop_parsing <- true;
-      Atomic.incr conn.inflight;
-      ctx.register ~color:conn.color ~handler:t.h_respond
-        (respond t conn req ~close_after);
-      if not close_after then parse_loop t conn ctx
+      Atomic.set conn.completed true;
+      Atomic.set conn.partial (String.length conn.pending > 0);
+      Atomic.set conn.last_progress (Rt.Clock.now_ns ());
+      if Rt.Runtime.pending t.rt >= t.overload.shed_pending_hwm then
+        reject t conn t.resp_503 t.r_shed ctx
+          ~note:(fun ictx ->
+            Rt.Runtime.note_shed t.rt ~worker:ictx.worker ~color:conn.color)
+      else begin
+        let close_after = not (Httpkit.Request.keep_alive req) in
+        if close_after then conn.stop_parsing <- true;
+        Atomic.incr conn.inflight;
+        ctx.register ~color:conn.color ~handler:t.h_respond
+          (respond t conn req ~close_after);
+        if not close_after then parse_loop t conn ctx
+      end
 
 let on_chunk t conn chunk ctx =
   Fun.protect ~finally:(fun () ->
@@ -201,6 +354,21 @@ let on_writable t conn (_ctx : Rt.Runtime.ctx) =
       wake t)
   @@ fun () -> if not (Atomic.get conn.failed) then try_write t conn
 
+(* Slow-loris eviction: answer 408, close. Runs as a colored event so
+   the output buffer is touched under the color's mutual exclusion. *)
+let on_evict t conn (ctx : Rt.Runtime.ctx) =
+  Fun.protect ~finally:(fun () ->
+      Atomic.decr conn.inflight;
+      wake t)
+  @@ fun () ->
+  Rt.Runtime.note_evict t.rt ~worker:ctx.worker ~color:conn.color;
+  if Atomic.get conn.failed then finish_conn t conn
+  else begin
+    Buffer.add_string conn.out t.resp_408;
+    finish_conn t conn;
+    try_write t conn
+  end
+
 (* ------------------------------------------------------------------ *)
 (* Poller side. *)
 
@@ -215,23 +383,50 @@ let inject t conn handler run =
   end
 
 let read_conn t conn =
-  match Unix.read conn.fd t.read_buf 0 (Bytes.length t.read_buf) with
+  match sys_read t conn.fd t.read_buf 0 (Bytes.length t.read_buf) with
   | 0 -> conn.eof <- true
-  | n -> inject t conn t.h_read (on_chunk t conn (Bytes.sub_string t.read_buf 0 n))
+  | n ->
+    conn.last_read_ns <- Rt.Clock.now_ns ();
+    inject t conn t.h_read (on_chunk t conn (Bytes.sub_string t.read_buf 0 n))
   | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   | exception Unix.Unix_error (_, _, _) -> conn.kill <- true
 
 let accept_budget = 64
+let accept_backoff_base_ns = 50_000_000L (* 50 ms *)
+let accept_backoff_max_ns = 1_000_000_000L (* 1 s *)
+
+(* fd pressure (EMFILE/ENFILE) or an unexpected accept errno: take the
+   listener out of the select set for an exponentially growing window
+   instead of re-arming a doomed accept at poller speed. *)
+let accept_backoff t ~now =
+  Atomic.incr t.a_errors;
+  let step =
+    if Int64.compare t.backoff_ns 0L = 0 then accept_backoff_base_ns
+    else
+      let doubled = Int64.mul t.backoff_ns 2L in
+      if Int64.compare doubled accept_backoff_max_ns > 0 then accept_backoff_max_ns
+      else doubled
+  in
+  t.backoff_ns <- step;
+  t.backoff_until <- Int64.add now step;
+  Atomic.incr t.a_backoffs
 
 let rec accept_batch t budget =
   if budget > 0
      && (Atomic.get t.draining || Hashtbl.length t.conns < t.max_clients)
   then
-    match Unix.accept ~cloexec:true t.listen_fd with
+    match sys_accept t with
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
     | exception Unix.Unix_error (EINTR, _, _) -> accept_batch t budget
-    | exception Unix.Unix_error (_, _, _) -> ()
+    | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+      accept_backoff t ~now:(Rt.Clock.now_ns ())
+    | exception Unix.Unix_error (e, _, _) ->
+      (* Unknown errno: one visible line and the same backoff — never a
+         silent hot loop. *)
+      Printf.eprintf "rtnet: accept failed: %s\n%!" (Unix.error_message e);
+      accept_backoff t ~now:(Rt.Clock.now_ns ())
     | fd, _ ->
+      t.backoff_ns <- 0L;
       if Atomic.get t.draining then begin
         (* Arriving mid-drain: refused cleanly, counted. *)
         (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -241,6 +436,7 @@ let rec accept_batch t budget =
       else begin
         Unix.set_nonblock fd;
         (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+        let now = Rt.Clock.now_ns () in
         let conn =
           {
             fd;
@@ -255,17 +451,25 @@ let rec accept_batch t budget =
             flush_pending = Atomic.make false;
             wants_close = Atomic.make false;
             failed = Atomic.make false;
+            last_progress = Atomic.make now;
+            partial = Atomic.make false;
+            completed = Atomic.make false;
+            last_read_ns = now;
+            evicting = false;
             eof = false;
             kill = false;
           }
         in
         Hashtbl.replace t.conns (int_of_fd fd) conn;
         Atomic.incr t.c_accepted;
+        (* Arm the armor: the first deadline is the header-read one. *)
+        Wheel.schedule t.wheel (int_of_fd fd)
+          ~at:(Int64.add now (ns_of_seconds t.overload.header_deadline));
         accept_batch t (budget - 1)
       end
 
 let close_conn t conn =
-  (try Unix.close conn.fd with Unix.Unix_error _ -> ());
+  (try sys_close t conn.fd with Unix.Unix_error _ -> ());
   Hashtbl.remove t.conns (int_of_fd conn.fd);
   Atomic.incr t.c_closed;
   if conn.kill || Atomic.get conn.failed then Atomic.incr t.c_failed
@@ -282,6 +486,58 @@ let reapable conn =
 let should_close ~draining conn =
   (conn.kill && Atomic.get conn.inflight = 0)
   || (reapable conn && (Atomic.get conn.wants_close || conn.eof || draining))
+
+(* ------------------------------------------------------------------ *)
+(* Deadline armor: evaluated lazily when the wheel fires a connection.
+   Three clocks, checked in severity order: write progress (the peer
+   stopped draining our output — nothing more can be delivered, reap),
+   header-read (slow loris — 408 via a colored evict event), keep-alive
+   idle (quiet close). If nothing expired, re-arm at the earliest
+   applicable deadline. *)
+
+let evict t conn kind =
+  conn.evicting <- true;
+  Atomic.incr t.c_evicted;
+  match kind with
+  | `Stall -> conn.kill <- true
+  | `Idle ->
+    Atomic.set conn.wants_close true;
+    wake t
+  | `Header -> inject t conn t.h_evict (on_evict t conn)
+
+let check_deadlines t conn ~now =
+  let ov = t.overload in
+  let last_prog = Atomic.get conn.last_progress in
+  let last_act = i64max conn.last_read_ns last_prog in
+  let deadlines = ref [] in
+  if Atomic.get conn.partial || not (Atomic.get conn.completed) then
+    deadlines :=
+      (Int64.add last_act (ns_of_seconds ov.header_deadline), `Header) :: !deadlines
+  else if
+    Atomic.get conn.inflight = 0
+    && (not (Atomic.get conn.want_write))
+    && not (Atomic.get conn.flush_pending)
+  then
+    deadlines :=
+      (Int64.add last_act (ns_of_seconds ov.idle_deadline), `Idle) :: !deadlines;
+  if Atomic.get conn.want_write then
+    deadlines :=
+      (Int64.add last_prog (ns_of_seconds ov.write_deadline), `Stall) :: !deadlines;
+  match List.find_opt (fun (at, _) -> Int64.compare at now <= 0) !deadlines with
+  | Some (_, kind) -> evict t conn kind
+  | None ->
+    let at =
+      match !deadlines with
+      | [] ->
+        (* Requests in flight: nothing to time out right now; look
+           again within an idle window. *)
+        Int64.add now (ns_of_seconds ov.idle_deadline)
+      | ds ->
+        List.fold_left
+          (fun acc (a, _) -> if Int64.compare a acc < 0 then a else acc)
+          Int64.max_int ds
+    in
+    Wheel.schedule t.wheel conn.color ~at
 
 let drain_wake_pipe t =
   let b = Bytes.create 64 in
@@ -305,20 +561,25 @@ let poller_loop t =
       | None -> false
       | Some t0 -> Rt.Clock.elapsed_seconds ~since:t0 > t.drain_deadline
     in
+    let now = Rt.Clock.now_ns () in
     let rds = ref [ t.wake_r ] and wrs = ref [] in
-    if draining || Hashtbl.length t.conns < t.max_clients then
-      rds := t.listen_fd :: !rds;
+    if (draining || Hashtbl.length t.conns < t.max_clients)
+       && Int64.compare now t.backoff_until >= 0
+    then rds := t.listen_fd :: !rds;
     Hashtbl.iter
       (fun _ c ->
-        if (not draining) && (not c.eof) && (not c.kill)
+        if (not draining) && (not c.eof) && (not c.kill) && (not c.evicting)
            && not (Atomic.get c.wants_close)
         then rds := c.fd :: !rds;
         if (not c.kill) && Atomic.get c.want_write
            && not (Atomic.get c.flush_pending)
         then wrs := c.fd :: !wrs)
       t.conns;
-    (match Unix.select !rds !wrs [] 0.05 with
-    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    (match sys_select t !rds !wrs 0.05 with
+    | exception Unix.Unix_error (_, _, _) ->
+      (* EINTR (real or injected) — or a stray errno under chaos; the
+         next lap rebuilds the interest sets from scratch either way. *)
+      ()
     | readable, writable, _ ->
       if List.memq t.wake_r readable then drain_wake_pipe t;
       if List.memq t.listen_fd readable then accept_batch t accept_budget;
@@ -326,7 +587,8 @@ let poller_loop t =
         (fun fd ->
           if fd != t.wake_r && fd != t.listen_fd then
             match Hashtbl.find_opt t.conns (int_of_fd fd) with
-            | Some conn when not conn.kill -> read_conn t conn
+            | Some conn when (not conn.kill) && not conn.evicting ->
+              read_conn t conn
             | _ -> ())
         readable;
       List.iter
@@ -340,6 +602,16 @@ let poller_loop t =
             inject t conn t.h_flush (on_writable t conn)
           | _ -> ())
         writable);
+    (* Deadline armor: fire due wheel entries; stale entries (closed or
+       recycled fds, moved deadlines) re-evaluate harmlessly. *)
+    let now = Rt.Clock.now_ns () in
+    Wheel.advance t.wheel ~now ~fire:(fun key ->
+        match Hashtbl.find_opt t.conns key with
+        | Some conn
+          when (not conn.evicting) && (not conn.kill)
+               && not (Atomic.get conn.wants_close) ->
+          check_deadlines t conn ~now
+        | _ -> ());
     (* Reap. Collect first: closing mutates the table. *)
     let doomed = ref [] in
     Hashtbl.iter
@@ -377,8 +649,14 @@ let default_app ~cache ~resp_404 (req : Httpkit.Request.t) =
   | _ -> full
 
 let create ~rt ?(max_clients = 1024) ?(backlog = 128) ?(max_request_bytes = 65_536)
-    ?(drain_deadline = 5.0) ?app ~cache ~port () =
+    ?(drain_deadline = 5.0) ?(overload = default_overload)
+    ?(faults = Rt.Faults.passthrough) ?app ~cache ~port () =
   if max_clients < 1 then invalid_arg "Rtnet.Server.create: max_clients must be >= 1";
+  if overload.header_deadline <= 0.0 || overload.idle_deadline <= 0.0
+     || overload.write_deadline <= 0.0
+  then invalid_arg "Rtnet.Server.create: overload deadlines must be > 0";
+  if overload.shed_pending_hwm < 0 then
+    invalid_arg "Rtnet.Server.create: shed_pending_hwm must be >= 0";
   (* A dropped client mid-write must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -408,16 +686,21 @@ let create ~rt ?(max_clients = 1024) ?(backlog = 128) ?(max_request_bytes = 65_5
     max_clients;
     max_request_bytes;
     drain_deadline;
+    overload;
+    faults;
     listen_fd;
     bound_port;
     wake_r;
     wake_w;
     conns = Hashtbl.create 64;
+    wheel =
+      Wheel.create ~granularity_ns:50_000_000L ~now:(Rt.Clock.now_ns ()) ();
     (* Declared cycles feed the time-left heuristic: a connection with
        a backlog of requests is worth stealing. *)
     h_read = Rt.Runtime.handler rt ~name:"net.read" ~declared_cycles:30_000 ();
     h_respond = Rt.Runtime.handler rt ~name:"net.respond" ~declared_cycles:40_000 ();
     h_flush = Rt.Runtime.handler rt ~name:"net.flush" ~declared_cycles:10_000 ();
+    h_evict = Rt.Runtime.handler rt ~name:"net.evict" ~declared_cycles:10_000 ();
     resp_400 =
       Httpkit.Response.build ~status:Httpkit.Response.Bad_request ~keep_alive:false
         ~body:"bad request" ();
@@ -425,16 +708,32 @@ let create ~rt ?(max_clients = 1024) ?(backlog = 128) ?(max_request_bytes = 65_5
       Httpkit.Response.build ~status:Httpkit.Response.Internal_error ~keep_alive:false
         ~body:"internal error" ();
     resp_404;
+    resp_408 =
+      Httpkit.Response.build ~status:Httpkit.Response.Request_timeout
+        ~keep_alive:false ~body:"request timeout" ();
+    resp_431 =
+      Httpkit.Response.build ~status:Httpkit.Response.Header_fields_too_large
+        ~keep_alive:false ~body:"request header fields too large" ();
+    resp_503 =
+      Httpkit.Response.build ~status:Httpkit.Response.Service_unavailable
+        ~keep_alive:false ~body:"service unavailable" ();
     draining = Atomic.make false;
     c_accepted = Atomic.make 0;
     c_refused = Atomic.make 0;
     c_closed = Atomic.make 0;
     c_failed = Atomic.make 0;
+    c_evicted = Atomic.make 0;
     r_parsed = Atomic.make 0;
     r_served = Atomic.make 0;
     r_failed = Atomic.make 0;
     r_malformed = Atomic.make 0;
+    r_too_large = Atomic.make 0;
+    r_shed = Atomic.make 0;
     r_inj_refused = Atomic.make 0;
+    a_errors = Atomic.make 0;
+    a_backoffs = Atomic.make 0;
+    backoff_until = 0L;
+    backoff_ns = 0L;
     read_buf = Bytes.create 16_384;
     lifecycle = Mutex.create ();
     state = Created;
@@ -488,9 +787,15 @@ let stats t =
     conns_refused = Atomic.get t.c_refused;
     conns_closed = Atomic.get t.c_closed;
     conns_failed = Atomic.get t.c_failed;
+    conns_evicted = Atomic.get t.c_evicted;
     reqs_parsed = Atomic.get t.r_parsed;
     reqs_served = Atomic.get t.r_served;
     reqs_failed = Atomic.get t.r_failed;
     reqs_malformed = Atomic.get t.r_malformed;
+    reqs_too_large = Atomic.get t.r_too_large;
+    reqs_shed = Atomic.get t.r_shed;
     injections_refused = Atomic.get t.r_inj_refused;
+    accept_errors = Atomic.get t.a_errors;
+    accept_backoffs = Atomic.get t.a_backoffs;
+    faults_injected = Rt.Faults.injected t.faults;
   }

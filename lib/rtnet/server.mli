@@ -27,6 +27,26 @@
     connection, and is contained by the runtime — sibling connections
     keep serving either way.
 
+    Overload armor (DESIGN.md §5f): a header block that never completes
+    within [overload.header_deadline] is evicted with a [408] (slow
+    loris), a header block over [max_request_bytes] gets a [431], an
+    idle keep-alive connection is closed quietly after
+    [overload.idle_deadline], a peer that stops draining our output for
+    [overload.write_deadline] is dropped, requests parsed while the
+    runtime backlog is at or past [overload.shed_pending_hwm] are shed
+    with a [503 + Connection: close], and EMFILE/ENFILE on accept backs
+    the acceptor off exponentially (50 ms doubling to 1 s) instead of
+    hot-looping. Every one of these shows up in {!stats}, in
+    {!Rt.Metrics} (sheds / evictions) and — when tracing is on — as
+    [Shed] / [Evict] spans in the {!Rt.Trace} flight recorder.
+
+    Fault plane: every network syscall the server makes (read, write,
+    accept, select, close) is routed through an {!Rt.Faults} shim. The
+    default is {!Rt.Faults.passthrough} — one constructor check per
+    call, no behavior change. Passing a seeded instance replays a
+    deterministic schedule of errnos, torn I/O and delays, which is how
+    the chaos suite proves the armor holds ([melyctl rt chaos]).
+
     Lifecycle: {!stop} drains gracefully — the listener refuses
     connections arriving mid-drain, queued requests complete, output
     buffers flush, then every fd is closed (a deadline bounds the
@@ -42,13 +62,48 @@ type stats = {
   conns_closed : int;  (** connections closed (any reason) *)
   conns_failed : int;
       (** connections dropped on I/O error or refused injection *)
+  conns_evicted : int;
+      (** connections evicted by a deadline: slow-loris 408, keep-alive
+          idle close, or write-progress stall *)
   reqs_parsed : int;  (** complete requests parsed off the wire *)
   reqs_served : int;  (** responses handed to the output buffer *)
-  reqs_failed : int;  (** app raised; 500 sent, connection closed *)
+  reqs_failed : int;
+      (** app raised (500 sent, connection closed) or the connection
+          died before its queued request could be served *)
   reqs_malformed : int;  (** parse errors; 400 sent, connection closed *)
+  reqs_too_large : int;
+      (** header block over [max_request_bytes]; 431 sent, closed *)
+  reqs_shed : int;
+      (** parsed but shed under overload; 503 sent, connection closed *)
   injections_refused : int;
       (** poller registers rejected by the runtime's shutdown gate *)
+  accept_errors : int;
+      (** accept failures other than EAGAIN/EINTR (EMFILE, ENFILE, …) *)
+  accept_backoffs : int;
+      (** times the acceptor left the select set to back off *)
+  faults_injected : int;
+      (** faults the {!Rt.Faults} plane injected (0 on passthrough) *)
 }
+
+type overload = {
+  header_deadline : float;
+      (** seconds a connection may sit on an incomplete request header
+          before a 408 eviction (slow-loris armor) *)
+  idle_deadline : float;
+      (** seconds an idle keep-alive connection is kept before a quiet
+          close *)
+  write_deadline : float;
+      (** seconds without write progress while output is pending before
+          the connection is dropped *)
+  shed_pending_hwm : int;
+      (** runtime backlog ({!Rt.Runtime.pending}) at or above which
+          newly parsed requests are shed with a 503; [0] sheds
+          everything (useful in tests) *)
+}
+
+val default_overload : overload
+(** [header_deadline = 10.], [idle_deadline = 30.],
+    [write_deadline = 10.], [shed_pending_hwm = 4096]. *)
 
 val create :
   rt:Rt.Runtime.t ->
@@ -56,6 +111,8 @@ val create :
   ?backlog:int ->
   ?max_request_bytes:int ->
   ?drain_deadline:float ->
+  ?overload:overload ->
+  ?faults:Rt.Faults.t ->
   ?app:(Httpkit.Request.t -> string) ->
   cache:(string, string) Hashtbl.t ->
   port:int ->
@@ -69,9 +126,13 @@ val create :
     {!Httpkit.Response.prebuild_cache}) with 404 on miss and
     headers-only answers for [HEAD]. [max_clients] (default 1024) caps
     simultaneous accepted connections; [max_request_bytes] (default
-    65536) bounds one request's header block; [drain_deadline] (default
-    5 s) bounds the graceful drain in {!stop}. Ignores [SIGPIPE]
-    process-wide (a server must). *)
+    65536) bounds one request's header block (431 past it);
+    [drain_deadline] (default 5 s) bounds the graceful drain in
+    {!stop}; [overload] (default {!default_overload}) configures the
+    deadline/shedding armor; [faults] (default passthrough) is the
+    syscall fault plane. Deadlines must be positive,
+    [shed_pending_hwm >= 0]. Ignores [SIGPIPE] process-wide (a server
+    must). *)
 
 val start : t -> unit
 (** Spawn the poller domain and begin serving. The runtime must already
@@ -89,5 +150,6 @@ val stop : t -> unit
 
 val stats : t -> stats
 (** Conservation: [conns_accepted = conns_closed] after {!stop}, and
-    [reqs_parsed = reqs_served + reqs_failed] whenever every accepted
-    request has run (e.g. after a graceful drain). *)
+    [reqs_parsed = reqs_served + reqs_failed + reqs_shed] whenever
+    every accepted request has run (e.g. after a graceful drain) —
+    the invariants [melyctl rt chaos] asserts under fault injection. *)

@@ -1,0 +1,57 @@
+(* Hashed timer wheel, poller-domain only — no locking.
+
+   Buckets are keyed by deadline tick modulo the slot count. [advance]
+   visits each tick's bucket once per lap; an entry whose deadline is
+   more than one revolution out is seen early, found not yet due
+   ([at > now]), and left in place for the next lap — O(1) amortized
+   per entry per lap, which is fine at poller cadence. *)
+
+type t = {
+  slots : (int, int64) Hashtbl.t array;  (* key -> absolute deadline ns *)
+  granularity_ns : int64;
+  mutable cursor : int64;  (* last processed tick *)
+}
+
+let create ?(slots = 128) ~granularity_ns ~now () =
+  if slots < 1 then invalid_arg "Rtnet.Wheel.create: slots must be >= 1";
+  if Int64.compare granularity_ns 1L < 0 then
+    invalid_arg "Rtnet.Wheel.create: granularity_ns must be >= 1";
+  {
+    slots = Array.init slots (fun _ -> Hashtbl.create 8);
+    granularity_ns;
+    cursor = Int64.div now granularity_ns;
+  }
+
+let slot_of t at =
+  Int64.to_int
+    (Int64.rem (Int64.div at t.granularity_ns) (Int64.of_int (Array.length t.slots)))
+
+let schedule t key ~at = Hashtbl.replace t.slots.(slot_of t at) key at
+
+let advance t ~now ~fire =
+  let tick = Int64.div now t.granularity_ns in
+  let nslots = Array.length t.slots in
+  let behind = Int64.sub tick t.cursor in
+  (* A lap covers every bucket, so cap the walk at one revolution. *)
+  let steps =
+    if Int64.compare behind (Int64.of_int nslots) > 0 then nslots
+    else Int64.to_int (max 0L behind)
+  in
+  let base = Int64.to_int (Int64.rem t.cursor (Int64.of_int nslots)) in
+  for i = 1 to steps do
+    let bucket = t.slots.((base + i) mod nslots) in
+    (* Collect before firing: the callback may re-schedule into this
+       same bucket. *)
+    let due = ref [] in
+    Hashtbl.iter
+      (fun key at -> if Int64.compare at now <= 0 then due := key :: !due)
+      bucket;
+    List.iter
+      (fun key ->
+        Hashtbl.remove bucket key;
+        fire key)
+      !due
+  done;
+  t.cursor <- tick
+
+let pending t = Array.fold_left (fun acc b -> acc + Hashtbl.length b) 0 t.slots

@@ -4,6 +4,7 @@ let ok = function
   | Ok v -> v
   | Error Httpkit.Request.Incomplete -> Alcotest.fail "unexpected Incomplete"
   | Error (Httpkit.Request.Malformed m) -> Alcotest.failf "unexpected Malformed: %s" m
+  | Error (Httpkit.Request.Too_large l) -> Alcotest.failf "unexpected Too_large %d" l
 
 let test_parse_simple_get () =
   let req, consumed = ok (Httpkit.Request.parse "GET /index.html HTTP/1.1\r\nHost: x\r\n\r\n") in
@@ -54,6 +55,21 @@ let test_malformed () =
   Alcotest.(check bool) "no target" true (malformed "GET\r\n\r\n");
   Alcotest.(check bool) "bad header" true (malformed "GET / HTTP/1.1\r\nnocolon\r\n\r\n")
 
+let test_limit () =
+  let big = "GET / HTTP/1.1\r\nX-Big: " ^ String.make 200 'x' ^ "\r\n\r\n" in
+  (match Httpkit.Request.parse ~limit:64 big with
+  | Error (Httpkit.Request.Too_large 64) -> ()
+  | _ -> Alcotest.fail "expected Too_large for terminated oversize header");
+  (* No terminator yet but already past the limit: Too_large, not
+     Incomplete — more bytes cannot help, so the server can 431 now
+     instead of buffering an attacker's stream. *)
+  (match Httpkit.Request.parse ~limit:8 "GET / HTTP/1.1\r\nHost: x\r\n" with
+  | Error (Httpkit.Request.Too_large _) -> ()
+  | _ -> Alcotest.fail "expected Too_large for unterminated oversize prefix");
+  match Httpkit.Request.parse ~limit:4096 "GET / HTTP/1.1\r\nHost: x\r\n\r\n" with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "parse under limit failed"
+
 let test_other_method () =
   let req, _ = ok (Httpkit.Request.parse "PATCH /x HTTP/1.1\r\n\r\n") in
   Alcotest.(check string) "other" "PATCH" (Httpkit.Request.method_to_string req.meth)
@@ -100,6 +116,8 @@ let test_split_every_boundary () =
         Alcotest.failf "cut=%d >= consumed=%d but still Incomplete" cut consumed1
     | Error (Httpkit.Request.Malformed m) ->
       Alcotest.failf "cut=%d: unexpected Malformed: %s" cut m
+    | Error (Httpkit.Request.Too_large l) ->
+      Alcotest.failf "cut=%d: unexpected Too_large %d" cut l
     | Ok (req, consumed) ->
       if cut < consumed1 then
         Alcotest.failf "cut=%d < consumed=%d but parsed" cut consumed1;
@@ -161,12 +179,15 @@ let prop_garbage_is_malformed =
       let buf = s ^ "\r\n\r\n" in
       match Httpkit.Request.parse buf with
       | Error (Httpkit.Request.Malformed _) | Ok _ -> true
-      | Error Httpkit.Request.Incomplete -> false)
+      | Error (Httpkit.Request.Too_large _) | Error Httpkit.Request.Incomplete -> false)
 
 let prop_never_raises =
   QCheck.Test.make ~name:"parser never raises" ~count:500 QCheck.string (fun s ->
       match Httpkit.Request.parse s with
-      | Ok _ | Error Httpkit.Request.Incomplete | Error (Httpkit.Request.Malformed _) -> true)
+      | Ok _
+      | Error Httpkit.Request.Incomplete
+      | Error (Httpkit.Request.Malformed _)
+      | Error (Httpkit.Request.Too_large _) -> true)
 
 let prop_roundtrip =
   QCheck.Test.make ~name:"rendered requests parse back" ~count:200
@@ -191,6 +212,7 @@ let suite =
     Alcotest.test_case "keep alive" `Quick test_keep_alive;
     Alcotest.test_case "incomplete" `Quick test_incomplete;
     Alcotest.test_case "malformed" `Quick test_malformed;
+    Alcotest.test_case "header limit" `Quick test_limit;
     Alcotest.test_case "other method" `Quick test_other_method;
     Alcotest.test_case "bare lf" `Quick test_bare_lf;
     Alcotest.test_case "pipelined offset" `Quick test_pipelined_offset;

@@ -16,6 +16,7 @@ let () =
       ("rt-stress", Test_rt_stress.suite);
       ("rt-trace", Test_rt_trace.suite);
       ("rtnet", Test_rtnet.suite);
+      ("rtnet-chaos", Test_rtnet_chaos.suite);
       ("properties", Test_properties.suite);
       ("harness", Test_harness.suite);
     ]
