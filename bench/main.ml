@@ -179,6 +179,45 @@ let bench_rt_one_shot ?trace ~workers ~events () =
   Rt.Runtime.run_until_idle rt;
   rt_result ~name ~workers ~seconds:(Rt.Clock.elapsed_seconds ~since:t0) rt
 
+(* Owner-side hot path in isolation: one worker, no stealing possible,
+   trivial handlers — events/sec here is dominated by the per-event
+   enqueue + pop cost (the synchronization under test), not by handler
+   work or by cross-worker traffic. *)
+let bench_rt_hot_push_pop ~events () =
+  let rt = Rt.Runtime.create ~workers:1 () in
+  let h = Rt.Runtime.handler rt ~name:"hot" ~declared_cycles:100 () in
+  let colors = 8 in
+  for i = 0 to events - 1 do
+    Rt.Runtime.register rt ~color:(1 + (i mod colors)) ~handler:h (fun _ -> ())
+  done;
+  let t0 = Rt.Clock.now_ns () in
+  Rt.Runtime.run_until_idle rt;
+  rt_result ~name:"rt_hot_push_pop" ~workers:1
+    ~seconds:(Rt.Clock.elapsed_seconds ~since:t0) rt
+
+(* Steal-path stress: every color hashes to worker 0 and every color is
+   immediately steal-worthy, so the other workers spend the run inside
+   the steal protocol. Handlers are kept small: the measured rate is
+   the cost of migrating ownership, not of the handler bodies. *)
+let bench_rt_steal_storm ~workers ~events () =
+  let rt = Rt.Runtime.create ~workers () in
+  let h = Rt.Runtime.handler rt ~name:"storm" ~declared_cycles:100_000 () in
+  let colors = 16 * workers in
+  for i = 0 to events - 1 do
+    (* color ≡ 0 mod workers: all homes on worker 0 *)
+    Rt.Runtime.register rt ~color:(workers * (1 + (i mod colors))) ~handler:h
+      (fun _ ->
+        let acc = ref 0 in
+        for j = 1 to 200 do
+          acc := !acc + j
+        done;
+        ignore !acc)
+  done;
+  let t0 = Rt.Clock.now_ns () in
+  Rt.Runtime.run_until_idle rt;
+  rt_result ~name:"rt_steal_storm" ~workers
+    ~seconds:(Rt.Clock.elapsed_seconds ~since:t0) rt
+
 (* Steady state: injector threads feed the live runtime as fast as they
    can while the workers drain it, so the measured rate includes the
    cross-thread register path and the park/wake machinery. *)
@@ -220,6 +259,8 @@ let run_rt_json path =
          latency percentiles seed the trajectory across PRs. *)
       bench_rt_one_shot ~trace:Rt.Trace.default_config ~workers ~events ();
       bench_rt_serve_injection ~workers ~events;
+      bench_rt_hot_push_pop ~events:60_000 ();
+      bench_rt_steal_storm ~workers ~events ();
     ]
   in
   let buf = Buffer.create 512 in

@@ -19,7 +19,11 @@ type snapshot = {
           per-visit trace spans this makes locality ordering auditable *)
   parks : int;  (** times the worker parked on the idle condition *)
   park_seconds : float;  (** total wall-clock time spent parked *)
-  queue_hwm : int;  (** high-water mark of events queued at once *)
+  queue_hwm : int;
+      (** high-water mark of events queued at once in any single
+          color-queue this worker published to (per-color length, not a
+          whole-worker total — ownership is per color in the lock-free
+          runtime) *)
   errors : int;  (** handler invocations that raised on this worker *)
   last_error : (string * string) option;
       (** most recent failure as [(handler name, exception text)] *)
@@ -60,6 +64,7 @@ val on_park_end : t -> seconds:float -> unit
 (** Called after waking with the wall-clock time spent parked. *)
 
 val note_queue_len : t -> int -> unit
-(** Record the current queued-event count; keeps the high-water mark. *)
+(** Record the current length of the color-queue just published to;
+    keeps the high-water mark. *)
 
 val snapshot : t -> snapshot

@@ -1,11 +1,16 @@
 (** The Mely runtime on real parallelism: OCaml 5 domains.
 
     Same structure as the simulated {!Engine.Mely_sched} — per-color
-    queues chained into per-worker queues, a worthy-colors stealing
-    list, the locality / time-left / penalty heuristics — but executing
-    real OCaml closures on one domain per worker. Event handlers must be
-    non-blocking, exactly as in the paper; two events with the same
-    color never run concurrently, events with different colors may.
+    queues chained into per-worker queues, the locality / time-left /
+    penalty heuristics — but executing real OCaml closures on one
+    domain per worker. Event handlers must be non-blocking, exactly as
+    in the paper; two events with the same color never run
+    concurrently, events with different colors may.
+
+    The hot path is lock-free: an owner pops events with one atomic
+    load, publishers serialize per color on a sharded lock, and a thief
+    migrates a whole color-queue with a single compare-and-set on the
+    victim's {!Spmc_queue} — there is no per-worker lock.
 
     Intended use:
     {[
@@ -175,3 +180,16 @@ val trace : t -> Trace.t option
 (** The flight recorder, when enabled at {!create}. Cumulative across
     runs; read it only after the domains joined ({!run_until_idle} /
     {!stop} returned) or at a quiescent moment. *)
+
+val debug_check_conservation : t -> string option
+(** Audit the lock-free structures: takes every shard lock (freezing
+    publishers and queue retirement) and checks that no retired queue
+    is still mapped and that queued-event counters are non-negative;
+    when the snapshot is quiescent ([pending = 0] and nothing
+    executing, with the caller synchronized against the workers — e.g.
+    right after {!quiesce} or {!stop} returned) it additionally checks
+    that every queue is empty, counters agree with a walk of the
+    linked queues, consumed weight equals enqueued weight, and no
+    colors remain chained. Returns [Some message] describing the first
+    violation, [None] if the invariants hold. Intended for tests and
+    debugging. *)

@@ -1,0 +1,91 @@
+(* Single-producer / multi-consumer linked queue.
+
+   Layout: a dummy-headed singly-linked list. [head] is an atomic
+   pointer to the last *consumed* node (the boundary); everything
+   after it is live or mid-claim. [tail] is plain mutable state owned
+   by the single producer.
+
+   Claiming: each node carries an ['a option Atomic.t] slot. Taking an
+   element is one [compare_and_set (Some v) None] on the slot, which
+   works at any position in the list — that is what lets [steal]
+   apply a worthiness predicate to mid-queue elements instead of being
+   restricted to one end. A node whose slot is [None] is dead weight;
+   walkers skip it, and whenever every node between [head] and the
+   claimed node is dead the walker swings [head] forward so the GC can
+   reclaim the prefix. Nodes are never reused, so the [head] CAS has
+   no ABA problem. *)
+
+type 'a node = {
+  slot : 'a option Atomic.t;
+  next : 'a node option Atomic.t;
+}
+
+type 'a t = {
+  head : 'a node Atomic.t;
+  (* Consumed boundary: every node up to and including [head] has an
+     empty slot. Advanced by any consumer, CAS-guarded. *)
+  mutable tail : 'a node;
+  (* Producer-private append point. *)
+}
+
+let make_node v = { slot = Atomic.make v; next = Atomic.make None }
+
+let create () =
+  let dummy = make_node None in
+  { head = Atomic.make dummy; tail = dummy }
+
+let push t v =
+  let n = make_node (Some v) in
+  let tail = t.tail in
+  t.tail <- n;
+  (* The release store that publishes the node (and everything the
+     producer wrote before this push) to consumers. *)
+  Atomic.set tail.next (Some n)
+
+(* Walk live nodes from the consumed boundary, claiming the first one
+   [pred] accepts; look at no more than [budget] live candidates.
+   [clean] tracks whether every node walked so far is consumed — only
+   then may [head] advance, otherwise we would orphan live nodes. *)
+let take t ~budget pred =
+  let h0 = Atomic.get t.head in
+  let rec walk node clean budget =
+    if budget <= 0 then None
+    else
+      match Atomic.get node.next with
+      | None -> None
+      | Some n -> (
+          (* The CAS must use the physically-identical option value we
+             read, not a fresh [Some v] allocation (compare_and_set is
+             physical equality). *)
+          let seen = Atomic.get n.slot in
+          match seen with
+          | None -> walk n clean budget
+          | Some v ->
+              if pred v && Atomic.compare_and_set n.slot seen None then begin
+                if clean then
+                  (* Everything in (h0, n] is now consumed; try to
+                     advance the boundary. Losing the CAS just means
+                     another consumer advanced it further. *)
+                  ignore (Atomic.compare_and_set t.head h0 n);
+                Some v
+              end
+              else
+                (* Lost the claim race, or the element is not worth
+                   taking: it stays live, so the prefix is no longer
+                   clean. *)
+                walk n false (budget - 1))
+  in
+  walk h0 true budget
+
+let pop t = take t ~budget:max_int (fun _ -> true)
+let steal t ?(budget = max_int) pred = take t ~budget pred
+
+let length t =
+  let rec count node acc =
+    match Atomic.get node.next with
+    | None -> acc
+    | Some n -> count n (acc + if Atomic.get n.slot = None then 0 else 1)
+  in
+  count (Atomic.get t.head) 0
+
+let is_empty t = length t = 0

@@ -1,0 +1,48 @@
+(** Single-producer / multi-consumer queue of ready color-queues.
+
+    One instance per worker holds the colors chained into that worker
+    (the lock-free replacement for the intrusive core-queue list that
+    used to live under the per-worker spinlock). The discipline:
+
+    - {!push} may be called by the owning worker's domain only — it is
+      a plain allocation plus one atomic store, never a read-modify-
+      write, so the owner's chain/rotate path is CAS-free.
+    - {!pop} and {!steal} may be called from any domain. Claiming an
+      element is a single [compare_and_set] on that element's slot, so
+      a thief migrates a whole color-queue with exactly one CAS and an
+      owner/thief race over the same element has exactly one winner.
+    - {!steal} scans from the oldest element and claims the first one
+      accepted by the predicate (the worthiness bar), giving thieves
+      FIFO-ish access to the colors the owner has waited longest to
+      serve, without being able to grab the color the owner is
+      currently executing (that one is never in the queue).
+
+    Implementation: an unbounded linked queue (so there is no
+    wraparound/grow race with concurrent readers — nodes are immutable
+    once linked and the GC reclaims the consumed prefix). The head
+    pointer is advanced opportunistically past consumed nodes; claimed
+    nodes in the middle are skipped until they join that prefix. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Owner only (single producer). One atomic store; no CAS. *)
+
+val pop : 'a t -> 'a option
+(** Claim the oldest unclaimed element. Safe from any domain; one
+    successful CAS per claimed element. *)
+
+val steal :
+  'a t -> ?budget:int -> ('a -> bool) -> 'a option
+(** [steal q pred] claims the oldest unclaimed element satisfying
+    [pred], scanning at most [budget] live candidates (default: no
+    bound). Elements rejected by [pred] are left in place. *)
+
+val is_empty : 'a t -> bool
+(** No unclaimed element at the moment of the call (racy snapshot). *)
+
+val length : 'a t -> int
+(** Unclaimed elements at the moment of the call (racy snapshot;
+    O(n) — tests and debugging only). *)

@@ -7,11 +7,12 @@
    have been joined (or at a quiescent moment): joining provides the
    happens-before edge that makes the unsynchronized writes visible.
 
-   Sequence numbers are assigned under the owning worker's lock at the
-   moment an event is pushed into its color-queue (see
-   [Runtime.publish]), so per-color seq order equals per-color queue
-   order even when registrations race — this is what makes the FIFO
-   replay check sound on real-domain traces. *)
+   Sequence numbers are assigned under the color's shard lock at the
+   moment an event is linked into its color-queue (see
+   [Runtime.publish]) — publishers to one color serialize there even
+   though the execution hot path is lock-free — so per-color seq order
+   equals per-color queue order even when registrations race. This is
+   what makes the FIFO replay check sound on real-domain traces. *)
 
 type exec = {
   x_handler : string;

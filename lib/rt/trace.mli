@@ -16,8 +16,8 @@ type exec = {
   x_handler : string;
   x_color : int;
   x_seq : int;
-      (** global push order, assigned under the owning worker's lock;
-          within a color this is FIFO order *)
+      (** global push order, assigned under the color's shard lock at
+          publish time; within a color this is FIFO order *)
   x_enq : int64;  (** enqueue timestamp (ns); queue wait is [x_start - x_enq] *)
   x_start : int64;  (** handler start (ns) *)
   x_end : int64;  (** handler end (ns); service time is [x_end - x_start] *)
@@ -26,7 +26,10 @@ type exec = {
 (** Outcome of probing one victim during a steal round. *)
 type visit_outcome =
   | Won  (** a color-queue was stolen *)
-  | Lock_busy  (** the victim's lock was contended; moved on *)
+  | Lock_busy
+      (** legacy (spinlock-era) outcome, kept for trace compatibility;
+          the lock-free runtime never emits it — steals lose by CAS,
+          which shows up as [Empty] or [Unworthy] *)
   | Empty  (** the victim had no queued events *)
   | Unworthy  (** candidates existed but none passed the worthiness bar *)
   | Executing  (** the only worthy candidates were the victim's current color *)

@@ -13,6 +13,7 @@ let () =
       ("crypto", Test_crypto.suite);
       ("httpkit", Test_httpkit.suite);
       ("rt", Test_rt.suite);
+      ("spmc", Test_spmc.suite);
       ("rt-stress", Test_rt_stress.suite);
       ("rt-trace", Test_rt_trace.suite);
       ("rtnet", Test_rtnet.suite);

@@ -407,9 +407,95 @@ let test_stop_while_loaded () =
       (Rt.Runtime.executed rt)
   done
 
+(* Conservation across concurrent publish/steal/drain: the queued-event
+   counters of the lock-free structure must tie out against [pending].
+   [debug_check_conservation] audits under the shard locks: mid-flight
+   it checks the bound (queued <= pending, nothing negative, no retired
+   queue mapped); at the quiesce checkpoints between waves, and after
+   the final stop, it checks exact equality — every counter zero, every
+   linked queue's walk agreeing with its counter, no colors chained. *)
+let test_conservation_under_storm () =
+  for run = 1 to 8 do
+    let workers = 2 + (run mod 3) in
+    let rt = Rt.Runtime.create ~workers ~worthy_threshold:0 () in
+    let h = Rt.Runtime.handler rt ~name:"conserve" ~declared_cycles:50_000 () in
+    let check where =
+      match Rt.Runtime.debug_check_conservation rt with
+      | None -> ()
+      | Some msg -> Alcotest.failf "run %d (%s): %s" run where msg
+    in
+    Rt.Runtime.start rt;
+    for wave = 1 to 4 do
+      let feeders =
+        List.init 3 (fun j ->
+            Domain.spawn (fun () ->
+                for i = 0 to 99 do
+                  let color = 1 + ((j + (i * 3)) mod 24) in
+                  ignore
+                    (Rt.Runtime.try_register rt ~color ~handler:h (fun ctx ->
+                         busywork 500;
+                         if i mod 7 = 0 then
+                           ctx.register ~color:(color + 24) ~handler:h (fun _ ->
+                               busywork 200)));
+                  (* Mid-flight audit while publishers, thieves and
+                     owners all churn. *)
+                  if i mod 25 = 0 then check "mid-flight"
+                done))
+      in
+      List.iter Domain.join feeders;
+      Rt.Runtime.quiesce rt;
+      check (Printf.sprintf "wave %d quiesced" wave)
+    done;
+    Rt.Runtime.stop rt;
+    check "stopped";
+    Alcotest.(check int) (Printf.sprintf "run %d: drained" run) 0
+      (Rt.Runtime.pending rt)
+  done
+
+(* No lost wakeup under the single-signal park protocol: force every
+   worker to park (empty runtime, serving), then inject exactly one
+   event — the signal chain must reach a worker that executes it. Any
+   lost wakeup deadlocks [quiesce] and hangs the test. Many rounds,
+   alternating burst sizes, so signals race parks from every state. *)
+let test_park_wake_storm () =
+  for run = 1 to 4 do
+    let workers = 2 + run in
+    let rt = Rt.Runtime.create ~workers () in
+    let h = Rt.Runtime.handler rt ~name:"wake" ~declared_cycles:10_000 () in
+    let ran = Atomic.make 0 in
+    Rt.Runtime.start rt;
+    let sent = ref 0 in
+    for round = 1 to 300 do
+      (* Let the fleet go quiescent (workers park) between bursts. *)
+      Rt.Runtime.quiesce rt;
+      let burst = 1 + (round mod 3) in
+      for b = 1 to burst do
+        incr sent;
+        ignore
+          (Rt.Runtime.try_register rt ~color:(1 + ((round + b) mod 8)) ~handler:h
+             (fun _ -> Atomic.incr ran))
+      done
+    done;
+    Rt.Runtime.quiesce rt;
+    Rt.Runtime.stop rt;
+    Alcotest.(check int)
+      (Printf.sprintf "run %d: every single-event wakeup delivered" run)
+      !sent (Atomic.get ran);
+    (* The herd fix must not have broken park accounting. *)
+    let parks =
+      Array.fold_left
+        (fun acc (s : Rt.Metrics.snapshot) -> acc + s.parks)
+        0 (Rt.Runtime.stats rt)
+    in
+    Alcotest.(check bool) (Printf.sprintf "run %d: workers parked" run) true
+      (parks > 0)
+  done
+
 let suite =
   [
     Alcotest.test_case "steal/enqueue ownership x60" `Slow test_steal_enqueue_ownership;
+    Alcotest.test_case "conservation under storm x8" `Slow test_conservation_under_storm;
+    Alcotest.test_case "park/wake storm x4" `Slow test_park_wake_storm;
     Alcotest.test_case "recycled colors x50" `Slow test_recycled_colors;
     Alcotest.test_case "fifo under stealing x50" `Slow test_fifo_under_stealing;
     Alcotest.test_case "parking on serial chain" `Quick test_parking_on_serial_chain;

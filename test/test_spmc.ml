@@ -1,0 +1,175 @@
+(* The lock-free SPMC deque under real parallelism: exactly-once claims
+   under owner/thief races, predicate-filtered steals, and growth (the
+   structure is linked, so "wraparound" is unbounded growth of the
+   consumed prefix — the head must keep advancing past it). *)
+
+let test_sequential_fifo () =
+  let q = Rt.Spmc_queue.create () in
+  Alcotest.(check bool) "starts empty" true (Rt.Spmc_queue.is_empty q);
+  Alcotest.(check (option int)) "pop empty" None (Rt.Spmc_queue.pop q);
+  for i = 1 to 100 do
+    Rt.Spmc_queue.push q i
+  done;
+  Alcotest.(check int) "length" 100 (Rt.Spmc_queue.length q);
+  for i = 1 to 100 do
+    Alcotest.(check (option int)) (Printf.sprintf "pop %d" i) (Some i)
+      (Rt.Spmc_queue.pop q)
+  done;
+  Alcotest.(check (option int)) "drained" None (Rt.Spmc_queue.pop q);
+  (* Interleaved refill after a full drain keeps working. *)
+  Rt.Spmc_queue.push q 101;
+  Alcotest.(check (option int)) "refill" (Some 101) (Rt.Spmc_queue.pop q)
+
+let test_steal_predicate () =
+  let q = Rt.Spmc_queue.create () in
+  for i = 1 to 10 do
+    Rt.Spmc_queue.push q i
+  done;
+  (* Steal the oldest element matching the predicate, leaving the rest. *)
+  Alcotest.(check (option int)) "first even" (Some 2)
+    (Rt.Spmc_queue.steal q (fun v -> v mod 2 = 0));
+  Alcotest.(check (option int)) "next even" (Some 4)
+    (Rt.Spmc_queue.steal q (fun v -> v mod 2 = 0));
+  (* A budget bounds how many live candidates are examined. *)
+  Alcotest.(check (option int)) "budget too small" None
+    (Rt.Spmc_queue.steal q ~budget:2 (fun v -> v > 7));
+  Alcotest.(check (option int)) "budget large enough" (Some 8)
+    (Rt.Spmc_queue.steal q ~budget:8 (fun v -> v > 7));
+  (* Rejected elements are still there for the owner, in order. *)
+  let rest = ref [] in
+  let rec drain () =
+    match Rt.Spmc_queue.pop q with
+    | None -> ()
+    | Some v ->
+      rest := v :: !rest;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "owner sees the rest in order" [ 1; 3; 5; 6; 7; 9; 10 ]
+    (List.rev !rest)
+
+(* Owner pushes and pops while thieves claim concurrently: every element
+   is claimed exactly once, none lost, none duplicated. *)
+let test_concurrent_exactly_once () =
+  let n_items = 20_000 and n_thieves = 3 in
+  let q = Rt.Spmc_queue.create () in
+  let claimed = Array.make n_items 0 in
+  let stop = Atomic.make false in
+  let thieves =
+    List.init n_thieves (fun _ ->
+        Domain.spawn (fun () ->
+            let got = ref 0 in
+            while not (Atomic.get stop) do
+              match Rt.Spmc_queue.steal q (fun v -> v mod 2 = 0) with
+              | Some v ->
+                claimed.(v) <- claimed.(v) + 1;
+                incr got
+              | None -> Domain.cpu_relax ()
+            done;
+            !got))
+  in
+  (* The owner interleaves pushes with pops, like a worker draining its
+     own deque while thieves poach. *)
+  let owner_got = ref 0 in
+  for v = 0 to n_items - 1 do
+    Rt.Spmc_queue.push q v;
+    if v mod 3 = 0 then
+      match Rt.Spmc_queue.pop q with
+      | Some u ->
+        claimed.(u) <- claimed.(u) + 1;
+        incr owner_got
+      | None -> ()
+  done;
+  (* Owner drains what the thieves left (their predicate skips odds). *)
+  let rec drain () =
+    match Rt.Spmc_queue.pop q with
+    | Some u ->
+      claimed.(u) <- claimed.(u) + 1;
+      incr owner_got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  let thief_got = List.fold_left (fun acc d -> acc + Domain.join d) 0 thieves in
+  Alcotest.(check int) "every element claimed exactly once" n_items
+    (thief_got + !owner_got);
+  Array.iteri
+    (fun v n ->
+      if n <> 1 then
+        Alcotest.failf "element %d claimed %d times (want exactly 1)" v n)
+    claimed
+
+(* Empty race: thieves hammer an empty/one-element queue while the owner
+   pushes single elements; a steal must never invent an element and the
+   single element must go to exactly one party. *)
+let test_empty_race () =
+  let rounds = 2_000 in
+  let q = Rt.Spmc_queue.create () in
+  let round = Atomic.make 0 in
+  let thief =
+    Domain.spawn (fun () ->
+        let got = ref 0 in
+        while Atomic.get round < rounds do
+          (match Rt.Spmc_queue.steal q (fun _ -> true) with
+          | Some _ -> incr got
+          | None -> ());
+          Domain.cpu_relax ()
+        done;
+        !got)
+  in
+  let owner_got = ref 0 in
+  for _ = 1 to rounds do
+    Rt.Spmc_queue.push q (Atomic.get round);
+    (match Rt.Spmc_queue.pop q with Some _ -> incr owner_got | None -> ());
+    Atomic.incr round
+  done;
+  (* Drain any leftovers the thief didn't get to before the flag. *)
+  let rec drain () =
+    match Rt.Spmc_queue.pop q with
+    | Some _ ->
+      incr owner_got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  let thief_got = Domain.join thief in
+  Alcotest.(check int) "one claim per element" rounds (thief_got + !owner_got);
+  Alcotest.(check bool) "empty at the end" true (Rt.Spmc_queue.is_empty q)
+
+(* Growth: keep a long consumed prefix churning — the head pointer must
+   keep advancing so the structure doesn't behave like a leak, and FIFO
+   order must survive arbitrary interleavings of push and pop. *)
+let test_growth () =
+  let q = Rt.Spmc_queue.create () in
+  let next_pop = ref 0 and next_push = ref 0 in
+  for _ = 1 to 50_000 do
+    Rt.Spmc_queue.push q !next_push;
+    incr next_push;
+    if !next_push mod 7 <> 0 then begin
+      match Rt.Spmc_queue.pop q with
+      | Some v ->
+        Alcotest.(check int) "fifo under churn" !next_pop v;
+        incr next_pop
+      | None -> Alcotest.fail "queue should not be empty"
+    end
+  done;
+  let rec drain () =
+    match Rt.Spmc_queue.pop q with
+    | Some v ->
+      Alcotest.(check int) "fifo at drain" !next_pop v;
+      incr next_pop;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "nothing lost" !next_push !next_pop
+
+let suite =
+  [
+    Alcotest.test_case "sequential fifo" `Quick test_sequential_fifo;
+    Alcotest.test_case "steal predicate and budget" `Quick test_steal_predicate;
+    Alcotest.test_case "concurrent exactly-once" `Quick test_concurrent_exactly_once;
+    Alcotest.test_case "empty race" `Quick test_empty_race;
+    Alcotest.test_case "growth and head advance" `Quick test_growth;
+  ]
