@@ -248,6 +248,46 @@ let bench_rt_serve_injection ~workers ~events =
   Rt.Runtime.stop rt;
   rt_result ~name:"rt_serve_injection" ~workers ~seconds rt
 
+(* The whole sharded front end under a held-open concurrent load:
+   epoll shards accepting, reading and batch-injecting real loopback
+   traffic while the workers serve it. Events here are byte-exact HTTP
+   responses, so events_per_sec is end-to-end req/s — the number the
+   regression gate watches for the serving stack. *)
+let bench_rt_sharded_serve ~workers () =
+  let shards = 2 and conns = 64 and requests = 100 and pipeline = 8 in
+  let site = Rtnet.Loadgen.default_site ~files:8 ~file_bytes:1024 () in
+  let cache = Httpkit.Response.prebuild_cache ~files:site in
+  let targets = List.map (fun (p, _) -> (p, Hashtbl.find cache p)) site in
+  let rt = Rt.Runtime.create ~workers ~on_error:Rt.Runtime.Swallow () in
+  Rt.Runtime.start rt;
+  let server =
+    Rtnet.Server.create ~rt ~shards ~max_clients:(2 * conns) ~cache ~port:0 ()
+  in
+  Rtnet.Server.start server;
+  let res =
+    Rtnet.Loadgen.run ~port:(Rtnet.Server.port server) ~conns ~requests
+      ~pipeline ~torn_every:0 ~concurrent:true ~close_last:true ~targets ()
+  in
+  Rtnet.Server.stop server;
+  let parks =
+    Array.fold_left
+      (fun acc (s : Rt.Metrics.snapshot) -> acc + s.parks)
+      0 (Rt.Runtime.stats rt)
+  in
+  let steals = Rt.Runtime.steals rt in
+  Rt.Runtime.stop rt;
+  if res.Rtnet.Loadgen.mismatches > 0 || res.Rtnet.Loadgen.failed_conns > 0 then
+    failwith "rt_sharded_serve: response mismatch or failed connection";
+  {
+    rb_name = "rt_sharded_serve";
+    rb_workers = workers;
+    rb_events = res.Rtnet.Loadgen.responses_ok;
+    rb_seconds = res.Rtnet.Loadgen.seconds;
+    rb_steals = steals;
+    rb_parks = parks;
+    rb_latencies = [];
+  }
+
 let run_rt_json path =
   let workers = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
   let events = 20_000 in
@@ -261,6 +301,7 @@ let run_rt_json path =
       bench_rt_serve_injection ~workers ~events;
       bench_rt_hot_push_pop ~events:60_000 ();
       bench_rt_steal_storm ~workers ~events ();
+      bench_rt_sharded_serve ~workers ();
     ]
   in
   let buf = Buffer.create 512 in

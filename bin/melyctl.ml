@@ -262,9 +262,12 @@ let run_rt_trace workers events trace_out trace_cap histograms =
    worker domains run the fd-colored handlers (paper Figure 6). Runs
    until --duration elapses or SIGINT/SIGTERM, then drains, replays the
    flight-recorder trace, and exits nonzero on any invariant violation. *)
-let run_rt_serve workers port max_clients duration files file_bytes trace_out =
+let run_rt_serve workers shards port max_clients duration files file_bytes trace_out =
   if workers < 1 then (
     Printf.eprintf "melyctl: --workers must be >= 1 (got %d)\n" workers;
+    exit 2);
+  if shards < 1 then (
+    Printf.eprintf "melyctl: --shards must be >= 1 (got %d)\n" shards;
     exit 2);
   if port < 0 || port > 65535 then (
     Printf.eprintf "melyctl: --port must be in 0..65535 (got %d)\n" port;
@@ -285,10 +288,21 @@ let run_rt_serve workers port max_clients duration files file_bytes trace_out =
       ~trace:Rt.Trace.default_config ()
   in
   Rt.Runtime.start rt;
-  let server = Rtnet.Server.create ~rt ~cache ~max_clients ~port () in
+  let server =
+    Rtnet.Server.create ~rt ~shards
+      ~backlog:(min 4096 (max 128 max_clients))
+      ~cache ~max_clients ~port ()
+  in
   Rtnet.Server.start server;
-  Printf.printf "serving %d files on 127.0.0.1:%d (%d workers, max %d clients)\n%!"
-    files (Rtnet.Server.port server) workers max_clients;
+  Printf.printf
+    "serving %d files on 127.0.0.1:%d (%d workers, %d poller shard%s on %s, \
+     max %d clients)\n%!"
+    files (Rtnet.Server.port server) workers shards
+    (if shards = 1 then "" else "s")
+    (match Rtnet.Server.backend server with
+    | Rtnet.Epoll.Epoll -> "epoll"
+    | Rtnet.Epoll.Poll -> "poll")
+    max_clients;
   let stop_flag = Atomic.make false in
   let handle _ = Atomic.set stop_flag true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
@@ -321,6 +335,26 @@ let run_rt_serve workers port max_clients duration files file_bytes trace_out =
   add "accept errors" s.Rtnet.Server.accept_errors;
   add "accept backoffs" s.Rtnet.Server.accept_backoffs;
   print_string (Mstd.Table.render table);
+  let shard_stats = Rtnet.Server.shard_stats server in
+  if Array.length shard_stats > 1 then begin
+    let st =
+      Mstd.Table.create
+        ~headers:[ "shard"; "accepted"; "closed"; "parsed"; "served"; "shed" ]
+    in
+    Array.iteri
+      (fun i (ss : Rtnet.Server.stats) ->
+        Mstd.Table.add_row st
+          [
+            string_of_int i;
+            string_of_int ss.Rtnet.Server.conns_accepted;
+            string_of_int ss.Rtnet.Server.conns_closed;
+            string_of_int ss.Rtnet.Server.reqs_parsed;
+            string_of_int ss.Rtnet.Server.reqs_served;
+            string_of_int ss.Rtnet.Server.reqs_shed;
+          ])
+      shard_stats;
+    print_string (Mstd.Table.render st)
+  end;
   print_rt_summary rt ~workers ~seconds;
   print_rt_stats rt;
   let tr = Option.get (Rt.Runtime.trace rt) in
@@ -329,7 +363,22 @@ let run_rt_serve workers port max_clients duration files file_bytes trace_out =
     match (Rt.Trace.check_mutual_exclusion tr, Rt.Trace.check_fifo_per_color tr) with
     | None, None ->
       Printf.printf "replay: mutual exclusion OK, per-color FIFO OK\n";
-      if s.Rtnet.Server.conns_accepted = s.Rtnet.Server.conns_closed then 0
+      let shard_bad =
+        Array.exists
+          (fun (ss : Rtnet.Server.stats) ->
+            ss.Rtnet.Server.conns_accepted <> ss.Rtnet.Server.conns_closed)
+          shard_stats
+      in
+      if Rtnet.Server.ownership_violations server > 0 then begin
+        Printf.eprintf "fd ownership violation: %d cross-shard fd touches\n"
+          (Rtnet.Server.ownership_violations server);
+        1
+      end
+      else if shard_bad then begin
+        Printf.eprintf "per-shard conservation violation (accepted <> closed)\n";
+        1
+      end
+      else if s.Rtnet.Server.conns_accepted = s.Rtnet.Server.conns_closed then 0
       else begin
         Printf.eprintf "conservation violation: %d accepted but %d closed\n"
           s.Rtnet.Server.conns_accepted s.Rtnet.Server.conns_closed;
@@ -357,7 +406,7 @@ let run_rt_serve workers port max_clients duration files file_bytes trace_out =
    byte-for-byte against the same prebuilt site the server uses.
    Exits nonzero on any mismatch or failed connection. *)
 let run_rt_loadgen port conns requests pipeline torn_every client_domains files
-    file_bytes =
+    file_bytes concurrent =
   if port < 1 || port > 65535 then (
     Printf.eprintf "melyctl: --port must be in 1..65535 (got %d)\n" port;
     exit 2);
@@ -372,16 +421,16 @@ let run_rt_loadgen port conns requests pipeline torn_every client_domains files
   let targets = List.map (fun (p, _) -> (p, Hashtbl.find cache p)) site in
   let res =
     Rtnet.Loadgen.run ~port ~conns ~requests ~pipeline ~torn_every
-      ~close_last:true ~client_domains ~targets ()
+      ~close_last:true ~client_domains ~concurrent ~targets ()
   in
   Printf.printf
     "%d/%d responses byte-exact in %.3f s (%.0f req/s); %d shed, %d mismatches, \
-     %d failed conns\n"
+     %d failed conns, peak %d conns open\n"
     res.Rtnet.Loadgen.responses_ok res.Rtnet.Loadgen.requests_sent
     res.Rtnet.Loadgen.seconds
     (Rtnet.Loadgen.req_per_sec res)
     res.Rtnet.Loadgen.sheds res.Rtnet.Loadgen.mismatches
-    res.Rtnet.Loadgen.failed_conns;
+    res.Rtnet.Loadgen.failed_conns res.Rtnet.Loadgen.conns_open_peak;
   flush stdout;
   if
     res.Rtnet.Loadgen.mismatches = 0
@@ -671,6 +720,13 @@ let rt_cmd =
     Arg.(value & opt int 1024 & info [ "file-bytes" ] ~docv:"BYTES" ~doc)
   in
   let serve_cmd =
+    let shards =
+      let doc =
+        "Poller shard domains splitting the fd space over epoll (1 = the \
+         classic single-poller layout)."
+      in
+      Arg.(value & opt int 1 & info [ "shards" ] ~docv:"N" ~doc)
+    in
     let max_clients =
       let doc = "Maximum simultaneous client connections (the paper's Accept cap)." in
       Arg.(value & opt int 512 & info [ "max-clients" ] ~docv:"N" ~doc)
@@ -686,7 +742,7 @@ let rt_cmd =
             sockets, worker domains run fd-colored handlers, the flight \
             recorder stays on, and the trace is replay-checked at exit.")
       Term.(
-        const run_rt_serve $ workers
+        const run_rt_serve $ workers $ shards
         $ port ~default:8080 ~doc:"Port to listen on (0 = ephemeral)."
         $ max_clients $ serve_duration $ files $ file_bytes $ trace_out)
   in
@@ -711,6 +767,14 @@ let rt_cmd =
       let doc = "Client domains driving the connections." in
       Arg.(value & opt int 4 & info [ "client-domains" ] ~docv:"N" ~doc)
     in
+    let concurrent =
+      let doc =
+        "Hold every connection open for the whole run and round-robin the \
+         batches across them (high-concurrency mode), instead of driving \
+         each connection to completion before opening the next."
+      in
+      Arg.(value & flag & info [ "concurrent" ] ~doc)
+    in
     Cmd.v
       (Cmd.info "loadgen"
          ~doc:
@@ -721,7 +785,7 @@ let rt_cmd =
         const run_rt_loadgen
         $ port ~default:8080 ~doc:"Port the server listens on."
         $ conns $ requests $ pipeline $ torn_every $ client_domains $ files
-        $ file_bytes)
+        $ file_bytes $ concurrent)
   in
   let chaos_cmd =
     let seed =

@@ -261,8 +261,12 @@ let evq_pop cq =
     Some n.node_ev
 
 (* Locate or create the color-queue; caller holds [sh]'s lock. A fresh
-   color hashes to its home worker, like the seed runtime. *)
-let locate_locked t sh color =
+   color hashes to its home worker, like the seed runtime — unless the
+   injector supplied a placement hint ([home]), in which case the new
+   queue starts on that worker instead. The hint only matters at
+   creation: an existing queue keeps its owner (stealing is what moves
+   live queues). *)
+let locate_locked t sh ?home color =
   match Hashtbl.find_opt sh.sh_tbl color with
   | Some cq -> cq
   | None ->
@@ -278,7 +282,11 @@ let locate_locked t sh color =
         weighted_in = 0;
         weighted_out = 0;
         chained = Atomic.make false;
-        owner = Atomic.make (color mod t.n);
+        owner =
+          Atomic.make
+            (match home with
+            | Some h -> ((h mod t.n) + t.n) mod t.n
+            | None -> color mod t.n);
         retired = false;
       }
     in
@@ -329,10 +337,10 @@ let rec inbox_push ws cq =
    same shard lock we hold. [self] is the publishing worker (-1 when
    external), used to skip the wakeup when the publisher itself will
    consume the event next. *)
-let publish t ~self event =
+let publish t ~self ?home ?(wake = true) event =
   let sh = shard_of t event.ev_color in
   Spinlock.acquire sh.sh_lock;
-  let cq = locate_locked t sh event.ev_color in
+  let cq = locate_locked t sh ?home event.ev_color in
   (match t.trace with
   | Some tr -> event.ev_seq <- Trace.next_seq tr
   | None -> ());
@@ -365,8 +373,8 @@ let publish t ~self event =
      every other case signal one sleeper. If [owner] is stale here the
      thief that is mid-claim is awake and responsible for the queue, so
      a skipped signal cannot strand the event. *)
-  if not (self = owner && Atomic.get ws.current_color = event.ev_color) then
-    wake_parked t
+  if wake && not (self = owner && Atomic.get ws.current_color = event.ev_color)
+  then wake_parked t
 
 (* [pending] is raised BEFORE the event becomes poppable, so a worker
    that pops immediately can never drive the counter negative — the
@@ -376,7 +384,7 @@ let publish t ~self event =
    that later reads [pending] on its exit path also sees our increment
    (SC atomics), so it cannot declare the drain finished under our
    feet. *)
-let enqueue t ~internal ~self event =
+let enqueue t ~internal ~self ?home event =
   (match t.trace with Some _ -> event.ev_enq <- Clock.now_ns () | None -> ());
   Atomic.incr t.pending;
   let gate = Atomic.get t.shutdown in
@@ -386,16 +394,69 @@ let enqueue t ~internal ~self event =
     false
   end
   else begin
-    publish t ~self event;
+    publish t ~self ?home event;
     true
   end
 
 let make_event ~handler ~color run =
   { ev_handler = handler; ev_color = color; ev_run = run; ev_seq = 0; ev_enq = 0L }
 
-let try_register t ?(color = default_color) ~handler run =
+let try_register t ?(color = default_color) ?home ~handler run =
   if color < 0 then invalid_arg "Rt.Runtime.try_register: color must be >= 0";
-  enqueue t ~internal:false ~self:(-1) (make_event ~handler ~color run)
+  enqueue t ~internal:false ~self:(-1) ?home (make_event ~handler ~color run)
+
+(* Wake up to [k] parked workers with one mutex round-trip — the batch
+   counterpart of [wake_parked]. Signaling more than [n] sleepers is
+   pointless; signaling fewer than the batch size is safe because the
+   backoff relay re-signals while work is pending. *)
+let wake_parked_n t k =
+  if k > 0 && Atomic.get t.n_parked > 0 then begin
+    Mutex.lock t.park_mutex;
+    let signals = min k t.n in
+    for _ = 1 to signals do
+      Condition.signal t.park_cond
+    done;
+    Mutex.unlock t.park_mutex
+  end
+
+(* Batched external injection: one shutdown-gate decision and one
+   wakeup round-trip for the whole batch, instead of one per event —
+   the per-event path is what a poller shard would otherwise pay once
+   per readiness on every epoll_wait return. All-or-nothing: either
+   every event is accepted (in list order, so per-color FIFO is
+   preserved) or the gate refuses the whole batch and each event counts
+   as refused. The [pending] increments still happen before the gate
+   read, so the no-abandon drain argument from [enqueue] carries over
+   unchanged. *)
+let try_register_batch t ?home items =
+  match items with
+  | [] -> true
+  | _ ->
+    let k = List.length items in
+    List.iter
+      (fun (color, _, _) ->
+        if color < 0 then
+          invalid_arg "Rt.Runtime.try_register_batch: color must be >= 0")
+      items;
+    ignore (Atomic.fetch_and_add t.pending k);
+    let gate = Atomic.get t.shutdown in
+    if gate = aborted || gate = draining then begin
+      ignore (Atomic.fetch_and_add t.pending (-k));
+      ignore (Atomic.fetch_and_add t.refused k);
+      false
+    end
+    else begin
+      List.iter
+        (fun (color, handler, run) ->
+          let event = make_event ~handler ~color run in
+          (match t.trace with
+          | Some _ -> event.ev_enq <- Clock.now_ns ()
+          | None -> ());
+          publish t ~self:(-1) ?home ~wake:false event)
+        items;
+      wake_parked_n t k;
+      true
+    end
 
 let register t ?(color = default_color) ~handler run =
   if color < 0 then invalid_arg "Rt.Runtime.register: color must be >= 0";

@@ -100,9 +100,27 @@ val register : t -> ?color:int -> handler:handler -> (ctx -> unit) -> unit
     aborted by [Stop_runtime], or stopped, the event is refused and
     counted in {!refused} (use {!try_register} to observe refusal). *)
 
-val try_register : t -> ?color:int -> handler:handler -> (ctx -> unit) -> bool
+val try_register :
+  t -> ?color:int -> ?home:int -> handler:handler -> (ctx -> unit) -> bool
 (** Like {!register} but reports acceptance: [false] means the event
-    was refused by the shutdown gate (and counted in {!refused}). *)
+    was refused by the shutdown gate (and counted in {!refused}).
+
+    [home] is a placement hint from the injector (e.g. a poller shard
+    spreading its connections): if this event creates [color]'s queue,
+    the queue starts owned by worker [home mod workers] instead of
+    [color mod workers]. An existing queue keeps its owner — stealing,
+    not hints, moves live queues. *)
+
+val try_register_batch :
+  t -> ?home:int -> (int * handler * (ctx -> unit)) list -> bool
+(** Inject a batch of events — [(color, handler, run)] in list order,
+    so two events of the same color keep their relative order — with
+    one shutdown-gate decision and one worker-wakeup round-trip for
+    the whole batch. All-or-nothing: [false] means the gate refused
+    every event in the batch (each counted in {!refused}). [home] as
+    in {!try_register}, applied to every queue the batch creates.
+    Conservation is per event, exactly as if each had gone through
+    {!try_register}. *)
 
 val run_until_idle : t -> unit
 (** Spawn the worker domains, drain every event, join. Raises

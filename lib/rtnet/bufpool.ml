@@ -1,0 +1,56 @@
+(* Reusable read buffers for a poller shard.
+
+   The poller checks a buffer out, reads wire bytes into it, and hands
+   it to the colored read event; the worker copies what it needs into
+   the connection's parse state and recycles the buffer. Checkout runs
+   on the shard domain, recycle on whichever worker ran the handler, so
+   the free list is a Treiber stack of atomics — the only contended
+   structure, and only ever push/pop one node.
+
+   The pool is bounded: recycling past [cap] drops the buffer for the
+   GC instead (a burst allocates, the steady state reuses). *)
+
+type t = {
+  buf_len : int;
+  cap : int;
+  free : Bytes.t list Atomic.t;
+  size : int Atomic.t;  (* free-list length, approximate bound *)
+  allocated : int Atomic.t;
+  reused : int Atomic.t;
+}
+
+let create ?(cap = 64) ~buf_len () =
+  if buf_len < 1 then invalid_arg "Rtnet.Bufpool.create: buf_len must be >= 1";
+  if cap < 0 then invalid_arg "Rtnet.Bufpool.create: cap must be >= 0";
+  {
+    buf_len;
+    cap;
+    free = Atomic.make [];
+    size = Atomic.make 0;
+    allocated = Atomic.make 0;
+    reused = Atomic.make 0;
+  }
+
+let buf_len t = t.buf_len
+
+let rec checkout t =
+  match Atomic.get t.free with
+  | [] ->
+    Atomic.incr t.allocated;
+    Bytes.create t.buf_len
+  | b :: rest as old ->
+    if Atomic.compare_and_set t.free old rest then begin
+      Atomic.decr t.size;
+      Atomic.incr t.reused;
+      b
+    end
+    else checkout t
+
+let rec recycle t b =
+  if Bytes.length b = t.buf_len && Atomic.get t.size < t.cap then begin
+    let old = Atomic.get t.free in
+    if Atomic.compare_and_set t.free old (b :: old) then Atomic.incr t.size
+    else recycle t b
+  end
+
+let stats t = (Atomic.get t.allocated, Atomic.get t.reused)

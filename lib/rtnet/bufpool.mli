@@ -1,0 +1,30 @@
+(** Bounded pool of reusable read buffers, one per poller shard.
+
+    The shard's read path checks a buffer out, fills it from the
+    socket, and ships it inside the colored read event; the worker
+    that runs the event copies the bytes it needs and {!recycle}s the
+    buffer. This takes the per-read buffer allocation off the poller
+    domain — the front end's bottleneck — and moves the single
+    unavoidable copy (wire bytes → parse state) onto the workers.
+
+    Thread-safe (lock-free Treiber free list): checkout on the shard
+    domain, recycle from any worker. *)
+
+type t
+
+val create : ?cap:int -> buf_len:int -> unit -> t
+(** [cap] (default 64) bounds the free list; recycles past it drop the
+    buffer to the GC. [buf_len] is the fixed buffer size. *)
+
+val buf_len : t -> int
+
+val checkout : t -> Bytes.t
+(** A buffer of {!buf_len} bytes: reused when the free list has one,
+    freshly allocated otherwise. *)
+
+val recycle : t -> Bytes.t -> unit
+(** Return a buffer to the free list (dropped if the pool is full or
+    the length does not match {!buf_len}). *)
+
+val stats : t -> int * int
+(** [(allocated, reused)] checkout counts since creation. *)

@@ -1,0 +1,69 @@
+(** Readiness multiplexing for the poller shards.
+
+    A thin, allocation-free wrapper over [epoll(7)] (Linux,
+    edge-triggered) with a portable [poll(2)] fallback behind the same
+    API — the parity tests run the server under both backends and
+    expect identical observable behavior. One instance per poller
+    shard; single-domain, no locking.
+
+    Semantics the server relies on:
+    - [Epoll] registrations made with [~edge:true] are edge-triggered:
+      the consumer must drain the fd to [EAGAIN], and {!modify} on an
+      armed fd re-arms it (a fresh event fires if the condition
+      currently holds — the kernel's [EPOLL_CTL_MOD] rearm).
+    - [Poll] is level-triggered and ignores [edge]; a condition left
+      unconsumed reports again on the next {!wait}.
+    - Error/hangup conditions report via {!ready_error} (and are folded
+      into readability on epoll via [EPOLLRDHUP]); the caller reads to
+      observe the EOF or errno. *)
+
+type backend = Epoll | Poll
+
+val available : bool
+(** Whether the [Epoll] backend exists on this platform. *)
+
+type t
+
+val create : ?backend:backend -> unit -> t
+(** Default backend: [Epoll] when {!available}, else [Poll]. Forcing
+    [Epoll] where unavailable raises [Invalid_argument]. *)
+
+val backend : t -> backend
+
+val add : t -> Unix.file_descr -> read:bool -> write:bool -> edge:bool -> unit
+(** Register interest. [edge] is honored by the epoll backend only. *)
+
+val modify : t -> Unix.file_descr -> read:bool -> write:bool -> edge:bool -> unit
+(** Replace interest; on epoll this re-arms an edge-triggered fd. *)
+
+val remove : t -> Unix.file_descr -> unit
+(** Forget the fd. Safe to call for an fd that was never added (or was
+    already closed — the kernel drops epoll registrations on close). *)
+
+val wait : t -> timeout_ms:int -> int
+(** Block up to [timeout_ms] (0 polls, negative blocks indefinitely)
+    and return the number of ready fds, readable through the
+    [ready_*] accessors at indices [0 .. n-1] until the next [wait].
+    Allocation-free; a burst larger than the internal result capacity
+    is delivered across consecutive waits. Raises [Unix.Unix_error]
+    (e.g. [EINTR]) like the underlying syscall. *)
+
+val ready_fd : t -> int -> Unix.file_descr
+val ready_readable : t -> int -> bool
+val ready_writable : t -> int -> bool
+val ready_error : t -> int -> bool
+
+val close : t -> unit
+(** Release the kernel object ([Poll]: nothing to release).
+    Idempotent. *)
+
+val writev :
+  Unix.file_descr ->
+  strs:string array ->
+  offs:int array ->
+  lens:int array ->
+  count:int ->
+  int
+(** Gather write of the first [count] (string, offset, length) slices
+    (at most 64 are submitted per call); returns bytes written, raises
+    [Unix.Unix_error] like [Unix.write]. *)

@@ -1,0 +1,203 @@
+/* C stubs for Rtnet.Epoll: edge-triggered epoll on Linux, a portable
+ * poll(2) fallback everywhere, and a writev gather-write for the
+ * slice-queue output path.
+ *
+ * Conventions shared with epoll.ml (keep in sync):
+ *   interest mask bits:  1 = read, 2 = write, 4 = edge-triggered
+ *   ready event bits:    1 = readable, 2 = writable, 4 = error/hup
+ *   ctl ops:             0 = add, 1 = modify, 2 = delete
+ *
+ * Blocking discipline (OCaml 5): a domain that naps inside a syscall
+ * without releasing the runtime stalls every other domain's
+ * stop-the-world minor GC, so the waits release the runtime lock.
+ * Anything read from or written to the OCaml heap is copied on the
+ * C stack / malloc'd memory while the lock is held. The writev path
+ * never releases the lock: the sockets are nonblocking, and holding
+ * the lock is what keeps the iovec base pointers (into OCaml strings)
+ * stable.
+ */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+#include <caml/fail.h>
+#include <caml/threads.h>
+#include <caml/unixsupport.h>
+
+#include <errno.h>
+#include <poll.h>
+#include <stdlib.h>
+#include <string.h>
+#include <unistd.h>
+#include <sys/uio.h>
+
+#define MELY_IN 1
+#define MELY_OUT 2
+#define MELY_ET 4
+
+#define MELY_RD 1
+#define MELY_WR 2
+#define MELY_ERR 4
+
+#ifdef __linux__
+#include <sys/epoll.h>
+
+CAMLprim value mely_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_true;
+}
+
+CAMLprim value mely_epoll_create(value unit)
+{
+  int fd;
+  (void)unit;
+  fd = epoll_create1(EPOLL_CLOEXEC);
+  if (fd == -1) uerror("epoll_create1", Nothing);
+  return Val_int(fd);
+}
+
+CAMLprim value mely_epoll_ctl(value vepfd, value vop, value vfd, value vmask)
+{
+  struct epoll_event ev;
+  int op, mask, ret;
+  memset(&ev, 0, sizeof ev);
+  mask = Int_val(vmask);
+  ev.events = 0;
+  if (mask & MELY_IN) ev.events |= EPOLLIN;
+  if (mask & MELY_OUT) ev.events |= EPOLLOUT;
+  if (mask & MELY_ET) ev.events |= EPOLLET;
+  ev.data.fd = Int_val(vfd);
+  switch (Int_val(vop)) {
+  case 0: op = EPOLL_CTL_ADD; break;
+  case 1: op = EPOLL_CTL_MOD; break;
+  default: op = EPOLL_CTL_DEL; break;
+  }
+  ret = epoll_ctl(Int_val(vepfd), op, Int_val(vfd), &ev);
+  if (ret == -1) uerror("epoll_ctl", Nothing);
+  return Val_unit;
+}
+
+#define MELY_EPOLL_MAX 1024
+
+CAMLprim value mely_epoll_wait(value vepfd, value vtimeout, value vfds,
+                               value vevents)
+{
+  CAMLparam4(vepfd, vtimeout, vfds, vevents);
+  struct epoll_event evs[MELY_EPOLL_MAX];
+  int epfd = Int_val(vepfd);
+  int timeout = Int_val(vtimeout);
+  int cap = Wosize_val(vfds);
+  int n, i;
+  if (cap > MELY_EPOLL_MAX) cap = MELY_EPOLL_MAX;
+  if (cap > (int)Wosize_val(vevents)) cap = Wosize_val(vevents);
+  if (cap < 1) CAMLreturn(Val_int(0));
+  caml_release_runtime_system();
+  n = epoll_wait(epfd, evs, cap, timeout);
+  caml_acquire_runtime_system();
+  if (n == -1) uerror("epoll_wait", Nothing);
+  for (i = 0; i < n; i++) {
+    int bits = 0;
+    if (evs[i].events & (EPOLLIN | EPOLLPRI | EPOLLRDHUP)) bits |= MELY_RD;
+    if (evs[i].events & EPOLLOUT) bits |= MELY_WR;
+    if (evs[i].events & (EPOLLERR | EPOLLHUP)) bits |= MELY_ERR;
+    Field(vfds, i) = Val_int(evs[i].data.fd);
+    Field(vevents, i) = Val_int(bits);
+  }
+  CAMLreturn(Val_int(n));
+}
+
+#else /* !__linux__ */
+
+CAMLprim value mely_epoll_available(value unit)
+{
+  (void)unit;
+  return Val_false;
+}
+
+CAMLprim value mely_epoll_create(value unit)
+{
+  (void)unit;
+  caml_failwith("Rtnet.Epoll: epoll backend unavailable on this platform");
+}
+
+CAMLprim value mely_epoll_ctl(value vepfd, value vop, value vfd, value vmask)
+{
+  (void)vepfd; (void)vop; (void)vfd; (void)vmask;
+  caml_failwith("Rtnet.Epoll: epoll backend unavailable on this platform");
+}
+
+CAMLprim value mely_epoll_wait(value vepfd, value vtimeout, value vfds,
+                               value vevents)
+{
+  (void)vepfd; (void)vtimeout; (void)vfds; (void)vevents;
+  caml_failwith("Rtnet.Epoll: epoll backend unavailable on this platform");
+}
+
+#endif /* __linux__ */
+
+/* Portable fallback: one poll(2) over the packed interest arrays.
+ * [vfds]/[vmasks] are the interest set (fd, mask) pairs, [vrevents]
+ * receives one ready-bit word per index. Returns the number of
+ * entries with a nonzero revents word. */
+CAMLprim value mely_poll(value vfds, value vmasks, value vcount,
+                         value vtimeout, value vrevents)
+{
+  CAMLparam5(vfds, vmasks, vcount, vtimeout, vrevents);
+  int n = Int_val(vcount);
+  int timeout = Int_val(vtimeout);
+  struct pollfd *pfds;
+  int i, ready;
+  if (n < 0) n = 0;
+  pfds = (struct pollfd *)malloc((n > 0 ? n : 1) * sizeof(struct pollfd));
+  if (pfds == NULL) uerror("poll", Nothing);
+  for (i = 0; i < n; i++) {
+    int mask = Int_val(Field(vmasks, i));
+    pfds[i].fd = Int_val(Field(vfds, i));
+    pfds[i].events = 0;
+    if (mask & MELY_IN) pfds[i].events |= POLLIN | POLLPRI;
+    if (mask & MELY_OUT) pfds[i].events |= POLLOUT;
+    pfds[i].revents = 0;
+  }
+  caml_release_runtime_system();
+  ready = poll(pfds, (nfds_t)n, timeout);
+  caml_acquire_runtime_system();
+  if (ready == -1) {
+    int e = errno;
+    free(pfds);
+    errno = e;
+    uerror("poll", Nothing);
+  }
+  for (i = 0; i < n; i++) {
+    int bits = 0;
+    if (pfds[i].revents & (POLLIN | POLLPRI)) bits |= MELY_RD;
+    if (pfds[i].revents & POLLOUT) bits |= MELY_WR;
+    if (pfds[i].revents & (POLLERR | POLLHUP | POLLNVAL)) bits |= MELY_ERR;
+    Field(vrevents, i) = Val_int(bits);
+  }
+  free(pfds);
+  CAMLreturn(Val_int(ready));
+}
+
+/* Gather write from parallel slice arrays: strings, start offsets and
+ * lengths, first [vcount] entries. Runs with the runtime lock held
+ * (nonblocking sockets; the iovec bases point into the OCaml heap). */
+#define MELY_IOV_MAX 64
+
+CAMLprim value mely_writev(value vfd, value vstrs, value voffs, value vlens,
+                           value vcount)
+{
+  struct iovec iov[MELY_IOV_MAX];
+  int n = Int_val(vcount);
+  int i;
+  ssize_t ret;
+  if (n > MELY_IOV_MAX) n = MELY_IOV_MAX;
+  for (i = 0; i < n; i++) {
+    iov[i].iov_base =
+        (char *)Bytes_val(Field(vstrs, i)) + Int_val(Field(voffs, i));
+    iov[i].iov_len = (size_t)Int_val(Field(vlens, i));
+  }
+  ret = writev(Int_val(vfd), iov, n);
+  if (ret == -1) uerror("writev", Nothing);
+  return Val_long(ret);
+}

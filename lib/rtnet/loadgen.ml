@@ -4,6 +4,7 @@ type result = {
   sheds : int;
   mismatches : int;
   failed_conns : int;
+  conns_open_peak : int;
   seconds : float;
 }
 
@@ -81,9 +82,17 @@ let classify expected got =
   in
   go expected got 0
 
+(* One held-open connection's progress through its request budget. *)
+type cstate = {
+  cs_idx : int;  (* connection number; seeds the target rotation *)
+  mutable cs_fd : Unix.file_descr option;
+  mutable cs_start : int;  (* requests completed or in flight *)
+  mutable cs_bidx : int;  (* batches issued, for torn_every *)
+}
+
 let run ~port ?(host = Unix.inet_addr_loopback) ~conns ~requests ?(pipeline = 4)
     ?(torn_every = 0) ?(close_last = false) ?(client_domains = 4) ?(timeout = 10.0)
-    ~targets () =
+    ?(concurrent = false) ~targets () =
   if conns < 1 then invalid_arg "Rtnet.Loadgen.run: conns must be >= 1";
   if requests < 1 then invalid_arg "Rtnet.Loadgen.run: requests must be >= 1";
   let pipeline = max 1 pipeline in
@@ -95,75 +104,147 @@ let run ~port ?(host = Unix.inet_addr_loopback) ~conns ~requests ?(pipeline = 4)
   and shed = Atomic.make 0
   and bad = Atomic.make 0
   and failed = Atomic.make 0 in
-  let drive_conn c =
+  let open_now = Atomic.make 0 and open_peak = Atomic.make 0 in
+  let note_open () =
+    let n = 1 + Atomic.fetch_and_add open_now 1 in
+    let rec bump () =
+      let p = Atomic.get open_peak in
+      if n > p && not (Atomic.compare_and_set open_peak p n) then bump ()
+    in
+    bump ()
+  in
+  let close_fd fd =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Atomic.decr open_now
+  in
+  let connect_conn () =
     let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
     match Unix.connect fd (Unix.ADDR_INET (host, port)) with
     | exception _ ->
       (try Unix.close fd with Unix.Unix_error _ -> ());
-      Atomic.incr failed
+      Atomic.incr failed;
+      None
     | () ->
       (try
          Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
          Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout;
          Unix.setsockopt fd Unix.TCP_NODELAY true
        with Unix.Unix_error _ -> ());
+      note_open ();
+      Some fd
+  in
+  (* Issue one pipelined batch on [st] and validate the echoes;
+     [`Alive] means the connection can take another batch. *)
+  let drive_batch st fd =
+    let bsize = min pipeline (requests - st.cs_start) in
+    let reqs = Buffer.create 256 and expected = ref [] in
+    for j = 0 to bsize - 1 do
+      let r = st.cs_start + j in
+      let path, resp = targets.((st.cs_idx + r) mod ntargets) in
+      let close = close_last && r = requests - 1 in
+      Buffer.add_string reqs (request ~path ~close);
+      expected := resp :: !expected
+    done;
+    let expected = List.rev !expected in
+    let torn = torn_every > 0 && st.cs_bidx mod torn_every = 0 in
+    st.cs_bidx <- st.cs_bidx + 1;
+    let verdict =
+      match write_all ~chunk:(if torn then 19 else 0) fd (Buffer.contents reqs) with
+      | () ->
+        ignore (Atomic.fetch_and_add sent bsize);
+        let want = List.fold_left (fun a e -> a + String.length e) 0 expected in
+        let got = Bytes.create want in
+        let n = read_upto fd got want in
+        let got_ok, v = classify expected (Bytes.sub_string got 0 n) in
+        ignore (Atomic.fetch_and_add ok got_ok);
+        (match v with
+        | `Ok -> `Alive
+        | `Shed ->
+          ignore (Atomic.fetch_and_add shed (bsize - got_ok));
+          `Dead
+        | `Mismatch ->
+          Atomic.incr bad;
+          `Dead)
+      | exception Unix.Unix_error (_, _, _) ->
+        (* The peer closed on us mid-write: an armored server does
+           that after a 503/408; count the connection, not a lie. *)
+        Atomic.incr failed;
+        `Dead
+    in
+    st.cs_start <- st.cs_start + bsize;
+    verdict
+  in
+  (* After the last batch of a [close_last] run the server must close. *)
+  let check_server_close fd =
+    if close_last then
+      match Unix.read fd (Bytes.create 1) 0 1 with
+      | 0 -> ()
+      | _ -> Atomic.incr bad
+      | exception Unix.Unix_error (_, _, _) -> Atomic.incr bad
+  in
+  let drive_conn c =
+    match connect_conn () with
+    | None -> ()
+    | Some fd ->
+      let st = { cs_idx = c; cs_fd = Some fd; cs_start = 0; cs_bidx = 0 } in
       let alive = ref true in
-      let start = ref 0 in
-      let bidx = ref 0 in
-      while !alive && !start < requests do
-        let bsize = min pipeline (requests - !start) in
-        let reqs = Buffer.create 256 and expected = ref [] in
-        for j = 0 to bsize - 1 do
-          let r = !start + j in
-          let path, resp = targets.((c + r) mod ntargets) in
-          let close = close_last && r = requests - 1 in
-          Buffer.add_string reqs (request ~path ~close);
-          expected := resp :: !expected
-        done;
-        let expected = List.rev !expected in
-        let torn = torn_every > 0 && !bidx mod torn_every = 0 in
-        incr bidx;
-        (match write_all ~chunk:(if torn then 19 else 0) fd (Buffer.contents reqs) with
-        | () ->
-          ignore (Atomic.fetch_and_add sent bsize);
-          let want = List.fold_left (fun a e -> a + String.length e) 0 expected in
-          let got = Bytes.create want in
-          let n = read_upto fd got want in
-          let got_ok, verdict = classify expected (Bytes.sub_string got 0 n) in
-          ignore (Atomic.fetch_and_add ok got_ok);
-          (match verdict with
-          | `Ok -> ()
-          | `Shed ->
-            ignore (Atomic.fetch_and_add shed (bsize - got_ok));
-            alive := false
-          | `Mismatch ->
-            Atomic.incr bad;
-            alive := false)
-        | exception Unix.Unix_error (_, _, _) ->
-          (* The peer closed on us mid-write: an armored server does
-             that after a 503/408; count the connection, not a lie. *)
-          Atomic.incr failed;
-          alive := false);
-        start := !start + bsize
+      while !alive && st.cs_start < requests do
+        match drive_batch st fd with `Alive -> () | `Dead -> alive := false
       done;
-      (if !alive && close_last then
-         (* The server must close after Connection: close. *)
-         match Unix.read fd (Bytes.create 1) 0 1 with
-         | 0 -> ()
-         | _ -> Atomic.incr bad
-         | exception Unix.Unix_error (_, _, _) -> Atomic.incr bad);
-      (try Unix.close fd with Unix.Unix_error _ -> ())
+      if !alive then check_server_close fd;
+      close_fd fd
+  in
+  (* Concurrent mode: the domain opens its whole slice up front and
+     holds every socket while round-robining batches across them, so
+     [conns] are simultaneously open server-side (the sharded front
+     end's acceptance test) instead of only [client_domains]. *)
+  let drive_slice_concurrent d nd =
+    let mine = ref [] in
+    let c = ref d in
+    while !c < conns do
+      mine := { cs_idx = !c; cs_fd = connect_conn (); cs_start = 0; cs_bidx = 0 } :: !mine;
+      c := !c + nd
+    done;
+    let sts = Array.of_list (List.rev !mine) in
+    let remaining =
+      ref (Array.fold_left (fun a st -> if st.cs_fd = None then a else a + 1) 0 sts)
+    in
+    while !remaining > 0 do
+      Array.iter
+        (fun st ->
+          match st.cs_fd with
+          | None -> ()
+          | Some fd ->
+            if st.cs_start >= requests then begin
+              check_server_close fd;
+              close_fd fd;
+              st.cs_fd <- None;
+              decr remaining
+            end
+            else begin
+              match drive_batch st fd with
+              | `Alive -> ()
+              | `Dead ->
+                close_fd fd;
+                st.cs_fd <- None;
+                decr remaining
+            end)
+        sts
+    done
   in
   let nd = max 1 (min client_domains conns) in
   let t0 = Rt.Clock.now_ns () in
   let domains =
     List.init nd (fun d ->
         Domain.spawn (fun () ->
-            let c = ref d in
-            while !c < conns do
-              drive_conn !c;
-              c := !c + nd
-            done))
+            if concurrent then drive_slice_concurrent d nd
+            else begin
+              let c = ref d in
+              while !c < conns do
+                drive_conn !c;
+                c := !c + nd
+              done
+            end))
   in
   List.iter Domain.join domains;
   {
@@ -172,5 +253,6 @@ let run ~port ?(host = Unix.inet_addr_loopback) ~conns ~requests ?(pipeline = 4)
     sheds = Atomic.get shed;
     mismatches = Atomic.get bad;
     failed_conns = Atomic.get failed;
+    conns_open_peak = Atomic.get open_peak;
     seconds = Rt.Clock.elapsed_seconds ~since:t0;
   }

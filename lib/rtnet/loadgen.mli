@@ -14,6 +14,10 @@ type result = {
           fail a run *)
   mismatches : int;  (** batches whose bytes differed from expected *)
   failed_conns : int;  (** connect/read/write failures or timeouts *)
+  conns_open_peak : int;
+      (** most client sockets simultaneously open during the run — in
+          concurrent mode this should reach [conns], in sequential mode
+          about [client_domains] *)
   seconds : float;  (** wall time across all clients *)
 }
 
@@ -35,6 +39,7 @@ val run :
   ?close_last:bool ->
   ?client_domains:int ->
   ?timeout:float ->
+  ?concurrent:bool ->
   targets:(string * string) list ->
   unit ->
   result
@@ -48,4 +53,14 @@ val run :
     [close_last] (default false) sends [Connection: close] on each
     connection's final request and asserts the server closes the
     socket. Connections are spread over [client_domains] (default 4)
-    domains; [timeout] (default 10 s) bounds each read. *)
+    domains; [timeout] (default 10 s) bounds each read.
+
+    [concurrent] (default false) changes the schedule, not the totals:
+    each domain opens its whole slice of connections up front and
+    holds every socket open while round-robining request batches
+    across them, so all [conns] are simultaneously established
+    server-side — the high-concurrency mode the sharded front end is
+    sized for ({!result.conns_open_peak} reports what was reached).
+    Sequential mode drives each connection to completion before
+    opening the next, so only about [client_domains] are open at
+    once. *)

@@ -1,60 +1,145 @@
-(* Real TCP serving on the domain runtime.
+(* Real TCP serving on the domain runtime — N poller shards over epoll.
 
-   Division of labour (DESIGN.md §5e):
+   Division of labour (DESIGN.md §5e/§5g):
 
-   - The poller domain owns every fd: select, accept (capped), read,
-     close. It never touches a connection's parse or output state.
+   - N poller shard domains split the fd space: each shard owns a
+     disjoint slice of connections (its own epoll instance, timer
+     wheel, read-buffer pool, wake pipe). Shard 0 additionally owns
+     the listener: it accepts and hands fresh fds round-robin to the
+     shards through lock-free hand-off stacks + wake pipes. A shard
+     does everything the old single poller did for its slice: waits,
+     reads, injects colored events, enforces deadlines, closes.
    - Worker domains own a connection's mutable record, but only inside
      events colored with the connection's fd — the runtime's per-color
      mutual exclusion is the lock.
-   - The two sides communicate through atomics: [inflight] (events of
-     this color queued or executing; the poller closes the fd only at
-     zero, so a handler can never write into a recycled descriptor),
-     [want_write] (output pending, select for writability),
-     [flush_pending] (a flush event is queued; don't inject another),
-     [wants_close]/[failed] (handler verdicts the poller acts on), and
-     a self-pipe to cut the select nap short.
+   - The two sides communicate through atomics ([inflight],
+     [want_write], [flush_pending], [wants_close], [failed]) plus a
+     per-shard attention stack: a handler that changed a connection's
+     state pushes the fd and wakes the owning shard, which re-examines
+     just that connection — no O(conns) sweep per lap.
+
+   Readiness is edge-triggered on the epoll backend (reads drain to
+   EAGAIN, write interest is one-shot: armed when a handler leaves
+   output stalled, disarmed when the writable event is consumed), and
+   the same discipline is level-triggered-correct on the poll(2)
+   fallback. Injection is batched: one [Rt.Runtime.try_register_batch]
+   per wait return, with the shard id as the placement hint.
 
    Overload armor (DESIGN.md §5f): every network syscall goes through
-   the [Rt.Faults] shim (passthrough by default, a seeded deterministic
-   fault schedule under chaos), a hashed timer wheel in the poller
-   enforces per-connection deadlines (header-read 408, keep-alive idle,
-   write-progress), header blocks over [max_request_bytes] get a 431,
-   requests parsed while the runtime backlog is past
-   [overload.shed_pending_hwm] are shed with a 503 + close, and
-   EMFILE/ENFILE on accept backs the acceptor off exponentially instead
-   of hot-looping. *)
+   the [Rt.Faults] shim; per-shard timer wheels enforce per-connection
+   deadlines (header-read 408, keep-alive idle, write-progress);
+   header blocks over [max_request_bytes] get a 431; requests parsed
+   while the runtime backlog is past [overload.shed_pending_hwm] are
+   shed with a 503 + close; EMFILE/ENFILE on accept backs the acceptor
+   off exponentially.
+
+   Conservation identities hold per shard and in aggregate: a
+   connection is accepted, served and closed by the same shard, and
+   request verdict counters are bumped on the connection's owning
+   shard. *)
 
 (* On Unix a [file_descr] is the raw int; the runtime wants the fd as
    the event color (the paper's scheme: connection = color). *)
 external int_of_fd : Unix.file_descr -> int = "%identity"
 
+(* One unwritten span of an immutable response string: the output path
+   is a queue of these, so a short write bumps [off] — no re-copy of
+   the remaining bytes, ever (the old Buffer.contents-per-attempt was
+   quadratic on a stalled peer). *)
+type slice = { str : string; mutable off : int }
+
+type counters = {
+  c_accepted : int Atomic.t;
+  c_refused : int Atomic.t;
+  c_closed : int Atomic.t;
+  c_failed : int Atomic.t;
+  c_evicted : int Atomic.t;
+  r_parsed : int Atomic.t;
+  r_served : int Atomic.t;
+  r_failed : int Atomic.t;
+  r_malformed : int Atomic.t;
+  r_too_large : int Atomic.t;
+  r_shed : int Atomic.t;
+  r_inj_refused : int Atomic.t;
+  a_errors : int Atomic.t;
+  a_backoffs : int Atomic.t;
+}
+
+let make_counters () =
+  {
+    c_accepted = Atomic.make 0;
+    c_refused = Atomic.make 0;
+    c_closed = Atomic.make 0;
+    c_failed = Atomic.make 0;
+    c_evicted = Atomic.make 0;
+    r_parsed = Atomic.make 0;
+    r_served = Atomic.make 0;
+    r_failed = Atomic.make 0;
+    r_malformed = Atomic.make 0;
+    r_too_large = Atomic.make 0;
+    r_shed = Atomic.make 0;
+    r_inj_refused = Atomic.make 0;
+    a_errors = Atomic.make 0;
+    a_backoffs = Atomic.make 0;
+  }
+
+(* Slices the handlers gather per writev call. *)
+let writev_slices = 16
+
 type conn = {
   fd : Unix.file_descr;
   color : int;
+  shard : shard;  (** owning poller shard, fixed at accept *)
   (* Handler-owned: touched only inside events of [color]. *)
   mutable pending : string;  (** unparsed request bytes *)
   mutable scan_hint : int;  (** parse resume hint: bytes already scanned *)
   mutable stop_parsing : bool;  (** close decided; ignore further bytes *)
-  out : Buffer.t;  (** unwritten response bytes *)
-  mutable out_off : int;
+  outq : slice Queue.t;  (** unwritten response slices, in wire order *)
+  wv_strs : string array;  (** writev gather scratch (parallel arrays) *)
+  wv_offs : int array;
+  wv_lens : int array;
   (* Shared: written by handlers, read by the poller (or both). *)
   inflight : int Atomic.t;
   want_write : bool Atomic.t;
   flush_pending : bool Atomic.t;
   wants_close : bool Atomic.t;
   failed : bool Atomic.t;
-  (* Armor state shared across the boundary: the poller's deadline
+  (* Armor state shared across the boundary: the shard's deadline
      checks read these, handlers refresh them. *)
   last_progress : int64 Atomic.t;
       (** last parse/write progress or response queued (ns) *)
   partial : bool Atomic.t;  (** unparsed bytes pending a terminator *)
   completed : bool Atomic.t;  (** >= 1 request parsed on this conn *)
-  (* Poller-owned. *)
+  (* Poller-shard-owned. *)
   mutable last_read_ns : int64;  (** last bytes off the wire (or accept) *)
   mutable evicting : bool;  (** a deadline fired; stop reading/checking *)
   mutable eof : bool;
   mutable kill : bool;  (** I/O error or refused injection: drop it *)
+  mutable armed_read : bool;  (** current read interest in the epoll set *)
+  mutable armed_write : bool;  (** current write interest (one-shot) *)
+}
+
+and shard = {
+  id : int;
+  ep : Epoll.t;
+  conns : (int, conn) Hashtbl.t;  (** shard-owned, keyed by fd int *)
+  wheel : Wheel.t;  (** shard-owned deadline wheel, keyed by fd int *)
+  wake_r : Unix.file_descr;
+  wake_w : Unix.file_descr;
+  attn : int list Atomic.t;
+      (** fds whose state a handler changed; drained each lap *)
+  handoff : Unix.file_descr list Atomic.t;
+      (** accepted fds parked here by the acceptor shard *)
+  pool : Bufpool.t;
+  wake_buf : Bytes.t;  (** hoisted wake-pipe drain scratch *)
+  ctr : counters;
+  (* Below: touched only by this shard's domain. *)
+  mutable backoff_until : int64;
+  mutable backoff_ns : int64;  (** current step; 0 = not backing off *)
+  mutable rr : int;  (** acceptor only: next hand-off target *)
+  mutable batch : (conn * Rt.Runtime.handler * (Rt.Runtime.ctx -> unit)) list;
+      (** injection batch for this wait return, newest first *)
+  mutable batch_n : int;
 }
 
 type stats = {
@@ -100,12 +185,18 @@ type t = {
   drain_deadline : float;
   overload : overload;
   faults : Rt.Faults.t;
+  backend : Epoll.backend;
   listen_fd : Unix.file_descr;
   bound_port : int;
-  wake_r : Unix.file_descr;
-  wake_w : Unix.file_descr;
-  conns : (int, conn) Hashtbl.t;  (** poller-owned, keyed by fd int *)
-  wheel : Wheel.t;  (** poller-owned deadline wheel, keyed by fd int *)
+  shards : shard array;
+  live : int Atomic.t;  (** connections accepted and not yet closed *)
+  listener_paused : bool Atomic.t;
+      (** acceptor took the listener out of its set (cap reached) *)
+  (* fd-slice disjointness audit: every install/close records fd
+     ownership; two shards ever claiming one fd is a violation. *)
+  own_lock : Mutex.t;
+  own_tbl : (int, int) Hashtbl.t;  (** fd -> owning shard id *)
+  own_violations : int Atomic.t;
   h_read : Rt.Runtime.handler;
   h_respond : Rt.Runtime.handler;
   h_flush : Rt.Runtime.handler;
@@ -117,27 +208,9 @@ type t = {
   resp_431 : string;
   resp_503 : string;
   draining : bool Atomic.t;
-  c_accepted : int Atomic.t;
-  c_refused : int Atomic.t;
-  c_closed : int Atomic.t;
-  c_failed : int Atomic.t;
-  c_evicted : int Atomic.t;
-  r_parsed : int Atomic.t;
-  r_served : int Atomic.t;
-  r_failed : int Atomic.t;
-  r_malformed : int Atomic.t;
-  r_too_large : int Atomic.t;
-  r_shed : int Atomic.t;
-  r_inj_refused : int Atomic.t;
-  a_errors : int Atomic.t;
-  a_backoffs : int Atomic.t;
-  (* Poller-owned accept backoff state. *)
-  mutable backoff_until : int64;
-  mutable backoff_ns : int64;  (** current step; 0 = not backing off *)
-  read_buf : Bytes.t;  (** poller scratch *)
   lifecycle : Mutex.t;
   mutable state : state;
-  mutable poller : unit Domain.t option;
+  mutable pollers : unit Domain.t list;
 }
 
 let ns_of_seconds s = Int64.of_float (s *. 1e9)
@@ -147,7 +220,9 @@ let i64max a b = if Int64.compare a b >= 0 then a else b
 (* Syscall shim: every Unix call on the serving path consults the fault
    plane first. Passthrough costs one constructor check. An injected
    errno raises *instead of* performing the call; [Torn] caps the byte
-   count (partial reads/writes); [Delay] sleeps, then performs. *)
+   count (partial reads/writes); [Delay] sleeps, then performs. The
+   readiness wait reuses the [Select] site — same budget of poller
+   faults, new poller. *)
 
 let injected_error site e =
   raise (Unix.Unix_error (e, Rt.Faults.site_name site, "injected"))
@@ -161,14 +236,22 @@ let sys_read t fd buf off len =
     Unix.sleepf s;
     Unix.read fd buf off len
 
-let sys_write t fd s off len =
+(* Gather write from the connection's scratch slice arrays. A [Torn]
+   fault degrades to a capped single-slice write — exactly the partial
+   write a torn writev would produce. *)
+let sys_writev t conn count =
   match Rt.Faults.decide t.faults Rt.Faults.Write with
-  | Rt.Faults.Pass -> Unix.write_substring fd s off len
+  | Rt.Faults.Pass ->
+    Epoll.writev conn.fd ~strs:conn.wv_strs ~offs:conn.wv_offs
+      ~lens:conn.wv_lens ~count
   | Rt.Faults.Errno e -> injected_error Rt.Faults.Write e
-  | Rt.Faults.Torn n -> Unix.write_substring fd s off (max 1 (min len n))
+  | Rt.Faults.Torn n ->
+    Unix.write_substring conn.fd conn.wv_strs.(0) conn.wv_offs.(0)
+      (max 1 (min conn.wv_lens.(0) n))
   | Rt.Faults.Delay d ->
     Unix.sleepf d;
-    Unix.write_substring fd s off len
+    Epoll.writev conn.fd ~strs:conn.wv_strs ~offs:conn.wv_offs
+      ~lens:conn.wv_lens ~count
 
 let sys_accept t =
   match Rt.Faults.decide t.faults Rt.Faults.Accept with
@@ -178,13 +261,13 @@ let sys_accept t =
     Unix.sleepf s;
     Unix.accept ~cloexec:true t.listen_fd
 
-let sys_select t rds wrs timeout =
+let sys_wait t sh ~timeout_ms =
   match Rt.Faults.decide t.faults Rt.Faults.Select with
-  | Rt.Faults.Pass | Rt.Faults.Torn _ -> Unix.select rds wrs [] timeout
+  | Rt.Faults.Pass | Rt.Faults.Torn _ -> Epoll.wait sh.ep ~timeout_ms
   | Rt.Faults.Errno e -> injected_error Rt.Faults.Select e
   | Rt.Faults.Delay s ->
     Unix.sleepf s;
-    Unix.select rds wrs [] timeout
+    Epoll.wait sh.ep ~timeout_ms
 
 (* An injected close error still closes for real first: on Linux the fd
    is gone even when close reports a fault, and fd conservation must
@@ -196,77 +279,134 @@ let sys_close t fd =
     (try Unix.close fd with Unix.Unix_error _ -> ());
     injected_error Rt.Faults.Close e
 
-(* Wake the poller out of its select nap. Nonblocking pipe: a full pipe
+(* Wake a shard out of its wait nap. Nonblocking pipe: a full pipe
    already guarantees a pending wake, so EAGAIN is success. The wake
    pipe is internal plumbing, not network I/O — it stays unshimmed. *)
-let wake t =
-  try ignore (Unix.write_substring t.wake_w "!" 0 1)
+let wake_shard sh =
+  try ignore (Unix.write_substring sh.wake_w "!" 0 1)
   with Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EPIPE | EBADF), _, _) -> ()
+
+let wake_all t = Array.iter wake_shard t.shards
+
+let rec attn_push sh fd =
+  let old = Atomic.get sh.attn in
+  if not (Atomic.compare_and_set sh.attn old (fd :: old)) then attn_push sh fd
+
+(* A handler changed [conn]'s shared state: queue the fd for the owning
+   shard's next lap and cut its nap short. Replaces the old global
+   [wake] — the shard re-examines one connection, not the whole table. *)
+let attend conn =
+  let sh = conn.shard in
+  attn_push sh conn.color;
+  wake_shard sh
+
+let rec handoff_push sh fd =
+  let old = Atomic.get sh.handoff in
+  if not (Atomic.compare_and_set sh.handoff old (fd :: old)) then
+    handoff_push sh fd
+
+(* fd-slice disjointness bookkeeping. [own_remove] runs before the real
+   close so a recycled fd number can never race its own removal. *)
+let own_add t fd shard_id =
+  Mutex.lock t.own_lock;
+  if Hashtbl.mem t.own_tbl fd then Atomic.incr t.own_violations;
+  Hashtbl.replace t.own_tbl fd shard_id;
+  Mutex.unlock t.own_lock
+
+let own_remove t fd shard_id =
+  Mutex.lock t.own_lock;
+  (match Hashtbl.find_opt t.own_tbl fd with
+  | Some s when s = shard_id -> Hashtbl.remove t.own_tbl fd
+  | Some _ | None -> Atomic.incr t.own_violations);
+  Mutex.unlock t.own_lock
 
 (* ------------------------------------------------------------------ *)
 (* Handler side: everything below runs inside events of [conn.color]. *)
 
-(* Flush as much of [conn.out] as the socket takes; short writes leave
-   the rest buffered and raise write interest for the poller. *)
+let queue_out conn s =
+  if String.length s > 0 then Queue.add { str = s; off = 0 } conn.outq
+
+(* Drop [w] written bytes off the front of the slice queue. *)
+let rec advance_outq conn w =
+  if w > 0 then begin
+    let sl = Queue.peek conn.outq in
+    let rem = String.length sl.str - sl.off in
+    if w >= rem then begin
+      ignore (Queue.pop conn.outq);
+      advance_outq conn (w - rem)
+    end
+    else sl.off <- sl.off + w
+  end
+
+(* Flush as much of [conn.outq] as the socket takes, gathering up to
+   [writev_slices] slices per writev; a short write bumps the front
+   slice's offset (no re-copy) and raises write interest for the
+   shard. *)
 let try_write t conn =
   let rec go () =
-    let len = Buffer.length conn.out - conn.out_off in
-    if len = 0 then begin
-      Buffer.clear conn.out;
-      conn.out_off <- 0;
-      Atomic.set conn.want_write false
-    end
-    else
-      match sys_write t conn.fd (Buffer.contents conn.out) conn.out_off len with
-      | n ->
-        conn.out_off <- conn.out_off + n;
-        if n > 0 then Atomic.set conn.last_progress (Rt.Clock.now_ns ());
+    if Queue.is_empty conn.outq then Atomic.set conn.want_write false
+    else begin
+      let n = ref 0 in
+      (try
+         Queue.iter
+           (fun sl ->
+             if !n >= writev_slices then raise Exit;
+             conn.wv_strs.(!n) <- sl.str;
+             conn.wv_offs.(!n) <- sl.off;
+             conn.wv_lens.(!n) <- String.length sl.str - sl.off;
+             incr n)
+           conn.outq
+       with Exit -> ());
+      match sys_writev t conn !n with
+      | w ->
+        advance_outq conn w;
+        if w > 0 then Atomic.set conn.last_progress (Rt.Clock.now_ns ());
         go ()
       | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
         Atomic.set conn.want_write true;
-        wake t
+        attend conn
       | exception Unix.Unix_error (EINTR, _, _) -> go ()
       | exception Unix.Unix_error (_, _, _) ->
         (* Peer gone (EPIPE/ECONNRESET/...): drop the buffered output
-           and let the poller reap the connection. *)
-        Buffer.clear conn.out;
-        conn.out_off <- 0;
+           and let the shard reap the connection. *)
+        Queue.clear conn.outq;
         Atomic.set conn.want_write false;
         Atomic.set conn.failed true;
         Atomic.set conn.wants_close true;
-        wake t
+        attend conn
+    end
   in
   go ()
 
-let finish_conn t conn =
+let finish_conn conn =
   conn.stop_parsing <- true;
   Atomic.set conn.wants_close true;
-  wake t
+  attend conn
 
-(* Serve one parsed request: app → output buffer → write attempt. An
-   app exception is answered with a 500, closes this one connection,
-   and is re-raised so the runtime contains and counts it — sibling
+(* Serve one parsed request: app → slice queue → write attempt. An app
+   exception is answered with a 500, closes this one connection, and is
+   re-raised so the runtime contains and counts it — sibling
    connections never notice. A request whose connection already failed
    counts as failed too, so [reqs_parsed = served + failed + shed]
-   holds even when the peer vanished mid-pipeline. *)
+   holds (per shard) even when the peer vanished mid-pipeline. *)
 let respond t conn req ~close_after (_ctx : Rt.Runtime.ctx) =
   Fun.protect ~finally:(fun () ->
       Atomic.decr conn.inflight;
-      wake t)
+      attend conn)
   @@ fun () ->
-  if Atomic.get conn.failed then Atomic.incr t.r_failed
+  if Atomic.get conn.failed then Atomic.incr conn.shard.ctr.r_failed
   else
     match t.app req with
     | response ->
-      Buffer.add_string conn.out response;
-      Atomic.incr t.r_served;
+      queue_out conn response;
+      Atomic.incr conn.shard.ctr.r_served;
       Atomic.set conn.last_progress (Rt.Clock.now_ns ());
-      if close_after then finish_conn t conn;
+      if close_after then finish_conn conn;
       try_write t conn
     | exception e ->
-      Atomic.incr t.r_failed;
-      Buffer.add_string conn.out t.resp_500;
-      finish_conn t conn;
+      Atomic.incr conn.shard.ctr.r_failed;
+      queue_out conn t.resp_500;
+      finish_conn conn;
       try_write t conn;
       raise e
 
@@ -285,13 +425,13 @@ let reject t conn response counter ?note (ctx : Rt.Runtime.ctx) =
     (fun (ictx : Rt.Runtime.ctx) ->
       Fun.protect ~finally:(fun () ->
           Atomic.decr conn.inflight;
-          wake t)
+          attend conn)
       @@ fun () ->
       (match note with Some f -> f ictx | None -> ());
-      if Atomic.get conn.failed then finish_conn t conn
+      if Atomic.get conn.failed then finish_conn conn
       else begin
-        Buffer.add_string conn.out response;
-        finish_conn t conn;
+        queue_out conn response;
+        finish_conn conn;
         try_write t conn
       end)
 
@@ -311,19 +451,19 @@ let rec parse_loop t conn (ctx : Rt.Runtime.ctx) =
       conn.scan_hint <- String.length conn.pending;
       Atomic.set conn.partial (String.length conn.pending > 0)
     | Error (Httpkit.Request.Too_large _) ->
-      reject t conn t.resp_431 t.r_too_large ctx
+      reject t conn t.resp_431 conn.shard.ctr.r_too_large ctx
     | Error (Httpkit.Request.Malformed _) ->
-      reject t conn t.resp_400 t.r_malformed ctx
+      reject t conn t.resp_400 conn.shard.ctr.r_malformed ctx
     | Ok (req, consumed) ->
       conn.pending <-
         String.sub conn.pending consumed (String.length conn.pending - consumed);
       conn.scan_hint <- 0;
-      Atomic.incr t.r_parsed;
+      Atomic.incr conn.shard.ctr.r_parsed;
       Atomic.set conn.completed true;
       Atomic.set conn.partial (String.length conn.pending > 0);
       Atomic.set conn.last_progress (Rt.Clock.now_ns ());
       if Rt.Runtime.pending t.rt >= t.overload.shed_pending_hwm then
-        reject t conn t.resp_503 t.r_shed ctx
+        reject t conn t.resp_503 conn.shard.ctr.r_shed ctx
           ~note:(fun ictx ->
             Rt.Runtime.note_shed t.rt ~worker:ictx.worker ~color:conn.color)
       else begin
@@ -335,11 +475,17 @@ let rec parse_loop t conn (ctx : Rt.Runtime.ctx) =
         if not close_after then parse_loop t conn ctx
       end
 
-let on_chunk t conn chunk ctx =
+(* The read event: the shard checked [buf] out of its pool and read
+   [len] wire bytes into it; copy them into the parse state and recycle
+   the buffer — the one unavoidable copy, paid on a worker instead of
+   the poller. *)
+let on_chunk t conn buf len ctx =
   Fun.protect ~finally:(fun () ->
       Atomic.decr conn.inflight;
-      wake t)
+      attend conn)
   @@ fun () ->
+  let chunk = Bytes.sub_string buf 0 len in
+  Bufpool.recycle conn.shard.pool buf;
   if not conn.stop_parsing then begin
     conn.pending <- (if conn.pending = "" then chunk else conn.pending ^ chunk);
     parse_loop t conn ctx
@@ -347,132 +493,30 @@ let on_chunk t conn chunk ctx =
 
 let on_writable t conn (_ctx : Rt.Runtime.ctx) =
   Fun.protect ~finally:(fun () ->
-      (* Order matters: clear [flush_pending] last so the poller never
+      (* Order matters: clear [flush_pending] last so the shard never
          sees a writable fd it cannot re-arm a flush for. *)
       Atomic.decr conn.inflight;
       Atomic.set conn.flush_pending false;
-      wake t)
+      attend conn)
   @@ fun () -> if not (Atomic.get conn.failed) then try_write t conn
 
 (* Slow-loris eviction: answer 408, close. Runs as a colored event so
-   the output buffer is touched under the color's mutual exclusion. *)
+   the output queue is touched under the color's mutual exclusion. *)
 let on_evict t conn (ctx : Rt.Runtime.ctx) =
   Fun.protect ~finally:(fun () ->
       Atomic.decr conn.inflight;
-      wake t)
+      attend conn)
   @@ fun () ->
   Rt.Runtime.note_evict t.rt ~worker:ctx.worker ~color:conn.color;
-  if Atomic.get conn.failed then finish_conn t conn
+  if Atomic.get conn.failed then finish_conn conn
   else begin
-    Buffer.add_string conn.out t.resp_408;
-    finish_conn t conn;
+    queue_out conn t.resp_408;
+    finish_conn conn;
     try_write t conn
   end
 
 (* ------------------------------------------------------------------ *)
-(* Poller side. *)
-
-let inject t conn handler run =
-  Atomic.incr conn.inflight;
-  if not (Rt.Runtime.try_register t.rt ~color:conn.color ~handler run) then begin
-    (* The runtime's shutdown gate refused us: the connection cannot be
-       served any more; close it cleanly once its backlog drains. *)
-    Atomic.decr conn.inflight;
-    Atomic.incr t.r_inj_refused;
-    conn.kill <- true
-  end
-
-let read_conn t conn =
-  match sys_read t conn.fd t.read_buf 0 (Bytes.length t.read_buf) with
-  | 0 -> conn.eof <- true
-  | n ->
-    conn.last_read_ns <- Rt.Clock.now_ns ();
-    inject t conn t.h_read (on_chunk t conn (Bytes.sub_string t.read_buf 0 n))
-  | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
-  | exception Unix.Unix_error (_, _, _) -> conn.kill <- true
-
-let accept_budget = 64
-let accept_backoff_base_ns = 50_000_000L (* 50 ms *)
-let accept_backoff_max_ns = 1_000_000_000L (* 1 s *)
-
-(* fd pressure (EMFILE/ENFILE) or an unexpected accept errno: take the
-   listener out of the select set for an exponentially growing window
-   instead of re-arming a doomed accept at poller speed. *)
-let accept_backoff t ~now =
-  Atomic.incr t.a_errors;
-  let step =
-    if Int64.compare t.backoff_ns 0L = 0 then accept_backoff_base_ns
-    else
-      let doubled = Int64.mul t.backoff_ns 2L in
-      if Int64.compare doubled accept_backoff_max_ns > 0 then accept_backoff_max_ns
-      else doubled
-  in
-  t.backoff_ns <- step;
-  t.backoff_until <- Int64.add now step;
-  Atomic.incr t.a_backoffs
-
-let rec accept_batch t budget =
-  if budget > 0
-     && (Atomic.get t.draining || Hashtbl.length t.conns < t.max_clients)
-  then
-    match sys_accept t with
-    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
-    | exception Unix.Unix_error (EINTR, _, _) -> accept_batch t budget
-    | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
-      accept_backoff t ~now:(Rt.Clock.now_ns ())
-    | exception Unix.Unix_error (e, _, _) ->
-      (* Unknown errno: one visible line and the same backoff — never a
-         silent hot loop. *)
-      Printf.eprintf "rtnet: accept failed: %s\n%!" (Unix.error_message e);
-      accept_backoff t ~now:(Rt.Clock.now_ns ())
-    | fd, _ ->
-      t.backoff_ns <- 0L;
-      if Atomic.get t.draining then begin
-        (* Arriving mid-drain: refused cleanly, counted. *)
-        (try Unix.close fd with Unix.Unix_error _ -> ());
-        Atomic.incr t.c_refused;
-        accept_batch t (budget - 1)
-      end
-      else begin
-        Unix.set_nonblock fd;
-        (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
-        let now = Rt.Clock.now_ns () in
-        let conn =
-          {
-            fd;
-            color = int_of_fd fd;
-            pending = "";
-            scan_hint = 0;
-            stop_parsing = false;
-            out = Buffer.create 512;
-            out_off = 0;
-            inflight = Atomic.make 0;
-            want_write = Atomic.make false;
-            flush_pending = Atomic.make false;
-            wants_close = Atomic.make false;
-            failed = Atomic.make false;
-            last_progress = Atomic.make now;
-            partial = Atomic.make false;
-            completed = Atomic.make false;
-            last_read_ns = now;
-            evicting = false;
-            eof = false;
-            kill = false;
-          }
-        in
-        Hashtbl.replace t.conns (int_of_fd fd) conn;
-        Atomic.incr t.c_accepted;
-        (* Arm the armor: the first deadline is the header-read one. *)
-        Wheel.schedule t.wheel (int_of_fd fd)
-          ~at:(Int64.add now (ns_of_seconds t.overload.header_deadline));
-        accept_batch t (budget - 1)
-      end
-
-let close_conn t conn =
-  (try sys_close t conn.fd with Unix.Unix_error _ -> ());
-  Hashtbl.remove t.conns (int_of_fd conn.fd);
-  Atomic.incr t.c_closed;
-  if conn.kill || Atomic.get conn.failed then Atomic.incr t.c_failed
+(* Poller-shard side. *)
 
 (* A connection is reapable once no event of its color is queued or
    executing and no output is pending — only then is closing the fd
@@ -487,6 +531,249 @@ let should_close ~draining conn =
   (conn.kill && Atomic.get conn.inflight = 0)
   || (reapable conn && (Atomic.get conn.wants_close || conn.eof || draining))
 
+let close_conn t sh conn =
+  Epoll.remove sh.ep conn.fd;
+  own_remove t conn.color sh.id;
+  (try sys_close t conn.fd with Unix.Unix_error _ -> ());
+  Hashtbl.remove sh.conns conn.color;
+  Atomic.incr sh.ctr.c_closed;
+  if conn.kill || Atomic.get conn.failed then Atomic.incr sh.ctr.c_failed;
+  let live = Atomic.fetch_and_add t.live (-1) - 1 in
+  (* The acceptor paused on the client cap: this close made room. *)
+  if Atomic.get t.listener_paused && live < t.max_clients then
+    wake_shard t.shards.(0)
+
+let maybe_close t sh conn =
+  if
+    (match Hashtbl.find_opt sh.conns conn.color with
+    | Some c -> c == conn
+    | None -> false)
+    && should_close ~draining:(Atomic.get t.draining) conn
+  then close_conn t sh conn
+
+(* Batched injection: readiness events accumulate on the shard and go
+   to the runtime as ONE gate decision + wakeup per wait return. List
+   order is preserved, so two events of one color keep wire order. *)
+let flush_batch t sh =
+  match sh.batch with
+  | [] -> ()
+  | batch ->
+    sh.batch <- [];
+    sh.batch_n <- 0;
+    let items =
+      List.rev_map (fun (conn, h, run) -> (conn.color, h, run)) batch
+    in
+    if not (Rt.Runtime.try_register_batch t.rt ~home:sh.id items) then
+      (* The runtime's shutdown gate refused the batch: these
+         connections cannot be served any more; close each cleanly
+         once its backlog drains. *)
+      List.iter
+        (fun (conn, _, _) ->
+          Atomic.decr conn.inflight;
+          Atomic.incr sh.ctr.r_inj_refused;
+          conn.kill <- true;
+          maybe_close t sh conn)
+        batch
+
+let batch_add sh conn handler run =
+  Atomic.incr conn.inflight;
+  sh.batch <- (conn, handler, run) :: sh.batch;
+  sh.batch_n <- sh.batch_n + 1
+
+(* Should the shard keep read interest on this connection? *)
+let want_read ~draining conn =
+  (not draining) && (not conn.eof) && (not conn.kill) && (not conn.evicting)
+  && not (Atomic.get conn.wants_close)
+
+let set_interest sh conn ~read ~write =
+  if read <> conn.armed_read || write <> conn.armed_write then begin
+    (try Epoll.modify sh.ep conn.fd ~read ~write ~edge:true
+     with Unix.Unix_error _ -> ());
+    conn.armed_read <- read;
+    conn.armed_write <- write
+  end
+
+(* Attention: a handler finished touching [conn]. Recompute interest —
+   and when output is stalled with no flush in flight, force a re-MOD
+   even if the mask is unchanged: on the epoll backend MOD re-arms the
+   edge (a writable edge consumed while a flush was already running
+   would otherwise be lost), on the poll backend level semantics make
+   it free. *)
+let attend_conn t sh conn =
+  let draining = Atomic.get t.draining in
+  let rd = want_read ~draining conn in
+  let wr =
+    (not conn.kill)
+    && Atomic.get conn.want_write
+    && not (Atomic.get conn.flush_pending)
+  in
+  if wr then begin
+    (try Epoll.modify sh.ep conn.fd ~read:rd ~write:true ~edge:true
+     with Unix.Unix_error _ -> ());
+    conn.armed_read <- rd;
+    conn.armed_write <- true
+  end
+  else set_interest sh conn ~read:rd ~write:false;
+  maybe_close t sh conn
+
+(* Edge-triggered read discipline: drain until EAGAIN or EOF. The
+   budget bounds one connection's share of a lap; on exhaustion a MOD
+   re-arms the edge so leftover bytes re-report next lap. Each chunk
+   rides its own pooled buffer into a colored read event. *)
+let read_budget = 32
+
+let read_conn t sh conn =
+  let rec go budget =
+    if budget = 0 then
+      (try
+         Epoll.modify sh.ep conn.fd ~read:true ~write:conn.armed_write
+           ~edge:true
+       with Unix.Unix_error _ -> ())
+    else begin
+      let buf = Bufpool.checkout sh.pool in
+      match sys_read t conn.fd buf 0 (Bytes.length buf) with
+      | 0 ->
+        Bufpool.recycle sh.pool buf;
+        conn.eof <- true
+      | n ->
+        conn.last_read_ns <- Rt.Clock.now_ns ();
+        batch_add sh conn t.h_read (on_chunk t conn buf n);
+        go (budget - 1)
+      | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) ->
+        Bufpool.recycle sh.pool buf;
+        (* An *injected* EAGAIN can end the drain with real bytes still
+           buffered — and the consumed edge would never re-fire. Re-arm
+           so the kernel re-reports a level that still holds; skipped on
+           passthrough, where EAGAIN is truthful. *)
+        if Rt.Faults.is_active t.faults then
+          (try
+             Epoll.modify sh.ep conn.fd ~read:true ~write:conn.armed_write
+               ~edge:true
+           with Unix.Unix_error _ -> ())
+      | exception Unix.Unix_error (EINTR, _, _) ->
+        Bufpool.recycle sh.pool buf;
+        go (budget - 1)
+      | exception Unix.Unix_error (_, _, _) ->
+        Bufpool.recycle sh.pool buf;
+        conn.kill <- true
+    end
+  in
+  go read_budget
+
+let accept_budget = 64
+let accept_backoff_base_ns = 50_000_000L (* 50 ms *)
+let accept_backoff_max_ns = 1_000_000_000L (* 1 s *)
+
+(* fd pressure (EMFILE/ENFILE) or an unexpected accept errno: take the
+   listener out of the interest set for an exponentially growing window
+   instead of re-arming a doomed accept at poller speed. *)
+let accept_backoff sh ~now =
+  Atomic.incr sh.ctr.a_errors;
+  let step =
+    if Int64.compare sh.backoff_ns 0L = 0 then accept_backoff_base_ns
+    else
+      let doubled = Int64.mul sh.backoff_ns 2L in
+      if Int64.compare doubled accept_backoff_max_ns > 0 then
+        accept_backoff_max_ns
+      else doubled
+  in
+  sh.backoff_ns <- step;
+  sh.backoff_until <- Int64.add now step;
+  Atomic.incr sh.ctr.a_backoffs
+
+(* Install an accepted fd on ITS OWNING shard: conn record, ownership
+   audit, epoll registration (edge-triggered read), header deadline.
+   Accepted/closed counters live on this shard, so the conservation
+   identity [conns_accepted = conns_closed] holds per shard. *)
+let install_conn t sh fd =
+  if Atomic.get t.draining then begin
+    (* Handed off just before the drain flag flipped: refuse cleanly. *)
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    Atomic.incr sh.ctr.c_refused;
+    Atomic.decr t.live
+  end
+  else begin
+    Unix.set_nonblock fd;
+    (try Unix.setsockopt fd Unix.TCP_NODELAY true with Unix.Unix_error _ -> ());
+    let now = Rt.Clock.now_ns () in
+    let conn =
+      {
+        fd;
+        color = int_of_fd fd;
+        shard = sh;
+        pending = "";
+        scan_hint = 0;
+        stop_parsing = false;
+        outq = Queue.create ();
+        wv_strs = Array.make writev_slices "";
+        wv_offs = Array.make writev_slices 0;
+        wv_lens = Array.make writev_slices 0;
+        inflight = Atomic.make 0;
+        want_write = Atomic.make false;
+        flush_pending = Atomic.make false;
+        wants_close = Atomic.make false;
+        failed = Atomic.make false;
+        last_progress = Atomic.make now;
+        partial = Atomic.make false;
+        completed = Atomic.make false;
+        last_read_ns = now;
+        evicting = false;
+        eof = false;
+        kill = false;
+        armed_read = true;
+        armed_write = false;
+      }
+    in
+    own_add t conn.color sh.id;
+    Hashtbl.replace sh.conns conn.color conn;
+    Atomic.incr sh.ctr.c_accepted;
+    (try Epoll.add sh.ep fd ~read:true ~write:false ~edge:true
+     with Unix.Unix_error _ -> conn.kill <- true);
+    (* Arm the armor: the first deadline is the header-read one. *)
+    Wheel.schedule sh.wheel conn.color
+      ~at:(Int64.add now (ns_of_seconds t.overload.header_deadline))
+  end
+
+(* Accept loop, acceptor shard (id 0) only: accept up to [budget],
+   spread fresh fds round-robin across the shards. The acceptor bumps
+   [live] before handing off, so the cap is enforced at accept time;
+   the owning shard does everything else. *)
+let rec accept_batch t sh budget =
+  if
+    budget > 0
+    && (Atomic.get t.draining || Atomic.get t.live < t.max_clients)
+  then
+    match sys_accept t with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> accept_batch t sh budget
+    | exception Unix.Unix_error ((EMFILE | ENFILE), _, _) ->
+      accept_backoff sh ~now:(Rt.Clock.now_ns ())
+    | exception Unix.Unix_error (e, _, _) ->
+      (* Unknown errno: one visible line and the same backoff — never a
+         silent hot loop. *)
+      Printf.eprintf "rtnet: accept failed: %s\n%!" (Unix.error_message e);
+      accept_backoff sh ~now:(Rt.Clock.now_ns ())
+    | fd, _ ->
+      sh.backoff_ns <- 0L;
+      if Atomic.get t.draining then begin
+        (* Arriving mid-drain: refused cleanly, counted. *)
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Atomic.incr sh.ctr.c_refused;
+        accept_batch t sh (budget - 1)
+      end
+      else begin
+        Atomic.incr t.live;
+        let nshards = Array.length t.shards in
+        let target = t.shards.(sh.rr mod nshards) in
+        sh.rr <- sh.rr + 1;
+        if target == sh then install_conn t sh fd
+        else begin
+          handoff_push target fd;
+          wake_shard target
+        end;
+        accept_batch t sh (budget - 1)
+      end
+
 (* ------------------------------------------------------------------ *)
 (* Deadline armor: evaluated lazily when the wheel fires a connection.
    Three clocks, checked in severity order: write progress (the peer
@@ -495,24 +782,27 @@ let should_close ~draining conn =
    idle (quiet close). If nothing expired, re-arm at the earliest
    applicable deadline. *)
 
-let evict t conn kind =
+let evict t sh conn kind =
   conn.evicting <- true;
-  Atomic.incr t.c_evicted;
+  Atomic.incr sh.ctr.c_evicted;
   match kind with
-  | `Stall -> conn.kill <- true
+  | `Stall ->
+    conn.kill <- true;
+    maybe_close t sh conn
   | `Idle ->
     Atomic.set conn.wants_close true;
-    wake t
-  | `Header -> inject t conn t.h_evict (on_evict t conn)
+    maybe_close t sh conn
+  | `Header -> batch_add sh conn t.h_evict (on_evict t conn)
 
-let check_deadlines t conn ~now =
+let check_deadlines t sh conn ~now =
   let ov = t.overload in
   let last_prog = Atomic.get conn.last_progress in
   let last_act = i64max conn.last_read_ns last_prog in
   let deadlines = ref [] in
   if Atomic.get conn.partial || not (Atomic.get conn.completed) then
     deadlines :=
-      (Int64.add last_act (ns_of_seconds ov.header_deadline), `Header) :: !deadlines
+      (Int64.add last_act (ns_of_seconds ov.header_deadline), `Header)
+      :: !deadlines
   else if
     Atomic.get conn.inflight = 0
     && (not (Atomic.get conn.want_write))
@@ -522,9 +812,10 @@ let check_deadlines t conn ~now =
       (Int64.add last_act (ns_of_seconds ov.idle_deadline), `Idle) :: !deadlines;
   if Atomic.get conn.want_write then
     deadlines :=
-      (Int64.add last_prog (ns_of_seconds ov.write_deadline), `Stall) :: !deadlines;
+      (Int64.add last_prog (ns_of_seconds ov.write_deadline), `Stall)
+      :: !deadlines;
   match List.find_opt (fun (at, _) -> Int64.compare at now <= 0) !deadlines with
-  | Some (_, kind) -> evict t conn kind
+  | Some (_, kind) -> evict t sh conn kind
   | None ->
     let at =
       match !deadlines with
@@ -537,19 +828,27 @@ let check_deadlines t conn ~now =
           (fun acc (a, _) -> if Int64.compare a acc < 0 then a else acc)
           Int64.max_int ds
     in
-    Wheel.schedule t.wheel conn.color ~at
+    Wheel.schedule sh.wheel conn.color ~at
 
-let drain_wake_pipe t =
-  let b = Bytes.create 64 in
+(* Satellite fix: the scratch lives on the shard, not a fresh
+   [Bytes.create 64] per wakeup lap. *)
+let drain_wake_pipe sh =
+  let b = sh.wake_buf in
+  let len = Bytes.length b in
   let rec go () =
-    match Unix.read t.wake_r b 0 64 with
+    match Unix.read sh.wake_r b 0 len with
     | n when n > 0 -> go ()
     | _ -> ()
     | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | EINTR), _, _) -> ()
   in
   go ()
 
-let poller_loop t =
+let shard_loop t sh =
+  let is_acceptor = sh.id = 0 in
+  Epoll.add sh.ep sh.wake_r ~read:true ~write:false ~edge:false;
+  (* The listener is level-triggered: a budget-bounded accept batch may
+     leave connections pending, and they must re-report. *)
+  let listening = ref false in
   let drain_started = ref None in
   let finished = ref false in
   while not !finished do
@@ -561,66 +860,119 @@ let poller_loop t =
       | None -> false
       | Some t0 -> Rt.Clock.elapsed_seconds ~since:t0 > t.drain_deadline
     in
-    let now = Rt.Clock.now_ns () in
-    let rds = ref [ t.wake_r ] and wrs = ref [] in
-    if (draining || Hashtbl.length t.conns < t.max_clients)
-       && Int64.compare now t.backoff_until >= 0
-    then rds := t.listen_fd :: !rds;
-    Hashtbl.iter
-      (fun _ c ->
-        if (not draining) && (not c.eof) && (not c.kill) && (not c.evicting)
-           && not (Atomic.get c.wants_close)
-        then rds := c.fd :: !rds;
-        if (not c.kill) && Atomic.get c.want_write
-           && not (Atomic.get c.flush_pending)
-        then wrs := c.fd :: !wrs)
-      t.conns;
-    (match sys_select t !rds !wrs 0.05 with
+    if is_acceptor then begin
+      let now = Rt.Clock.now_ns () in
+      let want =
+        Int64.compare now sh.backoff_until >= 0
+        && (draining || Atomic.get t.live < t.max_clients)
+      in
+      if want && not !listening then begin
+        Epoll.add sh.ep t.listen_fd ~read:true ~write:false ~edge:false;
+        listening := true
+      end
+      else if (not want) && !listening then begin
+        Epoll.remove sh.ep t.listen_fd;
+        listening := false
+      end;
+      Atomic.set t.listener_paused (not want)
+    end;
+    (match sys_wait t sh ~timeout_ms:50 with
     | exception Unix.Unix_error (_, _, _) ->
       (* EINTR (real or injected) — or a stray errno under chaos; the
-         next lap rebuilds the interest sets from scratch either way. *)
+         interest set is kernel-side, the next lap just waits again. *)
       ()
-    | readable, writable, _ ->
-      if List.memq t.wake_r readable then drain_wake_pipe t;
-      if List.memq t.listen_fd readable then accept_batch t accept_budget;
-      List.iter
-        (fun fd ->
-          if fd != t.wake_r && fd != t.listen_fd then
-            match Hashtbl.find_opt t.conns (int_of_fd fd) with
-            | Some conn when (not conn.kill) && not conn.evicting ->
-              read_conn t conn
-            | _ -> ())
-        readable;
-      List.iter
-        (fun fd ->
-          match Hashtbl.find_opt t.conns (int_of_fd fd) with
-          | Some conn
-            when (not conn.kill)
-                 && Atomic.get conn.want_write
-                 && not (Atomic.get conn.flush_pending) ->
-            Atomic.set conn.flush_pending true;
-            inject t conn t.h_flush (on_writable t conn)
-          | _ -> ())
-        writable);
+    | n ->
+      for i = 0 to n - 1 do
+        let fd = Epoll.ready_fd sh.ep i in
+        if fd = sh.wake_r then drain_wake_pipe sh
+        else if is_acceptor && fd = t.listen_fd then
+          accept_batch t sh accept_budget
+        else
+          match Hashtbl.find_opt sh.conns (int_of_fd fd) with
+          | None -> ()
+          | Some conn ->
+            let rd = Epoll.ready_readable sh.ep i || Epoll.ready_error sh.ep i in
+            let wr = Epoll.ready_writable sh.ep i in
+            if rd then begin
+              if want_read ~draining conn then read_conn t sh conn
+              else if conn.armed_read then
+                (* Not reading this connection any more: drop read
+                   interest so the level-triggered backend cannot spin
+                   on unconsumed bytes. *)
+                set_interest sh conn ~read:false ~write:conn.armed_write
+            end;
+            if wr then begin
+              (* Write interest is one-shot: consume it; the flush
+                 handler's completion attention re-arms if the output
+                 is still stalled. *)
+              if conn.armed_write then
+                set_interest sh conn ~read:conn.armed_read ~write:false;
+              if
+                (not conn.kill)
+                && Atomic.get conn.want_write
+                && not (Atomic.get conn.flush_pending)
+              then begin
+                Atomic.set conn.flush_pending true;
+                batch_add sh conn t.h_flush (on_writable t conn)
+              end
+            end;
+            if conn.eof || conn.kill then maybe_close t sh conn
+      done);
+    (* One runtime gate decision + wakeup for everything this wait
+       returned. *)
+    flush_batch t sh;
+    (* Install connections the acceptor handed us. *)
+    (match Atomic.get sh.handoff with
+    | [] -> ()
+    | _ ->
+      let fds = Atomic.exchange sh.handoff [] in
+      List.iter (install_conn t sh) (List.rev fds));
     (* Deadline armor: fire due wheel entries; stale entries (closed or
        recycled fds, moved deadlines) re-evaluate harmlessly. *)
     let now = Rt.Clock.now_ns () in
-    Wheel.advance t.wheel ~now ~fire:(fun key ->
-        match Hashtbl.find_opt t.conns key with
+    Wheel.advance sh.wheel ~now ~fire:(fun key ->
+        match Hashtbl.find_opt sh.conns key with
         | Some conn
           when (not conn.evicting) && (not conn.kill)
                && not (Atomic.get conn.wants_close) ->
-          check_deadlines t conn ~now
+          check_deadlines t sh conn ~now
         | _ -> ());
-    (* Reap. Collect first: closing mutates the table. *)
-    let doomed = ref [] in
-    Hashtbl.iter
-      (fun _ c -> if should_close ~draining c || past_deadline then doomed := c :: !doomed)
-      t.conns;
-    List.iter (close_conn t) !doomed;
-    if draining && Hashtbl.length t.conns = 0 then finished := true
+    flush_batch t sh;
+    (* Attention: connections whose handlers signalled a state change —
+       re-arm interest, reap if terminal. Replaces the old O(conns)
+       per-lap sweep. *)
+    (match Atomic.get sh.attn with
+    | [] -> ()
+    | _ ->
+      let fds = Atomic.exchange sh.attn [] in
+      List.iter
+        (fun key ->
+          match Hashtbl.find_opt sh.conns key with
+          | Some conn -> attend_conn t sh conn
+          | None -> ())
+        fds);
+    if draining then begin
+      (* Drain sweep (bounded laps: the wait timeout caps the cadence,
+         the drain deadline caps the total). *)
+      let doomed = ref [] in
+      Hashtbl.iter
+        (fun _ c ->
+          if should_close ~draining:true c || past_deadline then
+            doomed := c :: !doomed)
+        sh.conns;
+      List.iter
+        (fun c ->
+          if Hashtbl.mem sh.conns c.color then close_conn t sh c)
+        !doomed;
+      if
+        Hashtbl.length sh.conns = 0
+        && Atomic.get sh.handoff = []
+        && sh.batch_n = 0
+      then finished := true
+    end
   done;
-  (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+  Epoll.close sh.ep;
+  if is_acceptor then (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
 
@@ -648,15 +1000,25 @@ let default_app ~cache ~resp_404 (req : Httpkit.Request.t) =
   | Httpkit.Request.HEAD -> head_of_response full
   | _ -> full
 
-let create ~rt ?(max_clients = 1024) ?(backlog = 128) ?(max_request_bytes = 65_536)
-    ?(drain_deadline = 5.0) ?(overload = default_overload)
-    ?(faults = Rt.Faults.passthrough) ?app ~cache ~port () =
-  if max_clients < 1 then invalid_arg "Rtnet.Server.create: max_clients must be >= 1";
+let read_buf_len = 16_384
+
+let create ~rt ?(shards = 1) ?backend ?(max_clients = 1024) ?(backlog = 128)
+    ?(max_request_bytes = 65_536) ?(drain_deadline = 5.0)
+    ?(overload = default_overload) ?(faults = Rt.Faults.passthrough) ?app
+    ~cache ~port () =
+  if shards < 1 then invalid_arg "Rtnet.Server.create: shards must be >= 1";
+  if max_clients < 1 then
+    invalid_arg "Rtnet.Server.create: max_clients must be >= 1";
   if overload.header_deadline <= 0.0 || overload.idle_deadline <= 0.0
      || overload.write_deadline <= 0.0
   then invalid_arg "Rtnet.Server.create: overload deadlines must be > 0";
   if overload.shed_pending_hwm < 0 then
     invalid_arg "Rtnet.Server.create: shed_pending_hwm must be >= 0";
+  let backend =
+    match backend with
+    | Some b -> b
+    | None -> if Epoll.available then Epoll.Epoll else Epoll.Poll
+  in
   (* A dropped client mid-write must not kill the process. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let listen_fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
@@ -673,9 +1035,30 @@ let create ~rt ?(max_clients = 1024) ?(backlog = 128) ?(max_request_bytes = 65_5
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       raise e
   in
-  let wake_r, wake_w = Unix.pipe ~cloexec:true () in
-  Unix.set_nonblock wake_r;
-  Unix.set_nonblock wake_w;
+  let mk_shard id =
+    let wake_r, wake_w = Unix.pipe ~cloexec:true () in
+    Unix.set_nonblock wake_r;
+    Unix.set_nonblock wake_w;
+    {
+      id;
+      ep = Epoll.create ~backend ();
+      conns = Hashtbl.create 64;
+      wheel =
+        Wheel.create ~granularity_ns:50_000_000L ~now:(Rt.Clock.now_ns ()) ();
+      wake_r;
+      wake_w;
+      attn = Atomic.make [];
+      handoff = Atomic.make [];
+      pool = Bufpool.create ~buf_len:read_buf_len ();
+      wake_buf = Bytes.create 64;
+      ctr = make_counters ();
+      backoff_until = 0L;
+      backoff_ns = 0L;
+      rr = 0;
+      batch = [];
+      batch_n = 0;
+    }
+  in
   let resp_404 =
     Httpkit.Response.build ~status:Httpkit.Response.Not_found ~body:"not found" ()
   in
@@ -688,13 +1071,15 @@ let create ~rt ?(max_clients = 1024) ?(backlog = 128) ?(max_request_bytes = 65_5
     drain_deadline;
     overload;
     faults;
+    backend;
     listen_fd;
     bound_port;
-    wake_r;
-    wake_w;
-    conns = Hashtbl.create 64;
-    wheel =
-      Wheel.create ~granularity_ns:50_000_000L ~now:(Rt.Clock.now_ns ()) ();
+    shards = Array.init shards mk_shard;
+    live = Atomic.make 0;
+    listener_paused = Atomic.make false;
+    own_lock = Mutex.create ();
+    own_tbl = Hashtbl.create 64;
+    own_violations = Atomic.make 0;
     (* Declared cycles feed the time-left heuristic: a connection with
        a backlog of requests is worth stealing. *)
     h_read = Rt.Runtime.handler rt ~name:"net.read" ~declared_cycles:30_000 ();
@@ -718,29 +1103,22 @@ let create ~rt ?(max_clients = 1024) ?(backlog = 128) ?(max_request_bytes = 65_5
       Httpkit.Response.build ~status:Httpkit.Response.Service_unavailable
         ~keep_alive:false ~body:"service unavailable" ();
     draining = Atomic.make false;
-    c_accepted = Atomic.make 0;
-    c_refused = Atomic.make 0;
-    c_closed = Atomic.make 0;
-    c_failed = Atomic.make 0;
-    c_evicted = Atomic.make 0;
-    r_parsed = Atomic.make 0;
-    r_served = Atomic.make 0;
-    r_failed = Atomic.make 0;
-    r_malformed = Atomic.make 0;
-    r_too_large = Atomic.make 0;
-    r_shed = Atomic.make 0;
-    r_inj_refused = Atomic.make 0;
-    a_errors = Atomic.make 0;
-    a_backoffs = Atomic.make 0;
-    backoff_until = 0L;
-    backoff_ns = 0L;
-    read_buf = Bytes.create 16_384;
     lifecycle = Mutex.create ();
     state = Created;
-    poller = None;
+    pollers = [];
   }
 
 let port t = t.bound_port
+let shard_count t = Array.length t.shards
+let backend t = t.backend
+let ownership_violations t = Atomic.get t.own_violations
+
+let bufpool_stats t =
+  Array.fold_left
+    (fun (a, r) sh ->
+      let a', r' = Bufpool.stats sh.pool in
+      (a + a', r + r'))
+    (0, 0) t.shards
 
 let start t =
   Mutex.lock t.lifecycle;
@@ -752,7 +1130,9 @@ let start t =
   if not (Rt.Runtime.is_serving t.rt) then
     fail "Rtnet.Server.start: the runtime is not serving (call Rt.Runtime.start first)";
   t.state <- Started;
-  t.poller <- Some (Domain.spawn (fun () -> poller_loop t));
+  t.pollers <-
+    Array.to_list
+      (Array.map (fun sh -> Domain.spawn (fun () -> shard_loop t sh)) t.shards);
   Mutex.unlock t.lifecycle
 
 let close_quietly fd = try Unix.close fd with Unix.Unix_error _ -> ()
@@ -764,38 +1144,76 @@ let stop t =
   | Created ->
     t.state <- Stopped;
     close_quietly t.listen_fd;
-    close_quietly t.wake_r;
-    close_quietly t.wake_w
+    Array.iter
+      (fun sh ->
+        Epoll.close sh.ep;
+        close_quietly sh.wake_r;
+        close_quietly sh.wake_w)
+      t.shards
   | Started ->
     t.state <- Stopped;
     Atomic.set t.draining true;
-    wake t;
-    (match t.poller with Some d -> Domain.join d | None -> ());
-    t.poller <- None;
-    (* The poller closed every connection and the listener. Any handler
-       still unwinding its finally may touch the wake pipe, so wait for
-       the runtime to go quiescent before closing it (quiesce returns
-       immediately on a stopped or aborted runtime). *)
+    wake_all t;
+    List.iter Domain.join t.pollers;
+    t.pollers <- [];
+    (* The shards closed every connection, their epoll instances and
+       the listener. Any handler still unwinding its finally may touch
+       a wake pipe, so wait for the runtime to go quiescent before
+       closing them (quiesce returns immediately on a stopped or
+       aborted runtime). *)
     Rt.Runtime.quiesce t.rt;
-    close_quietly t.wake_r;
-    close_quietly t.wake_w);
+    Array.iter
+      (fun sh ->
+        close_quietly sh.wake_r;
+        close_quietly sh.wake_w)
+      t.shards);
   Mutex.unlock t.lifecycle
 
-let stats t =
+let stats_of_counters ~faults_injected c =
   {
-    conns_accepted = Atomic.get t.c_accepted;
-    conns_refused = Atomic.get t.c_refused;
-    conns_closed = Atomic.get t.c_closed;
-    conns_failed = Atomic.get t.c_failed;
-    conns_evicted = Atomic.get t.c_evicted;
-    reqs_parsed = Atomic.get t.r_parsed;
-    reqs_served = Atomic.get t.r_served;
-    reqs_failed = Atomic.get t.r_failed;
-    reqs_malformed = Atomic.get t.r_malformed;
-    reqs_too_large = Atomic.get t.r_too_large;
-    reqs_shed = Atomic.get t.r_shed;
-    injections_refused = Atomic.get t.r_inj_refused;
-    accept_errors = Atomic.get t.a_errors;
-    accept_backoffs = Atomic.get t.a_backoffs;
-    faults_injected = Rt.Faults.injected t.faults;
+    conns_accepted = Atomic.get c.c_accepted;
+    conns_refused = Atomic.get c.c_refused;
+    conns_closed = Atomic.get c.c_closed;
+    conns_failed = Atomic.get c.c_failed;
+    conns_evicted = Atomic.get c.c_evicted;
+    reqs_parsed = Atomic.get c.r_parsed;
+    reqs_served = Atomic.get c.r_served;
+    reqs_failed = Atomic.get c.r_failed;
+    reqs_malformed = Atomic.get c.r_malformed;
+    reqs_too_large = Atomic.get c.r_too_large;
+    reqs_shed = Atomic.get c.r_shed;
+    injections_refused = Atomic.get c.r_inj_refused;
+    accept_errors = Atomic.get c.a_errors;
+    accept_backoffs = Atomic.get c.a_backoffs;
+    faults_injected;
   }
+
+let shard_stats t =
+  Array.map (fun sh -> stats_of_counters ~faults_injected:0 sh.ctr) t.shards
+
+let stats t =
+  let add a b =
+    {
+      conns_accepted = a.conns_accepted + b.conns_accepted;
+      conns_refused = a.conns_refused + b.conns_refused;
+      conns_closed = a.conns_closed + b.conns_closed;
+      conns_failed = a.conns_failed + b.conns_failed;
+      conns_evicted = a.conns_evicted + b.conns_evicted;
+      reqs_parsed = a.reqs_parsed + b.reqs_parsed;
+      reqs_served = a.reqs_served + b.reqs_served;
+      reqs_failed = a.reqs_failed + b.reqs_failed;
+      reqs_malformed = a.reqs_malformed + b.reqs_malformed;
+      reqs_too_large = a.reqs_too_large + b.reqs_too_large;
+      reqs_shed = a.reqs_shed + b.reqs_shed;
+      injections_refused = a.injections_refused + b.injections_refused;
+      accept_errors = a.accept_errors + b.accept_errors;
+      accept_backoffs = a.accept_backoffs + b.accept_backoffs;
+      faults_injected = a.faults_injected + b.faults_injected;
+    }
+  in
+  let zero =
+    stats_of_counters ~faults_injected:(Rt.Faults.injected t.faults)
+      (make_counters ())
+  in
+  Array.fold_left (fun acc sh -> add acc (stats_of_counters ~faults_injected:0 sh.ctr)) zero
+    t.shards

@@ -1,20 +1,29 @@
 (** A real TCP front-end for the domain runtime — SWS's Figure 6 mapped
     onto {!Rt.Runtime} and actual sockets.
 
-    One poller/acceptor loop (its own domain, [Unix.select]) owns every
-    file descriptor: it accepts clients up to [max_clients] (the
-    paper's [Accept] cap), reads request bytes, and injects work into
-    the live runtime through {!Rt.Runtime.try_register} with the
-    connection's fd as the color — so one connection's requests stay
-    strictly ordered while distinct connections spread across the
-    worker domains via stealing.
+    [shards] poller domains split the fd space over {!Epoll}
+    (edge-triggered epoll on Linux, a poll(2) fallback elsewhere and
+    for parity testing): each shard owns a disjoint slice of
+    connections — its own epoll instance, timer wheel, read-buffer
+    pool and wake pipe — and does everything for its slice: waits,
+    reads, injects colored events ({!Rt.Runtime.try_register_batch},
+    one gate decision per wait return, the shard id as placement
+    hint), enforces deadlines, closes. Shard 0 additionally owns the
+    shared listener and hands accepted fds round-robin to the shards.
+    The old single-select front end's [FD_SETSIZE] (~1024 fd) ceiling
+    and O(conns) per-lap interest rebuild are gone. The connection fd
+    is the color, so one connection's requests stay strictly ordered
+    while distinct connections spread across the worker domains via
+    stealing.
 
-    Ownership boundary (see DESIGN.md §5e): every mutable field of a
-    connection record is touched only inside events of that
-    connection's color (parse state, output buffer), or only by the
-    poller (fd lifetime, readiness interest); the two sides talk
-    through a few atomics ([inflight], [want_write], [wants_close]).
-    The poller closes an fd only once no event of that connection is
+    Ownership boundary (see DESIGN.md §5e/§5g): every mutable field of
+    a connection record is touched only inside events of that
+    connection's color (parse state, output slice queue), or only by
+    the owning shard (fd lifetime, readiness interest); the two sides
+    talk through a few atomics ([inflight], [want_write],
+    [wants_close]) plus a per-shard attention stack (a handler that
+    changed connection state queues the fd for the shard's next lap).
+    The shard closes an fd only once no event of that connection is
     queued or executing, so a handler can never write into a recycled
     descriptor.
 
@@ -107,6 +116,8 @@ val default_overload : overload
 
 val create :
   rt:Rt.Runtime.t ->
+  ?shards:int ->
+  ?backend:Epoll.backend ->
   ?max_clients:int ->
   ?backlog:int ->
   ?max_request_bytes:int ->
@@ -120,36 +131,63 @@ val create :
   t
 (** Bind a listening socket on [port] ([0] picks an ephemeral port,
     read it back with {!port}) and prepare the serving state; no domain
-    is spawned yet. [app] maps a parsed request to complete response
+    is spawned yet. [shards] (default 1, must be >= 1) is the number of
+    poller shard domains; [backend] (default {!Epoll.Epoll} where
+    {!Epoll.available}, else {!Epoll.Poll}) selects the readiness
+    backend. [app] maps a parsed request to complete response
     bytes and may raise (the failure is contained); it defaults to a
     lookup in [cache] (the prebuilt-response Flash cache, see
     {!Httpkit.Response.prebuild_cache}) with 404 on miss and
     headers-only answers for [HEAD]. [max_clients] (default 1024) caps
-    simultaneous accepted connections; [max_request_bytes] (default
-    65536) bounds one request's header block (431 past it);
-    [drain_deadline] (default 5 s) bounds the graceful drain in
-    {!stop}; [overload] (default {!default_overload}) configures the
-    deadline/shedding armor; [faults] (default passthrough) is the
-    syscall fault plane. Deadlines must be positive,
-    [shed_pending_hwm >= 0]. Ignores [SIGPIPE] process-wide (a server
-    must). *)
+    simultaneous accepted connections across all shards;
+    [max_request_bytes] (default 65536) bounds one request's header
+    block (431 past it); [drain_deadline] (default 5 s) bounds the
+    graceful drain in {!stop}; [overload] (default
+    {!default_overload}) configures the deadline/shedding armor;
+    [faults] (default passthrough) is the syscall fault plane.
+    Deadlines must be positive, [shed_pending_hwm >= 0]. Ignores
+    [SIGPIPE] process-wide (a server must). *)
 
 val start : t -> unit
-(** Spawn the poller domain and begin serving. The runtime must already
-    be serving ({!Rt.Runtime.start}); raises [Invalid_argument]
-    otherwise, or if this server was already started or stopped. *)
+(** Spawn the poller shard domains and begin serving. The runtime must
+    already be serving ({!Rt.Runtime.start}); raises
+    [Invalid_argument] otherwise, or if this server was already
+    started or stopped. *)
 
 val port : t -> int
 (** The actually-bound TCP port. *)
 
+val shard_count : t -> int
+
+val backend : t -> Epoll.backend
+(** The readiness backend this server actually runs on. *)
+
 val stop : t -> unit
 (** Graceful drain: refuse new connections, let accepted requests
     complete and output buffers flush (bounded by [drain_deadline]),
-    close every connection and the listener, join the poller domain.
+    close every connection and the listener, join the shard domains.
     Does not stop the runtime — that is the caller's. Idempotent. *)
 
 val stats : t -> stats
-(** Conservation: [conns_accepted = conns_closed] after {!stop}, and
+(** Aggregate over the shards. Conservation:
+    [conns_accepted = conns_closed] after {!stop}, and
     [reqs_parsed = reqs_served + reqs_failed + reqs_shed] whenever
     every accepted request has run (e.g. after a graceful drain) —
     the invariants [melyctl rt chaos] asserts under fault injection. *)
+
+val shard_stats : t -> stats array
+(** Per-shard counters, index [i] for shard [i]. A connection is
+    accepted, served and closed by one shard, so the two conservation
+    identities above hold for every element as well as for the
+    {!stats} aggregate. [faults_injected] is plane-global and reported
+    only in the aggregate (0 here). *)
+
+val ownership_violations : t -> int
+(** fd-slice disjointness audit: incremented whenever a shard installs
+    an fd another shard still owns, or closes one it does not own.
+    Always 0 unless the sharding logic is broken; the tests assert
+    on it. *)
+
+val bufpool_stats : t -> int * int
+(** Summed [(allocated, reused)] read-buffer checkout counts across
+    the shards' {!Bufpool}s. *)

@@ -8,6 +8,11 @@
 
 type t = {
   slots : (int, int64) Hashtbl.t array;  (* key -> absolute deadline ns *)
+  overdue : (int, int64) Hashtbl.t;
+      (* entries scheduled at-or-behind the cursor's tick: their bucket
+         was already visited this revolution, so [advance] would only
+         find them a full revolution later (slots x granularity). They
+         go here instead and every [advance] checks them first. *)
   granularity_ns : int64;
   mutable cursor : int64;  (* last processed tick *)
 }
@@ -18,6 +23,7 @@ let create ?(slots = 128) ~granularity_ns ~now () =
     invalid_arg "Rtnet.Wheel.create: granularity_ns must be >= 1";
   {
     slots = Array.init slots (fun _ -> Hashtbl.create 8);
+    overdue = Hashtbl.create 8;
     granularity_ns;
     cursor = Int64.div now granularity_ns;
   }
@@ -26,9 +32,34 @@ let slot_of t at =
   Int64.to_int
     (Int64.rem (Int64.div at t.granularity_ns) (Int64.of_int (Array.length t.slots)))
 
-let schedule t key ~at = Hashtbl.replace t.slots.(slot_of t at) key at
+let schedule t key ~at =
+  let tick = Int64.div at t.granularity_ns in
+  if Int64.compare tick t.cursor <= 0 then begin
+    (* Already due (or due within the current tick): the cursor has
+       passed this bucket. Keep one entry per key: drop any stale slot
+       entry so a later fire cannot double-report. *)
+    Hashtbl.remove t.slots.(slot_of t at) key;
+    Hashtbl.replace t.overdue key at
+  end
+  else begin
+    Hashtbl.remove t.overdue key;
+    Hashtbl.replace t.slots.(slot_of t at) key at
+  end
 
 let advance t ~now ~fire =
+  (* Same-lap deadlines first: these were scheduled behind the cursor
+     and would otherwise wait a full revolution. *)
+  if Hashtbl.length t.overdue > 0 then begin
+    let due = ref [] in
+    Hashtbl.iter
+      (fun key at -> if Int64.compare at now <= 0 then due := key :: !due)
+      t.overdue;
+    List.iter
+      (fun key ->
+        Hashtbl.remove t.overdue key;
+        fire key)
+      !due
+  end;
   let tick = Int64.div now t.granularity_ns in
   let nslots = Array.length t.slots in
   let behind = Int64.sub tick t.cursor in
@@ -54,4 +85,6 @@ let advance t ~now ~fire =
   done;
   t.cursor <- tick
 
-let pending t = Array.fold_left (fun acc b -> acc + Hashtbl.length b) 0 t.slots
+let pending t =
+  Hashtbl.length t.overdue
+  + Array.fold_left (fun acc b -> acc + Hashtbl.length b) 0 t.slots

@@ -24,12 +24,18 @@ val schedule : t -> int -> at:int64 -> unit
 (** Arm (or re-arm) [key] to fire once [at] has passed. One live entry
     per key per bucket; re-scheduling the same key into a different
     bucket may leave a stale entry behind, which the fire callback must
-    tolerate (it re-evaluates and re-arms, so a stale fire is a no-op). *)
+    tolerate (it re-evaluates and re-arms, so a stale fire is a no-op).
+
+    A deadline at or behind the cursor's current tick goes to a
+    dedicated overdue set that the next {!advance} always visits — the
+    naive bucket placement would park it in a slot the cursor already
+    passed this revolution and fire it a full revolution
+    (slots × granularity) late. *)
 
 val advance : t -> now:int64 -> fire:(int -> unit) -> unit
 (** Process every tick between the previous [advance] and [now]: fire
-    and remove entries with [at <= now], keep the rest for a later
-    lap. *)
+    and remove entries with [at <= now] (overdue entries first), keep
+    the rest for a later lap. *)
 
 val pending : t -> int
 (** Entries currently armed (includes not-yet-collected stale ones). *)

@@ -69,11 +69,13 @@ let read_until_eof fd =
 
 let get path = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path
 
-let with_server ?(workers = 2) ?trace ?max_clients ?app body =
+let with_server ?(workers = 2) ?trace ?shards ?backend ?max_clients ?app body =
   let rt = Rt.Runtime.create ~workers ?trace () in
   let cache = cache () in
   Rt.Runtime.start rt;
-  let server = Rtnet.Server.create ~rt ?max_clients ?app ~cache ~port:0 () in
+  let server =
+    Rtnet.Server.create ~rt ?shards ?backend ?max_clients ?app ~cache ~port:0 ()
+  in
   Rtnet.Server.start server;
   Fun.protect
     ~finally:(fun () ->
@@ -287,10 +289,121 @@ let test_max_clients_cap () =
       Unix.close second;
       Alcotest.(check bool) "second waited for the slot" true (waited >= 0.3))
 
+(* The sharded front end under a torn-write concurrent load: every
+   connection lands on exactly one shard (round-robin hand-off from the
+   acceptor), both conservation identities hold per shard as well as in
+   aggregate, the per-shard counters sum to the aggregate, and the
+   fd-ownership audit saw no cross-shard touch. *)
+let test_sharded_conservation () =
+  let shards = 4 and conns = 32 and requests = 40 in
+  with_server ~workers:2 ~shards (fun _rt server cache ->
+      Alcotest.(check int) "shard count" shards (Rtnet.Server.shard_count server);
+      let r =
+        Rtnet.Loadgen.run ~port:(Rtnet.Server.port server) ~conns ~requests
+          ~pipeline:4 ~torn_every:6 ~concurrent:true ~close_last:true
+          ~targets:(targets cache) ()
+      in
+      let total = conns * requests in
+      Alcotest.(check int) "all byte-exact" total r.responses_ok;
+      Alcotest.(check int) "no mismatches" 0 r.mismatches;
+      Alcotest.(check int) "no failed conns" 0 r.failed_conns;
+      Alcotest.(check int) "all conns simultaneously open" conns
+        r.conns_open_peak;
+      Rtnet.Server.stop server;
+      let per = Rtnet.Server.shard_stats server in
+      Alcotest.(check int) "one stats row per shard" shards (Array.length per);
+      Array.iteri
+        (fun i (ss : Rtnet.Server.stats) ->
+          let name fmt = Printf.sprintf fmt i in
+          Alcotest.(check int)
+            (name "shard %d: round-robin gave it conns")
+            (conns / shards) ss.conns_accepted;
+          Alcotest.(check int)
+            (name "shard %d: accepted = closed")
+            ss.conns_accepted ss.conns_closed;
+          Alcotest.(check int)
+            (name "shard %d: parsed = served + failed + shed")
+            ss.reqs_parsed
+            (ss.reqs_served + ss.reqs_failed + ss.reqs_shed))
+        per;
+      let s = Rtnet.Server.stats server in
+      let sum f = Array.fold_left (fun a ss -> a + f ss) 0 per in
+      Alcotest.(check int) "shards sum to aggregate: accepted"
+        s.conns_accepted
+        (sum (fun (ss : Rtnet.Server.stats) -> ss.conns_accepted));
+      Alcotest.(check int) "shards sum to aggregate: closed" s.conns_closed
+        (sum (fun (ss : Rtnet.Server.stats) -> ss.conns_closed));
+      Alcotest.(check int) "shards sum to aggregate: parsed" s.reqs_parsed
+        (sum (fun (ss : Rtnet.Server.stats) -> ss.reqs_parsed));
+      Alcotest.(check int) "shards sum to aggregate: served" s.reqs_served
+        (sum (fun (ss : Rtnet.Server.stats) -> ss.reqs_served));
+      Alcotest.(check int) "aggregate conservation" s.conns_accepted
+        s.conns_closed;
+      Alcotest.(check int) "fd slices stayed disjoint" 0
+        (Rtnet.Server.ownership_violations server);
+      let allocated, reused = Rtnet.Server.bufpool_stats server in
+      Alcotest.(check bool) "read buffers were pooled" true (allocated > 0);
+      Alcotest.(check bool) "read buffers were reused" true (reused > 0))
+
+(* The poll(2) fallback must serve byte-for-byte what epoll serves:
+   same workload under both backends, same outcome. (On a platform
+   without epoll both halves run the fallback, which still proves the
+   level-triggered path.) *)
+let test_backend_parity () =
+  let conns = 8 and requests = 30 in
+  let run_with backend =
+    let got = ref None in
+    with_server ~workers:2 ~shards:2 ~backend (fun _rt server cache ->
+        Alcotest.(check bool) "backend honored" true
+          (Rtnet.Server.backend server = backend
+          || not Rtnet.Epoll.available);
+        let r =
+          Rtnet.Loadgen.run ~port:(Rtnet.Server.port server) ~conns ~requests
+            ~pipeline:4 ~torn_every:5 ~concurrent:true ~close_last:true
+            ~targets:(targets cache) ()
+        in
+        Rtnet.Server.stop server;
+        let s = Rtnet.Server.stats server in
+        got :=
+          Some
+            ( r.responses_ok,
+              r.mismatches,
+              r.failed_conns,
+              s.conns_accepted,
+              s.conns_closed,
+              s.reqs_parsed,
+              s.reqs_served ));
+    Option.get !got
+  in
+  let total = conns * requests in
+  let check_outcome label (ok, mism, failed, acc, closed, parsed, served) =
+    let name s = Printf.sprintf "%s: %s" label s in
+    Alcotest.(check int) (name "all byte-exact") total ok;
+    Alcotest.(check int) (name "no mismatches") 0 mism;
+    Alcotest.(check int) (name "no failed conns") 0 failed;
+    Alcotest.(check int) (name "accepted") conns acc;
+    Alcotest.(check int) (name "accepted = closed") acc closed;
+    Alcotest.(check int) (name "parsed") total parsed;
+    Alcotest.(check int) (name "served") total served
+  in
+  let poll_outcome = run_with Rtnet.Epoll.Poll in
+  check_outcome "poll" poll_outcome;
+  if Rtnet.Epoll.available then begin
+    let epoll_outcome = run_with Rtnet.Epoll.Epoll in
+    check_outcome "epoll" epoll_outcome;
+    Alcotest.(check bool) "identical observable outcome" true
+      (poll_outcome = epoll_outcome)
+  end
+
 let suite =
   [
     Alcotest.test_case "e2e: 5k pipelined torn requests, 4 workers" `Slow
       test_e2e_pipelined;
+    Alcotest.test_case
+      "sharded: per-shard conservation under torn concurrent load" `Quick
+      test_sharded_conservation;
+    Alcotest.test_case "sharded: epoll and poll backends serve identically"
+      `Quick test_backend_parity;
     Alcotest.test_case "lifecycle: server drain under traffic + fd conservation"
       `Quick test_server_stop_under_traffic;
     Alcotest.test_case "lifecycle: runtime stop under traffic" `Quick

@@ -67,12 +67,14 @@ let read_until_eof fd =
 
 let get path = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path
 
-let with_server ?(workers = 2) ?trace ?max_request_bytes ?overload ?faults body =
+let with_server ?(workers = 2) ?trace ?shards ?max_request_bytes ?overload
+    ?faults body =
   let rt = Rt.Runtime.create ~workers ?trace () in
   let cache = cache () in
   Rt.Runtime.start rt;
   let server =
-    Rtnet.Server.create ~rt ?max_request_bytes ?overload ?faults ~cache ~port:0 ()
+    Rtnet.Server.create ~rt ?shards ?max_request_bytes ?overload ?faults ~cache
+      ~port:0 ()
   in
   Rtnet.Server.start server;
   Fun.protect
@@ -146,6 +148,34 @@ let test_wheel_fires () =
   Alcotest.(check int) "far entry still pending" 1 (Rtnet.Wheel.pending w);
   Rtnet.Wheel.advance w ~now:100_100L ~fire;
   Alcotest.(check (list int)) "far entry eventually fires" [ 3; 2; 1 ] !fired;
+  Alcotest.(check int) "drained" 0 (Rtnet.Wheel.pending w)
+
+(* Regression: an entry scheduled at or behind the cursor's tick used
+   to land in a slot the cursor had already passed this lap, firing one
+   whole revolution (slots x granularity) late. It must fire on the
+   very next advance instead. *)
+let test_wheel_same_lap () =
+  let w = Rtnet.Wheel.create ~granularity_ns:10L ~now:1_000L () in
+  (* Move the cursor into the middle of the lap first. *)
+  Rtnet.Wheel.advance w ~now:1_500L ~fire:(fun _ -> ());
+  (* Deadline already in the past, and one exactly at the cursor. *)
+  Rtnet.Wheel.schedule w 1 ~at:1_200L;
+  Rtnet.Wheel.schedule w 2 ~at:1_500L;
+  Alcotest.(check int) "both pending" 2 (Rtnet.Wheel.pending w);
+  let fired = ref [] in
+  Rtnet.Wheel.advance w ~now:1_510L ~fire:(fun k -> fired := k :: !fired);
+  Alcotest.(check bool) "overdue entries fire on the next advance" true
+    (List.sort compare !fired = [ 1; 2 ]);
+  Alcotest.(check int) "nothing left over" 0 (Rtnet.Wheel.pending w);
+  (* Rescheduling an overdue key ahead moves it out of the overdue set. *)
+  Rtnet.Wheel.schedule w 7 ~at:1_000L;
+  Rtnet.Wheel.schedule w 7 ~at:2_000L;
+  Alcotest.(check int) "one pending after reschedule" 1 (Rtnet.Wheel.pending w);
+  let fired2 = ref [] in
+  Rtnet.Wheel.advance w ~now:1_900L ~fire:(fun k -> fired2 := k :: !fired2);
+  Alcotest.(check (list int)) "not early" [] !fired2;
+  Rtnet.Wheel.advance w ~now:2_010L ~fire:(fun k -> fired2 := k :: !fired2);
+  Alcotest.(check (list int)) "fires at the rescheduled deadline" [ 7 ] !fired2;
   Alcotest.(check int) "drained" 0 (Rtnet.Wheel.pending w)
 
 (* ------------------------------------------------------------------ *)
@@ -291,7 +321,7 @@ let test_emfile_recovery () =
    and a clean flight-recorder replay. *)
 let test_mini_chaos_conservation () =
   let faults = Rt.Faults.seeded ~plan:Rt.Faults.hostile_plan 42 in
-  with_server ~workers:2 ~trace:Rt.Trace.default_config ~faults
+  with_server ~workers:2 ~shards:2 ~trace:Rt.Trace.default_config ~faults
     (fun rt server cache ->
       let r =
         Rtnet.Loadgen.run ~port:(Rtnet.Server.port server) ~conns:6 ~requests:40
@@ -306,6 +336,19 @@ let test_mini_chaos_conservation () =
       Alcotest.(check int) "accepted = closed" s.conns_accepted s.conns_closed;
       Alcotest.(check int) "parsed = served + failed + shed" s.reqs_parsed
         (s.reqs_served + s.reqs_failed + s.reqs_shed);
+      (* The identities hold on each shard even under injected faults. *)
+      Array.iteri
+        (fun i (ss : Rtnet.Server.stats) ->
+          Alcotest.(check int)
+            (Printf.sprintf "shard %d: accepted = closed" i)
+            ss.conns_accepted ss.conns_closed;
+          Alcotest.(check int)
+            (Printf.sprintf "shard %d: parsed = served + failed + shed" i)
+            ss.reqs_parsed
+            (ss.reqs_served + ss.reqs_failed + ss.reqs_shed))
+        (Rtnet.Server.shard_stats server);
+      Alcotest.(check int) "fd slices stayed disjoint under chaos" 0
+        (Rtnet.Server.ownership_violations server);
       Rt.Runtime.stop rt;
       Alcotest.(check int) "mutual exclusion held" 1
         (Rt.Runtime.max_concurrent_same_color rt);
@@ -321,6 +364,8 @@ let suite =
       test_fault_determinism;
     Alcotest.test_case "passthrough injects nothing" `Quick test_passthrough_inert;
     Alcotest.test_case "timer wheel fires due entries only" `Quick test_wheel_fires;
+    Alcotest.test_case "timer wheel: same-lap deadline fires without a revolution"
+      `Quick test_wheel_same_lap;
     Alcotest.test_case "overload: 503 shed at the high-water mark" `Quick
       test_shed_503;
     Alcotest.test_case "overload: 431 on oversized header block" `Quick
