@@ -253,7 +253,35 @@ let bench_rt_serve_injection ~workers ~events =
    traffic while the workers serve it. Events here are byte-exact HTTP
    responses, so events_per_sec is end-to-end req/s — the number the
    regression gate watches for the serving stack. *)
-let bench_rt_sharded_serve ~workers () =
+(* One blocking GET against the admin listener; returns the response
+   size so the scrape can't be optimized away. *)
+let scrape_once ~port path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "GET %s HTTP/1.1\r\nHost: b\r\nConnection: close\r\n\r\n" path
+      in
+      ignore (Unix.write_substring fd req 0 (String.length req));
+      let b = Bytes.create 65536 in
+      let total = ref 0 in
+      let eof = ref false in
+      while not !eof do
+        match Unix.read fd b 0 (Bytes.length b) with
+        | 0 -> eof := true
+        | n -> total := !total + n
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+      done;
+      !total)
+
+(* [scrape]: same serving benchmark, but with the admin plane enabled
+   and a sidecar domain polling GET /metrics at 10 Hz for the whole
+   run — the A/B gap vs. the unscraped entry is the cost of live
+   observation (renders + admin conns riding the same event loop). *)
+let bench_rt_sharded_serve ?(scrape = false) ~workers () =
   let shards = 2 and conns = 64 and requests = 100 and pipeline = 8 in
   let site = Rtnet.Loadgen.default_site ~files:8 ~file_bytes:1024 () in
   let cache = Httpkit.Response.prebuild_cache ~files:site in
@@ -261,13 +289,33 @@ let bench_rt_sharded_serve ~workers () =
   let rt = Rt.Runtime.create ~workers ~on_error:Rt.Runtime.Swallow () in
   Rt.Runtime.start rt;
   let server =
-    Rtnet.Server.create ~rt ~shards ~max_clients:(2 * conns) ~cache ~port:0 ()
+    Rtnet.Server.create ~rt ~shards ~max_clients:(2 * conns) ~cache ~port:0
+      ?admin_port:(if scrape then Some 0 else None) ()
   in
   Rtnet.Server.start server;
+  let stop_scraper = Atomic.make false in
+  let scraped = Atomic.make 0 in
+  let scraper =
+    if not scrape then None
+    else begin
+      let aport = Option.get (Rtnet.Server.admin_port server) in
+      Some
+        (Domain.spawn (fun () ->
+             while not (Atomic.get stop_scraper) do
+               (try
+                  if scrape_once ~port:aport "/metrics" > 0 then
+                    Atomic.incr scraped
+                with Unix.Unix_error _ -> ());
+               Unix.sleepf 0.1
+             done))
+    end
+  in
   let res =
     Rtnet.Loadgen.run ~port:(Rtnet.Server.port server) ~conns ~requests
       ~pipeline ~torn_every:0 ~concurrent:true ~close_last:true ~targets ()
   in
+  Atomic.set stop_scraper true;
+  Option.iter Domain.join scraper;
   Rtnet.Server.stop server;
   let parks =
     Array.fold_left
@@ -278,8 +326,10 @@ let bench_rt_sharded_serve ~workers () =
   Rt.Runtime.stop rt;
   if res.Rtnet.Loadgen.mismatches > 0 || res.Rtnet.Loadgen.failed_conns > 0 then
     failwith "rt_sharded_serve: response mismatch or failed connection";
+  if scrape && Atomic.get scraped = 0 then
+    failwith "rt_sharded_serve_scraped: the scraper never completed a scrape";
   {
-    rb_name = "rt_sharded_serve";
+    rb_name = (if scrape then "rt_sharded_serve_scraped" else "rt_sharded_serve");
     rb_workers = workers;
     rb_events = res.Rtnet.Loadgen.responses_ok;
     rb_seconds = res.Rtnet.Loadgen.seconds;
@@ -302,6 +352,10 @@ let run_rt_json path =
       bench_rt_hot_push_pop ~events:60_000 ();
       bench_rt_steal_storm ~workers ~events ();
       bench_rt_sharded_serve ~workers ();
+      (* Telemetry-overhead A/B: identical serving load with the admin
+         endpoint scraped at 10 Hz; compare events_per_sec against
+         rt_sharded_serve (target: within 5%, gate: 20%). *)
+      bench_rt_sharded_serve ~scrape:true ~workers ();
     ]
   in
   let buf = Buffer.create 512 in

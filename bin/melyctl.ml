@@ -258,11 +258,65 @@ let run_rt_trace workers events trace_out trace_cap histograms =
   flush stdout;
   status
 
+(* Exit reporting for [rt serve] is sourced from one final telemetry
+   snapshot — the same data the admin endpoint serves — so the SIGINT
+   path and the --duration path print identical books. *)
+let print_rt_summary_snap (snap : Rt.Telemetry.snapshot) rt ~workers ~seconds =
+  let table = Mstd.Table.create ~headers:[ "total"; "value" ] in
+  let add k v = Mstd.Table.add_row table [ k; v ] in
+  add "executed" (string_of_int snap.Rt.Telemetry.s_executed);
+  add "workers" (string_of_int workers);
+  add "wall time" (Mstd.Units.seconds seconds);
+  add "throughput"
+    (Printf.sprintf "%sK ev/s"
+       (Mstd.Units.kevents_per_sec
+          (float_of_int snap.Rt.Telemetry.s_executed /. seconds)));
+  add "steals" (string_of_int snap.Rt.Telemetry.s_steals);
+  add "steal rounds" (string_of_int snap.Rt.Telemetry.s_steal_attempts);
+  add "max same-color" (string_of_int (Rt.Runtime.max_concurrent_same_color rt));
+  add "handler errors" (string_of_int snap.Rt.Telemetry.s_errors);
+  print_string (Mstd.Table.render table)
+
+let print_rt_stats_snap (snap : Rt.Telemetry.snapshot) =
+  let table =
+    Mstd.Table.create
+      ~headers:
+        [
+          "worker"; "executed"; "steals in"; "steals out"; "parks"; "park time";
+          "busy time"; "inbox"; "qwait p50"; "qwait p99"; "service p99"; "sheds";
+          "evicts"; "errors";
+        ]
+  in
+  Array.iter
+    (fun (w : Rt.Telemetry.worker_snap) ->
+      let m = w.Rt.Telemetry.w_metrics in
+      Mstd.Table.add_row table
+        [
+          string_of_int w.Rt.Telemetry.w_id;
+          string_of_int m.Rt.Metrics.executed;
+          string_of_int m.Rt.Metrics.steals_in;
+          string_of_int m.Rt.Metrics.steals_out;
+          string_of_int m.Rt.Metrics.parks;
+          Mstd.Units.seconds m.Rt.Metrics.park_seconds;
+          Mstd.Units.duration_ns (float_of_int w.Rt.Telemetry.w_service_sum_ns);
+          string_of_int w.Rt.Telemetry.w_inbox_depth;
+          Mstd.Units.duration_ns (Mstd.Histogram.quantile w.Rt.Telemetry.w_qwait 0.5);
+          Mstd.Units.duration_ns (Mstd.Histogram.quantile w.Rt.Telemetry.w_qwait 0.99);
+          Mstd.Units.duration_ns
+            (Mstd.Histogram.quantile w.Rt.Telemetry.w_service 0.99);
+          string_of_int m.Rt.Metrics.sheds;
+          string_of_int m.Rt.Metrics.evictions;
+          string_of_int m.Rt.Metrics.errors;
+        ])
+    snap.Rt.Telemetry.s_workers;
+  print_string (Mstd.Table.render table)
+
 (* Serve real TCP traffic: the rtnet poller owns the sockets and the
    worker domains run the fd-colored handlers (paper Figure 6). Runs
    until --duration elapses or SIGINT/SIGTERM, then drains, replays the
    flight-recorder trace, and exits nonzero on any invariant violation. *)
-let run_rt_serve workers shards port max_clients duration files file_bytes trace_out =
+let run_rt_serve workers shards port max_clients duration files file_bytes trace_out
+    admin_port =
   if workers < 1 then (
     Printf.eprintf "melyctl: --workers must be >= 1 (got %d)\n" workers;
     exit 2);
@@ -281,6 +335,11 @@ let run_rt_serve workers shards port max_clients duration files file_bytes trace
   if file_bytes < 1 then (
     Printf.eprintf "melyctl: --file-bytes must be >= 1 (got %d)\n" file_bytes;
     exit 2);
+  (match admin_port with
+  | Some p when p < 0 || p > 65535 ->
+    Printf.eprintf "melyctl: --admin-port must be in 0..65535 (got %d)\n" p;
+    exit 2
+  | _ -> ());
   let site = Rtnet.Loadgen.default_site ~files ~file_bytes () in
   let cache = Httpkit.Response.prebuild_cache ~files:site in
   let rt =
@@ -291,7 +350,7 @@ let run_rt_serve workers shards port max_clients duration files file_bytes trace
   let server =
     Rtnet.Server.create ~rt ~shards
       ~backlog:(min 4096 (max 128 max_clients))
-      ~cache ~max_clients ~port ()
+      ~cache ~max_clients ~port ?admin_port ()
   in
   Rtnet.Server.start server;
   Printf.printf
@@ -303,6 +362,13 @@ let run_rt_serve workers shards port max_clients duration files file_bytes trace
     | Rtnet.Epoll.Epoll -> "epoll"
     | Rtnet.Epoll.Poll -> "poll")
     max_clients;
+  (match Rtnet.Server.admin_port server with
+  | Some ap ->
+    Printf.printf
+      "telemetry on 127.0.0.1:%d (GET /metrics, /stats.json, /healthz — try \
+       melyctl rt top --port %d)\n%!"
+      ap ap
+  | None -> ());
   let stop_flag = Atomic.make false in
   let handle _ = Atomic.set stop_flag true in
   Sys.set_signal Sys.sigint (Sys.Signal_handle handle);
@@ -315,7 +381,13 @@ let run_rt_serve workers shards port max_clients duration files file_bytes trace
     try Unix.sleepf 0.05 with Unix.Unix_error (EINTR, _, _) -> ()
   done;
   let seconds = Rt.Clock.elapsed_seconds ~since:t0 in
+  if Atomic.get stop_flag then Printf.printf "signal received, draining\n%!";
   Rtnet.Server.stop server;
+  (* Close the books with one final telemetry snapshot, taken after the
+     drain (so every accepted request has executed) and before the
+     runtime stops — both exit paths report from the same source the
+     admin endpoint serves. *)
+  let snap = Rt.Runtime.telemetry_snapshot rt in
   Rt.Runtime.stop rt;
   let s = Rtnet.Server.stats server in
   let table = Mstd.Table.create ~headers:[ "server"; "value" ] in
@@ -336,27 +408,25 @@ let run_rt_serve workers shards port max_clients duration files file_bytes trace
   add "accept backoffs" s.Rtnet.Server.accept_backoffs;
   print_string (Mstd.Table.render table);
   let shard_stats = Rtnet.Server.shard_stats server in
-  if Array.length shard_stats > 1 then begin
-    let st =
-      Mstd.Table.create
-        ~headers:[ "shard"; "accepted"; "closed"; "parsed"; "served"; "shed" ]
-    in
-    Array.iteri
-      (fun i (ss : Rtnet.Server.stats) ->
-        Mstd.Table.add_row st
-          [
-            string_of_int i;
-            string_of_int ss.Rtnet.Server.conns_accepted;
-            string_of_int ss.Rtnet.Server.conns_closed;
-            string_of_int ss.Rtnet.Server.reqs_parsed;
-            string_of_int ss.Rtnet.Server.reqs_served;
-            string_of_int ss.Rtnet.Server.reqs_shed;
-          ])
-      shard_stats;
-    print_string (Mstd.Table.render st)
-  end;
-  print_rt_summary rt ~workers ~seconds;
-  print_rt_stats rt;
+  let st =
+    Mstd.Table.create
+      ~headers:[ "shard"; "accepted"; "closed"; "parsed"; "served"; "shed" ]
+  in
+  Array.iteri
+    (fun i (ss : Rtnet.Server.stats) ->
+      Mstd.Table.add_row st
+        [
+          string_of_int i;
+          string_of_int ss.Rtnet.Server.conns_accepted;
+          string_of_int ss.Rtnet.Server.conns_closed;
+          string_of_int ss.Rtnet.Server.reqs_parsed;
+          string_of_int ss.Rtnet.Server.reqs_served;
+          string_of_int ss.Rtnet.Server.reqs_shed;
+        ])
+    shard_stats;
+  print_string (Mstd.Table.render st);
+  print_rt_summary_snap snap rt ~workers ~seconds;
+  print_rt_stats_snap snap;
   let tr = Option.get (Rt.Runtime.trace rt) in
   print_rt_latencies tr;
   let status =
@@ -369,6 +439,22 @@ let run_rt_serve workers shards port max_clients duration files file_bytes trace
             ss.Rtnet.Server.conns_accepted <> ss.Rtnet.Server.conns_closed)
           shard_stats
       in
+      let tele_exec =
+        Array.fold_left
+          (fun acc (w : Rt.Telemetry.worker_snap) ->
+            acc + w.Rt.Telemetry.w_metrics.Rt.Metrics.executed)
+          0 snap.Rt.Telemetry.s_workers
+      in
+      let tele_hist =
+        Array.fold_left
+          (fun acc (w : Rt.Telemetry.worker_snap) ->
+            acc + Mstd.Histogram.count w.Rt.Telemetry.w_qwait)
+          0 snap.Rt.Telemetry.s_workers
+      in
+      let tele_bad =
+        tele_exec <> snap.Rt.Telemetry.s_executed
+        || tele_hist <> snap.Rt.Telemetry.s_executed
+      in
       if Rtnet.Server.ownership_violations server > 0 then begin
         Printf.eprintf "fd ownership violation: %d cross-shard fd touches\n"
           (Rtnet.Server.ownership_violations server);
@@ -378,7 +464,19 @@ let run_rt_serve workers shards port max_clients duration files file_bytes trace
         Printf.eprintf "per-shard conservation violation (accepted <> closed)\n";
         1
       end
-      else if s.Rtnet.Server.conns_accepted = s.Rtnet.Server.conns_closed then 0
+      else if tele_bad then begin
+        Printf.eprintf
+          "telemetry conservation violation: executed %d, per-worker sum %d, \
+           histogram count %d\n"
+          snap.Rt.Telemetry.s_executed tele_exec tele_hist;
+        1
+      end
+      else if s.Rtnet.Server.conns_accepted = s.Rtnet.Server.conns_closed then begin
+        Printf.printf
+          "telemetry: executed %d = per-worker sum = queue-wait histogram count OK\n"
+          snap.Rt.Telemetry.s_executed;
+        0
+      end
       else begin
         Printf.eprintf "conservation violation: %d accepted but %d closed\n"
           s.Rtnet.Server.conns_accepted s.Rtnet.Server.conns_closed;
@@ -438,6 +536,209 @@ let run_rt_loadgen port conns requests pipeline torn_every client_domains files
     && res.Rtnet.Loadgen.responses_ok = conns * requests
   then 0
   else 1
+
+(* Minimal blocking HTTP/1.1 GET over loopback, for the admin plane:
+   Connection: close, read to EOF, split head from body. Returns
+   (status code, body). *)
+let admin_get ~port path =
+  let fd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+    (fun () ->
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      let req =
+        Printf.sprintf
+          "GET %s HTTP/1.1\r\nHost: 127.0.0.1\r\nConnection: close\r\n\r\n" path
+      in
+      let off = ref 0 in
+      while !off < String.length req do
+        off := !off + Unix.write_substring fd req !off (String.length req - !off)
+      done;
+      let buf = Buffer.create 65536 in
+      let chunk = Bytes.create 65536 in
+      let eof = ref false in
+      while not !eof do
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> eof := true
+        | n -> Buffer.add_subbytes buf chunk 0 n
+        | exception Unix.Unix_error (EINTR, _, _) -> ()
+      done;
+      let raw = Buffer.contents buf in
+      let code =
+        match String.index_opt raw ' ' with
+        | Some sp when String.length raw >= sp + 4 ->
+          int_of_string (String.sub raw (sp + 1) 3)
+        | _ -> failwith "malformed HTTP response"
+      in
+      let rec find_body i =
+        if i + 3 >= String.length raw then String.length raw
+        else if
+          raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+          && raw.[i + 3] = '\n'
+        then i + 4
+        else find_body (i + 1)
+      in
+      let b = find_body 0 in
+      (code, String.sub raw b (String.length raw - b)))
+
+(* One frame of the [rt top] dashboard: parse /stats.json, diff against
+   the previous frame for rates, render per-worker rows, the steal
+   matrix and the per-shard connection table. *)
+let render_top j prev ~interval ~tty =
+  let open Mstd.Json in
+  let runtime = member_exn "runtime" j in
+  let net = member_exn "net" j in
+  let workers = get_list "workers" j in
+  let shards = get_list "shards" net in
+  let prev_workers = match prev with None -> [] | Some p -> get_list "workers" p in
+  let prev_of id =
+    List.find_opt (fun w -> get_int "id" w = id) prev_workers
+  in
+  let delta w field =
+    match prev_of (get_int "id" w) with
+    | None -> None
+    | Some pw -> Some (get_int field w - get_int field pw)
+  in
+  if tty then print_string "\027[H\027[2J";
+  let draining = to_bool (member_exn "draining" net) in
+  let exec = get_int "executed" runtime in
+  let rate =
+    match prev with
+    | None -> ""
+    | Some p ->
+      let d = exec - get_int "executed" (member_exn "runtime" p) in
+      Printf.sprintf ", %.0f ev/s" (float_of_int d /. interval)
+  in
+  Printf.printf "mely rt top — %s:%d, epoch %d%s\n"
+    (get_str "backend" net) (get_int "port" net) (get_int "epoch" j)
+    (if draining then "  [DRAINING]" else "");
+  Printf.printf
+    "runtime: executed %d%s, pending %d, active %d, steals %d, errors %d; net: \
+     %d live conns, %d faults injected\n"
+    exec rate (get_int "pending" runtime) (get_int "active" runtime)
+    (get_int "steals" runtime) (get_int "errors" runtime) (get_int "live" net)
+    (get_int "faults_injected" net);
+  let table =
+    Mstd.Table.create
+      ~headers:
+        [
+          "worker"; "executed"; "+exec"; "util"; "steals in"; "steals out";
+          "inbox"; "parked"; "win qwait p50"; "win qwait p99"; "win service p99";
+        ]
+  in
+  List.iter
+    (fun w ->
+      let win name q = get_float q (member_exn name w) in
+      let util =
+        match delta w "busy_ns" with
+        | None -> "-"
+        | Some d ->
+          Mstd.Units.percent
+            (Float.min 1.0 (float_of_int d /. (interval *. 1e9)))
+      in
+      Mstd.Table.add_row table
+        [
+          string_of_int (get_int "id" w);
+          string_of_int (get_int "executed" w);
+          (match delta w "executed" with
+          | None -> "-"
+          | Some d -> Printf.sprintf "+%d" d);
+          util;
+          string_of_int (get_int "steals_in" w);
+          string_of_int (get_int "steals_out" w);
+          string_of_int (get_int "inbox_depth" w);
+          (if to_bool (member_exn "parked" w) then "yes" else "no");
+          Mstd.Units.duration_ns (win "queue_wait_window" "p50_ns");
+          Mstd.Units.duration_ns (win "queue_wait_window" "p99_ns");
+          Mstd.Units.duration_ns (win "service_window" "p99_ns");
+        ])
+    workers;
+  print_string (Mstd.Table.render table);
+  let steals_total = get_int "steals" runtime in
+  if steals_total > 0 then begin
+    let ids = List.map (fun w -> string_of_int (get_int "id" w)) workers in
+    let mt = Mstd.Table.create ~headers:("thief\\victim" :: ids) in
+    List.iter
+      (fun w ->
+        let row =
+          List.map
+            (fun v ->
+              let n = to_int v in
+              if n = 0 then "." else string_of_int n)
+            (get_list "steals_from" w)
+        in
+        Mstd.Table.add_row mt (string_of_int (get_int "id" w) :: row))
+      workers;
+    print_string (Mstd.Table.render mt)
+  end;
+  let st =
+    Mstd.Table.create
+      ~headers:[ "shard"; "open"; "accepted"; "served"; "shed"; "evicted" ]
+  in
+  List.iter
+    (fun s ->
+      Mstd.Table.add_row st
+        [
+          string_of_int (get_int "id" s);
+          string_of_int (get_int "conns_open" s);
+          string_of_int (get_int "accepted" s);
+          string_of_int (get_int "served" s);
+          string_of_int (get_int "shed" s);
+          string_of_int (get_int "evicted" s);
+        ])
+    shards;
+  print_string (Mstd.Table.render st);
+  flush stdout
+
+(* Live terminal dashboard over a running server's admin endpoint:
+   poll /stats.json (rotating the streaming window each poll), render
+   per-worker utilization and window tails, the steal matrix and the
+   per-shard connection tables. Exits 0 on SIGINT or after --count
+   frames, 1 if the endpoint goes away or answers garbage. *)
+let run_rt_top port interval count =
+  if port < 1 || port > 65535 then (
+    Printf.eprintf "melyctl: --port must be in 1..65535 (got %d)\n" port;
+    exit 2);
+  if interval <= 0.0 then (
+    Printf.eprintf "melyctl: --interval must be > 0 (got %g)\n" interval;
+    exit 2);
+  if count < 0 then (
+    Printf.eprintf "melyctl: --count must be >= 0 (got %d)\n" count;
+    exit 2);
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let stop_flag = Atomic.make false in
+  (try
+     Sys.set_signal Sys.sigint
+       (Sys.Signal_handle (fun _ -> Atomic.set stop_flag true))
+   with Invalid_argument _ -> ());
+  let tty = (try Unix.isatty Unix.stdout with Unix.Unix_error _ -> false) in
+  let prev = ref None in
+  let frames = ref 0 in
+  let status = ref 0 in
+  let continue () =
+    (not (Atomic.get stop_flag)) && (count = 0 || !frames < count) && !status = 0
+  in
+  while continue () do
+    (match admin_get ~port "/stats.json?swap=1" with
+    | exception e ->
+      Printf.eprintf "melyctl: rt top: %s\n" (Printexc.to_string e);
+      status := 1
+    | 200, body -> (
+      match Mstd.Json.parse body with
+      | exception Mstd.Json.Parse_error m ->
+        Printf.eprintf "melyctl: rt top: bad /stats.json: %s\n" m;
+        status := 1
+      | j ->
+        render_top j !prev ~interval ~tty;
+        prev := Some j)
+    | code, _ ->
+      Printf.eprintf "melyctl: rt top: admin endpoint answered %d\n" code;
+      status := 1);
+    incr frames;
+    if continue () then
+      try Unix.sleepf interval with Unix.Unix_error (EINTR, _, _) -> ()
+  done;
+  !status
 
 (* Chaos drill: serve under a seeded deterministic fault schedule plus
    hostile clients, and assert the armor's books balance. Two phases:
@@ -735,6 +1036,14 @@ let rt_cmd =
       let doc = "Serve for this many seconds then drain (0 = until SIGINT/SIGTERM)." in
       Arg.(value & opt float 0.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
     in
+    let admin_port =
+      let doc =
+        "Also serve the telemetry plane on this loopback port (0 = ephemeral): \
+         $(b,GET /metrics) (Prometheus text), $(b,GET /stats.json) (full \
+         snapshot), $(b,GET /healthz) (200 accepting / 503 draining)."
+      in
+      Arg.(value & opt (some int) None & info [ "admin-port" ] ~docv:"PORT" ~doc)
+    in
     Cmd.v
       (Cmd.info "serve"
          ~doc:
@@ -744,7 +1053,31 @@ let rt_cmd =
       Term.(
         const run_rt_serve $ workers $ shards
         $ port ~default:8080 ~doc:"Port to listen on (0 = ephemeral)."
-        $ max_clients $ serve_duration $ files $ file_bytes $ trace_out)
+        $ max_clients $ serve_duration $ files $ file_bytes $ trace_out
+        $ admin_port)
+  in
+  let top_cmd =
+    let interval =
+      let doc = "Seconds between refreshes." in
+      Arg.(value & opt float 1.0 & info [ "interval" ] ~docv:"SECONDS" ~doc)
+    in
+    let cnt =
+      let doc = "Render this many frames then exit (0 = until SIGINT)." in
+      Arg.(value & opt int 0 & info [ "count" ] ~docv:"N" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "top"
+         ~doc:
+           "Refreshing terminal dashboard over a running $(b,melyctl rt serve \
+            --admin-port) instance: polls $(b,/stats.json), rotates the \
+            streaming window each poll, and renders per-worker utilization and \
+            window latency tails, the steal matrix and per-shard connection \
+            tables.")
+      Term.(
+        const run_rt_top
+        $ port ~default:9090
+            ~doc:"Admin port of the server (its --admin-port value)."
+        $ interval $ cnt)
   in
   let loadgen_cmd =
     let conns =
@@ -825,9 +1158,10 @@ let rt_cmd =
        ~doc:
          "Exercise the real multicore runtime and print per-worker stats \
           (subcommands: $(b,trace) runs the microbenchmark under the flight \
-          recorder, $(b,serve) serves real TCP traffic, $(b,loadgen) drives \
+          recorder, $(b,serve) serves real TCP traffic, $(b,top) watches a \
+          serving instance live over its admin endpoint, $(b,loadgen) drives \
           a server, $(b,chaos) runs the fault-injection drill).")
-    [ trace_cmd; serve_cmd; loadgen_cmd; chaos_cmd ]
+    [ trace_cmd; serve_cmd; top_cmd; loadgen_cmd; chaos_cmd ]
 
 let () =
   let doc = "Mely reproduction: workstealing for multicore event-driven systems" in

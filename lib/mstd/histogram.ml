@@ -13,7 +13,14 @@ let create ?(base = 2.0) ?(buckets = 64) () =
 let bucket_of t v =
   if v < 1.0 then 0
   else begin
-    let b = int_of_float (log v /. t.log_base) in
+    let b =
+      if t.base = 2.0 then
+        (* frexp gives the exact binary exponent: v = m * 2^e with
+           m in [0.5, 1), so floor(log2 v) = e - 1.  Avoids two [log]
+           calls per observation on the runtime's hot path. *)
+        snd (Float.frexp v) - 1
+      else int_of_float (log v /. t.log_base)
+    in
     if b >= Array.length t.counts then Array.length t.counts - 1 else max 0 b
   end
 
@@ -30,6 +37,18 @@ let merge ~into src =
 
 let count t = t.total
 let bucket_count t = Array.length t.counts
+
+let copy t =
+  (* Tolerates concurrent [add]s by a single writer: bucket counters only
+     grow, and [total] is recomputed from the copied buckets so the copy
+     always satisfies count = sum of buckets (no torn pair). *)
+  let counts = Array.init (Array.length t.counts) (fun i -> t.counts.(i)) in
+  let total = Array.fold_left ( + ) 0 counts in
+  { base = t.base; log_base = t.log_base; counts; total }
+
+let reset t =
+  Array.fill t.counts 0 (Array.length t.counts) 0;
+  t.total <- 0
 
 let bucket_range t i =
   let lo = if i = 0 then 0.0 else t.base ** float_of_int i in
@@ -75,3 +94,39 @@ let render t ~width =
       t.counts;
     Buffer.contents buf
   end
+
+module Windowed = struct
+  (* Cumulative histogram plus two window buffers swapped by a global
+     epoch counter.  Single-writer: only the owning thread calls [add];
+     readers copy buffers racily (see [copy]).  The writer zeroes the
+     buffer it is entering the first time it observes a new epoch, so a
+     reader of window [(epoch - 1) land 1] sees the last *closed* window.
+     A writer that recorded nothing during an epoch leaves its same-parity
+     buffer stale until its next observation — acceptable display skew for
+     an idle worker, never a torn count. *)
+  type outer = t
+
+  type t = {
+    cum : outer;
+    wins : outer array; (* length 2, indexed by epoch parity *)
+    mutable seen_epoch : int;
+  }
+
+  let create ?base ?buckets () =
+    {
+      cum = create ?base ?buckets ();
+      wins = [| create ?base ?buckets (); create ?base ?buckets () |];
+      seen_epoch = 0;
+    }
+
+  let add w ~epoch v =
+    if epoch <> w.seen_epoch then begin
+      reset w.wins.(epoch land 1);
+      w.seen_epoch <- epoch
+    end;
+    add w.cum v;
+    add w.wins.(epoch land 1) v
+
+  let cumulative w = copy w.cum
+  let window w ~epoch = copy w.wins.((epoch - 1) land 1)
+end

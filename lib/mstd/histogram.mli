@@ -21,6 +21,14 @@ val merge : into:t -> t -> unit
 val count : t -> int
 val bucket_count : t -> int
 
+val copy : t -> t
+(** Independent copy. Safe to call while the (single) writer is still
+    adding: bucket counters only grow, and the copy's total is recomputed
+    from the copied buckets so count = sum of buckets always holds. *)
+
+val reset : t -> unit
+(** Zero every bucket and the total. Writer-side only. *)
+
 val bucket_range : t -> int -> float * float
 (** Inclusive-exclusive value range covered by a bucket index. *)
 
@@ -37,3 +45,30 @@ val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 
 val render : t -> width:int -> string
 (** ASCII bar rendering of the non-empty region, for debug output. *)
+
+(** Epoch-swapped streaming windows.
+
+    A [Windowed.t] pairs a cumulative histogram with two window buffers
+    swapped by an external epoch counter (one [int Atomic.t] shared by
+    all writers, owned by the telemetry plane). The owning writer calls
+    [add ~epoch]; any reader may take [cumulative] or [window] copies at
+    any instant without stopping the writer. *)
+module Windowed : sig
+  type outer = t
+  type t
+
+  val create : ?base:float -> ?buckets:int -> unit -> t
+
+  val add : t -> epoch:int -> float -> unit
+  (** Record into the cumulative histogram and the current epoch's
+      window buffer. On the first add after an epoch change, the entering
+      buffer (parity [epoch land 1]) is zeroed. Single writer only. *)
+
+  val cumulative : t -> outer
+  (** Racy-read-safe copy of the all-time histogram. *)
+
+  val window : t -> epoch:int -> outer
+  (** Racy-read-safe copy of the last closed window, i.e. buffer
+      [(epoch - 1) land 1]. Stale (previous same-parity window) for a
+      writer that recorded nothing since the swap. *)
+end

@@ -1,0 +1,227 @@
+(* Minimal JSON: a value type, a serializer, and a recursive-descent
+   parser. Enough for /stats.json on the emit side (rtnet admin) and the
+   consume side (melyctl rt top) without external dependencies. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+let int i = Num (float_of_int i)
+
+(* -- serialization ------------------------------------------------------ *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+let number_to_string v =
+  if not (Float.is_finite v) then "0"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num v -> Buffer.add_string buf (number_to_string v)
+  | Str s -> escape_string buf s
+  | List items ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i item ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf item)
+        items;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          escape_string buf k;
+          Buffer.add_char buf ':';
+          write buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  write buf v;
+  Buffer.contents buf
+
+(* -- parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+type cursor = { src : string; mutable pos : int }
+
+let fail cur msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg cur.pos))
+let peek cur = if cur.pos < String.length cur.src then Some cur.src.[cur.pos] else None
+
+let advance cur = cur.pos <- cur.pos + 1
+
+let skip_ws cur =
+  while
+    cur.pos < String.length cur.src
+    && match cur.src.[cur.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    advance cur
+  done
+
+let expect cur c =
+  match peek cur with
+  | Some c' when c' = c -> advance cur
+  | _ -> fail cur (Printf.sprintf "expected %c" c)
+
+let parse_literal cur lit value =
+  if
+    cur.pos + String.length lit <= String.length cur.src
+    && String.sub cur.src cur.pos (String.length lit) = lit
+  then begin
+    cur.pos <- cur.pos + String.length lit;
+    value
+  end
+  else fail cur ("expected " ^ lit)
+
+let parse_string_raw cur =
+  expect cur '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek cur with
+    | None -> fail cur "unterminated string"
+    | Some '"' -> advance cur
+    | Some '\\' -> (
+        advance cur;
+        match peek cur with
+        | Some 'n' -> advance cur; Buffer.add_char buf '\n'; loop ()
+        | Some 't' -> advance cur; Buffer.add_char buf '\t'; loop ()
+        | Some 'r' -> advance cur; Buffer.add_char buf '\r'; loop ()
+        | Some 'b' -> advance cur; Buffer.add_char buf '\b'; loop ()
+        | Some 'f' -> advance cur; Buffer.add_char buf '\012'; loop ()
+        | Some 'u' ->
+            advance cur;
+            if cur.pos + 4 > String.length cur.src then fail cur "truncated \\u escape";
+            let hex = String.sub cur.src cur.pos 4 in
+            cur.pos <- cur.pos + 4;
+            let code = int_of_string ("0x" ^ hex) in
+            (* Non-BMP escapes are not needed by /stats.json; encode the
+               code point as UTF-8 for codes below 0x800, '?' otherwise. *)
+            if code < 0x80 then Buffer.add_char buf (Char.chr code)
+            else if code < 0x800 then begin
+              Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+              Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+            end
+            else Buffer.add_char buf '?';
+            loop ()
+        | Some c -> advance cur; Buffer.add_char buf c; loop ()
+        | None -> fail cur "unterminated escape")
+    | Some c -> advance cur; Buffer.add_char buf c; loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number cur =
+  let start = cur.pos in
+  let is_num_char c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  while cur.pos < String.length cur.src && is_num_char cur.src.[cur.pos] do
+    advance cur
+  done;
+  if cur.pos = start then fail cur "expected number";
+  match float_of_string_opt (String.sub cur.src start (cur.pos - start)) with
+  | Some v -> Num v
+  | None -> fail cur "malformed number"
+
+let rec parse_value cur =
+  skip_ws cur;
+  match peek cur with
+  | None -> fail cur "unexpected end of input"
+  | Some '{' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some '}' then begin advance cur; Obj [] end
+      else begin
+        let fields = ref [] in
+        let rec members () =
+          skip_ws cur;
+          let key = parse_string_raw cur in
+          skip_ws cur;
+          expect cur ':';
+          let v = parse_value cur in
+          fields := (key, v) :: !fields;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; members ()
+          | Some '}' -> advance cur
+          | _ -> fail cur "expected , or } in object"
+        in
+        members ();
+        Obj (List.rev !fields)
+      end
+  | Some '[' ->
+      advance cur;
+      skip_ws cur;
+      if peek cur = Some ']' then begin advance cur; List [] end
+      else begin
+        let items = ref [] in
+        let rec elements () =
+          let v = parse_value cur in
+          items := v :: !items;
+          skip_ws cur;
+          match peek cur with
+          | Some ',' -> advance cur; elements ()
+          | Some ']' -> advance cur
+          | _ -> fail cur "expected , or ] in array"
+        in
+        elements ();
+        List (List.rev !items)
+      end
+  | Some '"' -> Str (parse_string_raw cur)
+  | Some 't' -> parse_literal cur "true" (Bool true)
+  | Some 'f' -> parse_literal cur "false" (Bool false)
+  | Some 'n' -> parse_literal cur "null" Null
+  | Some _ -> parse_number cur
+
+let parse s =
+  let cur = { src = s; pos = 0 } in
+  let v = parse_value cur in
+  skip_ws cur;
+  if cur.pos <> String.length s then fail cur "trailing garbage";
+  v
+
+(* -- accessors ---------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let member_exn key v =
+  match member key v with
+  | Some x -> x
+  | None -> raise (Parse_error ("missing member " ^ key))
+
+let to_float = function Num v -> v | _ -> raise (Parse_error "expected number")
+let to_int v = int_of_float (to_float v)
+let to_str = function Str s -> s | _ -> raise (Parse_error "expected string")
+let to_bool = function Bool b -> b | _ -> raise (Parse_error "expected bool")
+let to_list = function List items -> items | _ -> raise (Parse_error "expected array")
+
+let get_int key v = to_int (member_exn key v)
+let get_float key v = to_float (member_exn key v)
+let get_str key v = to_str (member_exn key v)
+let get_list key v = to_list (member_exn key v)

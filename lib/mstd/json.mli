@@ -1,0 +1,39 @@
+(** Minimal JSON value type, serializer and parser.
+
+    Emit side: rtnet's [/stats.json] admin handler. Consume side:
+    [melyctl rt top]. No external dependencies. Numbers are floats
+    (ints round-trip exactly below 2^53). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val int : int -> t
+(** [int i] is [Num (float_of_int i)]. *)
+
+val to_string : t -> string
+(** Compact serialization (no whitespace). *)
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+(** Accessors: [member] is total; the [to_*]/[get_*] forms raise
+    {!Parse_error} on shape mismatch. *)
+
+val member : string -> t -> t option
+val member_exn : string -> t -> t
+val to_float : t -> float
+val to_int : t -> int
+val to_str : t -> string
+val to_bool : t -> bool
+val to_list : t -> t list
+val get_int : string -> t -> int
+val get_float : string -> t -> float
+val get_str : string -> t -> string
+val get_list : string -> t -> t list

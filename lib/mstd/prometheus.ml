@@ -1,0 +1,91 @@
+(* Minimal Prometheus text exposition (format 0.0.4) builder.
+
+   Only what the telemetry plane needs: counters, gauges and
+   log-bucketed histograms with labels. HELP/TYPE headers are emitted
+   once per metric family, on first use. *)
+
+type t = {
+  buf : Buffer.t;
+  mutable declared : string list; (* families already given HELP/TYPE *)
+}
+
+let create () = { buf = Buffer.create 4096; declared = [] }
+
+let escape_label_value v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let escape_help v =
+  let buf = Buffer.create (String.length v) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    v;
+  Buffer.contents buf
+
+let declare t ~name ~help ~kind =
+  if not (List.mem name t.declared) then begin
+    t.declared <- name :: t.declared;
+    Buffer.add_string t.buf
+      (Printf.sprintf "# HELP %s %s\n# TYPE %s %s\n" name (escape_help help) name kind)
+  end
+
+let labels_to_string = function
+  | [] -> ""
+  | labels ->
+      let parts =
+        List.map (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v)) labels
+      in
+      "{" ^ String.concat "," parts ^ "}"
+
+let number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.17g" v
+
+let sample t ~name ?(labels = []) v =
+  Buffer.add_string t.buf
+    (Printf.sprintf "%s%s %s\n" name (labels_to_string labels) (number v))
+
+let counter t ~name ~help ?(labels = []) v =
+  declare t ~name ~help ~kind:"counter";
+  sample t ~name ~labels (float_of_int v)
+
+let gauge t ~name ~help ?(labels = []) v =
+  declare t ~name ~help ~kind:"gauge";
+  sample t ~name ~labels v
+
+let histogram t ~name ~help ?(labels = []) h =
+  declare t ~name ~help ~kind:"histogram";
+  (* Cumulative buckets up to the highest non-empty one, then +Inf. *)
+  let last_nonempty = ref (-1) in
+  for i = 0 to Histogram.bucket_count h - 1 do
+    if Histogram.bucket_value h i > 0 then last_nonempty := i
+  done;
+  let running = ref 0 in
+  for i = 0 to !last_nonempty do
+    running := !running + Histogram.bucket_value h i;
+    let _, hi = Histogram.bucket_range h i in
+    sample t
+      ~name:(name ^ "_bucket")
+      ~labels:(labels @ [ ("le", number hi) ])
+      (float_of_int !running)
+  done;
+  sample t ~name:(name ^ "_bucket") ~labels:(labels @ [ ("le", "+Inf") ])
+    (float_of_int (Histogram.count h));
+  sample t ~name:(name ^ "_count") ~labels (float_of_int (Histogram.count h))
+
+let histogram_sum t ~name ?(labels = []) sum =
+  sample t ~name:(name ^ "_sum") ~labels sum
+
+let contents t = Buffer.contents t.buf

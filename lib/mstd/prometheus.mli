@@ -1,0 +1,25 @@
+(** Minimal Prometheus text exposition (format 0.0.4) builder.
+
+    Counters, gauges and log-bucketed histograms, with labels.
+    [# HELP]/[# TYPE] headers are emitted once per metric family, the
+    first time the family is used on a builder. *)
+
+type t
+
+val create : unit -> t
+
+val counter : t -> name:string -> help:string -> ?labels:(string * string) list -> int -> unit
+
+val gauge : t -> name:string -> help:string -> ?labels:(string * string) list -> float -> unit
+
+val histogram :
+  t -> name:string -> help:string -> ?labels:(string * string) list -> Histogram.t -> unit
+(** Renders cumulative [_bucket{le=...}] series up to the highest
+    non-empty bucket plus [le="+Inf"], and a [_count] sample. Emit the
+    matching [_sum] with {!histogram_sum} (tracked outside
+    {!Histogram.t} by the telemetry shards). *)
+
+val histogram_sum : t -> name:string -> ?labels:(string * string) list -> float -> unit
+(** [_sum] sample for a histogram family declared via {!histogram}. *)
+
+val contents : t -> string

@@ -7,6 +7,7 @@ type t = {
   visits : int Atomic.t;
   parks : int Atomic.t;
   park_seconds : float Atomic.t;
+  parked_now : bool Atomic.t;
   queue_hwm : int Atomic.t;
   errors : int Atomic.t;
   last_error : (string * string) option Atomic.t;
@@ -23,6 +24,7 @@ type snapshot = {
   visits : int;
   parks : int;
   park_seconds : float;
+  parked_now : bool;
   queue_hwm : int;
   errors : int;
   last_error : (string * string) option;
@@ -40,6 +42,7 @@ let create () : t =
     visits = Atomic.make 0;
     parks = Atomic.make 0;
     park_seconds = Atomic.make 0.0;
+    parked_now = Atomic.make false;
     queue_hwm = Atomic.make 0;
     errors = Atomic.make 0;
     last_error = Atomic.make None;
@@ -66,9 +69,12 @@ let on_error (t : t) ~handler ~exn =
    worker is parked while it still is); the wall-clock time is added
    after waking. Only the parking worker itself updates the float, so
    the read-modify-write is single-writer and safe. *)
-let on_park_begin (t : t) = Atomic.incr t.parks
+let on_park_begin (t : t) =
+  Atomic.incr t.parks;
+  Atomic.set t.parked_now true
 
 let on_park_end (t : t) ~seconds =
+  Atomic.set t.parked_now false;
   Atomic.set t.park_seconds (Atomic.get t.park_seconds +. seconds)
 
 let note_queue_len (t : t) len =
@@ -88,6 +94,7 @@ let snapshot (t : t) : snapshot =
     visits = Atomic.get t.visits;
     parks = Atomic.get t.parks;
     park_seconds = Atomic.get t.park_seconds;
+    parked_now = Atomic.get t.parked_now;
     queue_hwm = Atomic.get t.queue_hwm;
     errors = Atomic.get t.errors;
     last_error = Atomic.get t.last_error;

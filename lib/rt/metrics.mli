@@ -19,6 +19,7 @@ type snapshot = {
           per-visit trace spans this makes locality ordering auditable *)
   parks : int;  (** times the worker parked on the idle condition *)
   park_seconds : float;  (** total wall-clock time spent parked *)
+  parked_now : bool;  (** asleep on the idle condition right now *)
   queue_hwm : int;
       (** high-water mark of events queued at once in any single
           color-queue this worker published to (per-color length, not a

@@ -2,11 +2,12 @@ type handler = { name : string; declared : int; penalty : int }
 
 type ctx = { worker : int; register : ?color:int -> handler:handler -> (ctx -> unit) -> unit }
 
-(* [ev_seq]/[ev_enq] are flight-recorder stamps, written only when
-   tracing is on: the enqueue timestamp at the register call, the
-   sequence number under the color's shard lock at push time (so
-   per-color seq order equals per-color queue order — the property the
-   FIFO replay check relies on). Left at 0 when tracing is off. *)
+(* [ev_enq] is the enqueue timestamp, stamped on every register: the
+   telemetry plane's queue-wait histograms read it on every execute.
+   [ev_seq] is a flight-recorder stamp, written only when tracing is
+   on, under the color's shard lock at push time (so per-color seq
+   order equals per-color queue order — the property the FIFO replay
+   check relies on); left at 0 when tracing is off. *)
 type event = {
   ev_handler : handler;
   ev_color : int;
@@ -138,6 +139,7 @@ type t = {
   serving : bool Atomic.t;  (** workers persist across quiescence *)
   refused : int Atomic.t;  (** registers rejected by the shutdown gate *)
   error_count : int Atomic.t;  (** handler invocations that raised *)
+  telemetry : Telemetry.t;  (** always-on online stats plane *)
   trace : Trace.t option;  (** flight recorder; None = zero-cost disabled *)
   lifecycle_lock : Mutex.t;  (** serializes start/stop/run_until_idle *)
   mutable domains : unit Domain.t list;  (** serving-mode workers *)
@@ -210,6 +212,7 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
     serving = Atomic.make false;
     refused = Atomic.make 0;
     error_count = Atomic.make 0;
+    telemetry = Telemetry.create ~workers:n;
     trace = Option.map (fun cfg -> Trace.create ~workers:n cfg) trace;
     lifecycle_lock = Mutex.create ();
     domains = [];
@@ -385,7 +388,9 @@ let publish t ~self ?home ?(wake = true) event =
    (SC atomics), so it cannot declare the drain finished under our
    feet. *)
 let enqueue t ~internal ~self ?home event =
-  (match t.trace with Some _ -> event.ev_enq <- Clock.now_ns () | None -> ());
+  (* Always stamped: the telemetry plane's queue-wait histograms need
+     it even when the flight recorder is off. *)
+  event.ev_enq <- Clock.now_ns ();
   Atomic.incr t.pending;
   let gate = Atomic.get t.shutdown in
   if gate = aborted || (gate = draining && not internal) then begin
@@ -449,9 +454,7 @@ let try_register_batch t ?home items =
       List.iter
         (fun (color, handler, run) ->
           let event = make_event ~handler ~color run in
-          (match t.trace with
-          | Some _ -> event.ev_enq <- Clock.now_ns ()
-          | None -> ());
+          event.ev_enq <- Clock.now_ns ();
           publish t ~self:(-1) ?home ~wake:false event)
         items;
       wake_parked_n t k;
@@ -590,7 +593,7 @@ let execute t w (cq : color_queue) event =
           register_internal t ~self:w ~color ~handler run);
     }
   in
-  let t0 = match t.trace with None -> 0L | Some _ -> Clock.now_ns () in
+  let t0 = Clock.now_ns () in
   (match event.ev_run ctx with
   | () -> ()
   | exception e ->
@@ -598,6 +601,7 @@ let execute t w (cq : color_queue) event =
     Metrics.on_error t.states.(w).metrics ~handler:event.ev_handler.name
       ~exn:(Printexc.to_string e);
     (match t.on_error with Swallow -> () | Stop_runtime -> request_abort t));
+  let t1 = Clock.now_ns () in
   (* The span is stamped and recorded before [running] is released (and
      before the queue can be released, rotated or retired — all of that
      happens on this worker's next [next_event] call): everything inside
@@ -609,7 +613,10 @@ let execute t w (cq : color_queue) event =
   | Some tr ->
     Trace.record_exec tr ~worker:w ~handler:event.ev_handler.name
       ~color:event.ev_color ~seq:event.ev_seq ~enq_ns:event.ev_enq ~start_ns:t0
-      ~end_ns:(Clock.now_ns ()));
+      ~end_ns:t1);
+  Telemetry.on_exec t.telemetry ~worker:w
+    ~qwait_ns:(max 0 (Int64.to_int (Int64.sub t0 event.ev_enq)))
+    ~service_ns:(max 0 (Int64.to_int (Int64.sub t1 t0)));
   Atomic.decr cq.running;
   Atomic.incr t.executed;
   Metrics.on_execute t.states.(w).metrics
@@ -649,10 +656,9 @@ let victim_order t w =
    release/rotate, never while an event of the queue executes), so the
    winner may immediately write [owner] and start draining. The queue
    the victim is currently executing is never in the deque, so the
-   same-color exclusion invariant is structural, not lock-guarded.
-   [Lock_busy] is no longer a possible outcome (there is no lock to
-   find busy); the constructor remains in [Trace] for replay
-   compatibility with old recordings. *)
+   same-color exclusion invariant is structural, not lock-guarded (the
+   spinlock-era [Lock_busy] visit outcome is gone from [Trace] with the
+   lock it described). *)
 let steal_scan_budget = 16
 
 (* Claim a worthy queue out of the victim's inbox. Without this,
@@ -706,6 +712,7 @@ let steal_from t w victim =
     Metrics.on_steal_in ws.metrics;
     Metrics.on_steal_out vs.metrics;
     Metrics.note_queue_len ws.metrics (cq_len cq);
+    Telemetry.on_steal t.telemetry ~thief:w ~victim;
     Trace.Won
   | None ->
     if Atomic.get vs.n_chained <= 0 then
@@ -984,3 +991,48 @@ let note_evict t ~worker ~color =
   match t.trace with
   | Some tr -> Trace.record_evict tr ~worker ~color ~ns:(Clock.now_ns ())
   | None -> ()
+
+let telemetry t = t.telemetry
+
+(* Assemble the full telemetry-plane snapshot. Safe at any instant:
+   every source is either atomic or a single-writer cell whose racy
+   read is monotone (see [Telemetry]). With [swap_window] the streaming
+   windows are rotated first, so the returned window histograms cover
+   the interval since the previous swap. *)
+let telemetry_snapshot ?(swap_window = false) t =
+  if swap_window then Telemetry.swap_window t.telemetry;
+  let worker w =
+    let ws = t.states.(w) in
+    let s = Telemetry.sample t.telemetry ~worker:w in
+    {
+      Telemetry.w_id = w;
+      w_metrics = Metrics.snapshot ws.metrics;
+      w_inbox_depth = Atomic.get ws.n_chained;
+      w_current_color = Atomic.get ws.current_color;
+      w_qwait_sum_ns = s.Telemetry.qwait_sum_ns;
+      w_service_sum_ns = s.Telemetry.service_sum_ns;
+      w_qwait = s.Telemetry.qwait;
+      w_service = s.Telemetry.service;
+      w_qwait_win = s.Telemetry.qwait_win;
+      w_service_win = s.Telemetry.service_win;
+      w_steals_from = s.Telemetry.steals_from;
+    }
+  in
+  (* Workers before globals, explicitly: a worker's executed counter is
+     bumped after the global one, so reading per-worker first and the
+     global total second guarantees [sum per-worker <= s_executed] in
+     every snapshot — the bracketing the tests and CI assert on. *)
+  let s_workers = Array.init t.n worker in
+  {
+    Telemetry.s_epoch = Telemetry.epoch t.telemetry;
+    s_workers;
+    s_executed = Atomic.get t.executed;
+    s_pending = Atomic.get t.pending;
+    s_active = Atomic.get t.active;
+    s_steals = Atomic.get t.steal_count;
+    s_steal_attempts = Atomic.get t.attempt_count;
+    s_refused = Atomic.get t.refused;
+    s_errors = Atomic.get t.error_count;
+    s_serving = Atomic.get t.serving;
+    s_accepting = Atomic.get t.shutdown = accepting;
+  }

@@ -194,6 +194,20 @@ val stats : t -> Metrics.snapshot array
     steal rounds, victim visits, parks and park time, queue high-water
     mark), cumulative across runs; index [w] is worker [w]. *)
 
+val telemetry : t -> Telemetry.t
+(** The always-on stats plane (e.g. to {!Telemetry.swap_window} on a
+    schedule independent of snapshots). *)
+
+val telemetry_snapshot : ?swap_window:bool -> t -> Telemetry.snapshot
+(** Full telemetry-plane snapshot — per-worker metrics, queue-wait and
+    service-time histograms (cumulative + last closed window), steal
+    matrix, inbox-depth / current-color / parked gauges, and global
+    counters — taken at any instant without stopping the workers.
+    Counters are monotone, so two back-to-back snapshots bracket the
+    live values. [swap_window] (default false) rotates the streaming
+    windows first: pass it from exactly one periodic scraper so the
+    windows mean "since my previous poll". *)
+
 val trace : t -> Trace.t option
 (** The flight recorder, when enabled at {!create}. Cumulative across
     runs; read it only after the domains joined ({!run_until_idle} /

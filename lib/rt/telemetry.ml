@@ -1,0 +1,122 @@
+(* Always-on online stats plane.
+
+   One shard per worker, written only by the owning worker domain: the
+   hot-path records are plain stores into caches the worker already
+   owns (no RMW, no lock). Readers snapshot at any instant without
+   stopping writers — monotone counters and grow-only histogram buckets
+   make racy reads safe: a reader can under-observe the newest events
+   but never sees a torn or decreasing value.
+
+   Windowing: a single global epoch counter (bumped by [swap_window])
+   selects which of two per-histogram buffers writers record into;
+   readers take the last *closed* buffer. See {!Mstd.Histogram.Windowed}. *)
+
+type shard = {
+  qwait : Mstd.Histogram.Windowed.t;  (** queue wait, ns *)
+  service : Mstd.Histogram.Windowed.t;  (** handler service time, ns *)
+  steals_from : int array;  (** row of the worker×victim steal matrix *)
+  mutable qwait_sum_ns : int;
+  mutable service_sum_ns : int;
+      (** [service_sum_ns] doubles as busy-time: worker utilization over
+          an interval is (delta service_sum_ns) / (wall ns). *)
+}
+
+type t = {
+  epoch : int Atomic.t;
+  shards : shard array;
+}
+
+(* 48 base-2 buckets cover 1 ns .. ~2^48 ns (~3 days) — every latency
+   the runtime can plausibly observe. *)
+let histogram_buckets = 48
+
+let create ~workers =
+  {
+    (* Epoch starts at 1 so the pre-first-swap window (buffer parity 0)
+       reads empty, not garbage. *)
+    epoch = Atomic.make 1;
+    shards =
+      Array.init workers (fun _ ->
+          {
+            qwait = Mstd.Histogram.Windowed.create ~buckets:histogram_buckets ();
+            service = Mstd.Histogram.Windowed.create ~buckets:histogram_buckets ();
+            steals_from = Array.make workers 0;
+            qwait_sum_ns = 0;
+            service_sum_ns = 0;
+          });
+  }
+
+let workers t = Array.length t.shards
+let epoch t = Atomic.get t.epoch
+let swap_window t = Atomic.incr t.epoch
+
+(* Hot path; called by worker [worker] only (single writer). *)
+let on_exec t ~worker ~qwait_ns ~service_ns =
+  let s = t.shards.(worker) in
+  let epoch = Atomic.get t.epoch in
+  Mstd.Histogram.Windowed.add s.qwait ~epoch (float_of_int qwait_ns);
+  Mstd.Histogram.Windowed.add s.service ~epoch (float_of_int service_ns);
+  s.qwait_sum_ns <- s.qwait_sum_ns + qwait_ns;
+  s.service_sum_ns <- s.service_sum_ns + service_ns
+
+(* Called by the thief; it writes its own matrix row, so the matrix is
+   single-writer per row like everything else in the shard. *)
+let on_steal t ~thief ~victim =
+  let row = t.shards.(thief).steals_from in
+  row.(victim) <- row.(victim) + 1
+
+type sample = {
+  qwait : Mstd.Histogram.t;
+  service : Mstd.Histogram.t;
+  qwait_win : Mstd.Histogram.t;
+  service_win : Mstd.Histogram.t;
+  qwait_sum_ns : int;
+  service_sum_ns : int;
+  steals_from : int array;
+}
+
+let sample t ~worker =
+  let s = t.shards.(worker) in
+  let epoch = Atomic.get t.epoch in
+  {
+    qwait = Mstd.Histogram.Windowed.cumulative s.qwait;
+    service = Mstd.Histogram.Windowed.cumulative s.service;
+    qwait_win = Mstd.Histogram.Windowed.window s.qwait ~epoch;
+    service_win = Mstd.Histogram.Windowed.window s.service ~epoch;
+    qwait_sum_ns = s.qwait_sum_ns;
+    service_sum_ns = s.service_sum_ns;
+    steals_from = Array.copy s.steals_from;
+  }
+
+(* Full-plane snapshot assembled by {!Runtime.telemetry_snapshot}: the
+   runtime owns the worker states and global counters, so it fills
+   these records; the types live here so consumers (rtnet admin,
+   melyctl) depend on [Telemetry] alone. *)
+
+type worker_snap = {
+  w_id : int;
+  w_metrics : Metrics.snapshot;
+  w_inbox_depth : int;  (** colors currently chained to this worker *)
+  w_current_color : int;  (** color being drained; -1 = idle *)
+  w_qwait_sum_ns : int;
+  w_service_sum_ns : int;
+  w_qwait : Mstd.Histogram.t;
+  w_service : Mstd.Histogram.t;
+  w_qwait_win : Mstd.Histogram.t;
+  w_service_win : Mstd.Histogram.t;
+  w_steals_from : int array;
+}
+
+type snapshot = {
+  s_epoch : int;
+  s_workers : worker_snap array;
+  s_executed : int;
+  s_pending : int;
+  s_active : int;
+  s_steals : int;
+  s_steal_attempts : int;
+  s_refused : int;
+  s_errors : int;
+  s_serving : bool;
+  s_accepting : bool;  (** shutdown gate open (false once draining) *)
+}

@@ -1,0 +1,83 @@
+(** Always-on online stats plane: per-worker single-writer shards,
+    snapshottable at any instant without stopping writers.
+
+    Each worker owns one shard and records into it with plain stores —
+    no lock, no atomic RMW on the hot path. Counters are monotone and
+    histogram buckets grow-only, so a concurrent reader can
+    under-observe the newest events but never reads a torn or
+    decreasing value: two back-to-back snapshots bracket the live
+    counters.
+
+    Streaming windows: one global epoch counter, bumped by
+    {!swap_window}, selects which of two buffers each histogram's
+    writer records into; {!sample} returns both the cumulative
+    distribution and the last closed window. *)
+
+type t
+
+val create : workers:int -> t
+val workers : t -> int
+
+val epoch : t -> int
+(** Current window epoch (starts at 1). *)
+
+val swap_window : t -> unit
+(** Close the current window and open a fresh one. Any reader may call
+    this; writers notice the epoch change on their next record. *)
+
+val on_exec : t -> worker:int -> qwait_ns:int -> service_ns:int -> unit
+(** Record one executed event: queue wait (enqueue to start of run) and
+    service time. Must be called by worker [worker]'s own domain. *)
+
+val on_steal : t -> thief:int -> victim:int -> unit
+(** Record a won steal in the worker×victim matrix. Must be called by
+    the thief's domain (each row is single-writer). *)
+
+(** Racy-read-safe copies of one worker's shard. *)
+type sample = {
+  qwait : Mstd.Histogram.t;  (** cumulative queue-wait, ns *)
+  service : Mstd.Histogram.t;  (** cumulative service time, ns *)
+  qwait_win : Mstd.Histogram.t;  (** last closed window *)
+  service_win : Mstd.Histogram.t;
+  qwait_sum_ns : int;
+  service_sum_ns : int;
+      (** also the worker's busy time: utilization over an interval is
+          (delta service_sum_ns) / (wall ns) *)
+  steals_from : int array;  (** matrix row: wins against each victim *)
+}
+
+val sample : t -> worker:int -> sample
+
+(** {1 Full-plane snapshot}
+
+    Assembled by {!Runtime.telemetry_snapshot}, which owns the worker
+    states and global counters; the types live here so consumers
+    (rtnet's admin endpoint, melyctl) need only [Telemetry]. *)
+
+type worker_snap = {
+  w_id : int;
+  w_metrics : Metrics.snapshot;
+  w_inbox_depth : int;  (** colors currently chained to this worker *)
+  w_current_color : int;  (** color being drained; -1 = idle *)
+  w_qwait_sum_ns : int;
+  w_service_sum_ns : int;
+  w_qwait : Mstd.Histogram.t;
+  w_service : Mstd.Histogram.t;
+  w_qwait_win : Mstd.Histogram.t;
+  w_service_win : Mstd.Histogram.t;
+  w_steals_from : int array;
+}
+
+type snapshot = {
+  s_epoch : int;
+  s_workers : worker_snap array;
+  s_executed : int;
+  s_pending : int;
+  s_active : int;
+  s_steals : int;
+  s_steal_attempts : int;
+  s_refused : int;
+  s_errors : int;
+  s_serving : bool;
+  s_accepting : bool;  (** shutdown gate open (false once draining) *)
+}

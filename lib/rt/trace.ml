@@ -25,14 +25,12 @@ type exec = {
 
 type visit_outcome =
   | Won
-  | Lock_busy
   | Empty
   | Unworthy
   | Executing
 
 let visit_outcome_name = function
   | Won -> "won"
-  | Lock_busy -> "lock-busy"
   | Empty -> "empty"
   | Unworthy -> "unworthy"
   | Executing -> "executing"

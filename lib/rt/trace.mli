@@ -23,13 +23,11 @@ type exec = {
   x_end : int64;  (** handler end (ns); service time is [x_end - x_start] *)
 }
 
-(** Outcome of probing one victim during a steal round. *)
+(** Outcome of probing one victim during a steal round. In the
+    lock-free runtime a lost steal race shows up as [Empty] or
+    [Unworthy] — there is no lock to find busy. *)
 type visit_outcome =
   | Won  (** a color-queue was stolen *)
-  | Lock_busy
-      (** legacy (spinlock-era) outcome, kept for trace compatibility;
-          the lock-free runtime never emits it — steals lose by CAS,
-          which shows up as [Empty] or [Unworthy] *)
   | Empty  (** the victim had no queued events *)
   | Unworthy  (** candidates existed but none passed the worthiness bar *)
   | Executing  (** the only worthy candidates were the victim's current color *)

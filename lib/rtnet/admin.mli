@@ -1,0 +1,44 @@
+(** Rendering for the admin endpoint: Prometheus text exposition
+    ([GET /metrics]) and the full structured snapshot
+    ([GET /stats.json]) over a {!Rt.Telemetry.snapshot} plus the
+    server's per-shard counter view.
+
+    Pure data-in, string-out: {!Server} assembles the {!net} view and
+    calls these, so both formats are unit-testable without sockets. *)
+
+type net_shard = {
+  ns_id : int;
+  ns_conns_open : int;  (** accepted - closed, racy-read consistent *)
+  ns_accepted : int;
+  ns_refused : int;
+  ns_closed : int;
+  ns_failed : int;
+  ns_evicted : int;  (** wheel evictions: 408 / idle / write-stall *)
+  ns_parsed : int;
+  ns_served : int;
+  ns_req_failed : int;
+  ns_malformed : int;
+  ns_too_large : int;
+  ns_shed : int;
+  ns_inj_refused : int;
+  ns_accept_errors : int;
+  ns_accept_backoffs : int;
+}
+
+type net = {
+  n_backend : string;
+  n_port : int;
+  n_admin_port : int;
+  n_live : int;
+  n_draining : bool;
+  n_faults_injected : int;
+  n_shards : net_shard array;
+}
+
+val metrics_text : Rt.Telemetry.snapshot -> net -> string
+(** Prometheus text exposition (format 0.0.4): runtime globals,
+    per-worker counters/gauges + queue-wait and service-time
+    histograms, the (sparse) steal matrix, per-shard net counters. *)
+
+val stats_json : Rt.Telemetry.snapshot -> net -> string
+(** Full snapshot as one JSON document, histogram buckets included. *)

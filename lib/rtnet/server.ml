@@ -90,6 +90,10 @@ type conn = {
   fd : Unix.file_descr;
   color : int;
   shard : shard;  (** owning poller shard, fixed at accept *)
+  admin : bool;
+      (** accepted on the admin listener: served by [admin_respond]
+          instead of the app, exempt from load shedding, and readable
+          during a drain (so /healthz can report 503 mid-drain) *)
   (* Handler-owned: touched only inside events of [color]. *)
   mutable pending : string;  (** unparsed request bytes *)
   mutable scan_hint : int;  (** parse resume hint: bytes already scanned *)
@@ -188,6 +192,11 @@ type t = {
   backend : Epoll.backend;
   listen_fd : Unix.file_descr;
   bound_port : int;
+  admin_fd : Unix.file_descr option;
+      (** second listener for the telemetry plane; owned (accepted and
+          polled) by the acceptor shard, its connections are ordinary
+          fd-colored events *)
+  admin_bound_port : int;  (** 0 when [admin_fd = None] *)
   shards : shard array;
   live : int Atomic.t;  (** connections accepted and not yet closed *)
   listener_paused : bool Atomic.t;
@@ -253,13 +262,15 @@ let sys_writev t conn count =
     Epoll.writev conn.fd ~strs:conn.wv_strs ~offs:conn.wv_offs
       ~lens:conn.wv_lens ~count
 
-let sys_accept t =
+let sys_accept_on t lfd =
   match Rt.Faults.decide t.faults Rt.Faults.Accept with
-  | Rt.Faults.Pass | Rt.Faults.Torn _ -> Unix.accept ~cloexec:true t.listen_fd
+  | Rt.Faults.Pass | Rt.Faults.Torn _ -> Unix.accept ~cloexec:true lfd
   | Rt.Faults.Errno e -> injected_error Rt.Faults.Accept e
   | Rt.Faults.Delay s ->
     Unix.sleepf s;
-    Unix.accept ~cloexec:true t.listen_fd
+    Unix.accept ~cloexec:true lfd
+
+let sys_accept t = sys_accept_on t t.listen_fd
 
 let sys_wait t sh ~timeout_ms =
   match Rt.Faults.decide t.faults Rt.Faults.Select with
@@ -383,6 +394,108 @@ let finish_conn conn =
   Atomic.set conn.wants_close true;
   attend conn
 
+(* Headers-only variant of a prebuilt response, for HEAD: everything up
+   to and including the blank line (Content-Length intact, as HEAD
+   requires). *)
+let head_of_response resp =
+  let n = String.length resp in
+  let rec find i =
+    if i + 3 >= n then resp
+    else if resp.[i] = '\r' && resp.[i + 1] = '\n' && resp.[i + 2] = '\r'
+            && resp.[i + 3] = '\n'
+    then String.sub resp 0 (i + 4)
+    else find (i + 1)
+  in
+  find 0
+
+(* ------------------------------------------------------------------ *)
+(* Admin endpoint: the telemetry plane served by the stack it monitors.
+   Admin connections are ordinary fd-colored events; only the response
+   function differs. *)
+
+let net_view t =
+  let shard_view sh =
+    let accepted = Atomic.get sh.ctr.c_accepted in
+    let closed = Atomic.get sh.ctr.c_closed in
+    {
+      Admin.ns_id = sh.id;
+      (* Racy pair of monotone counters: closed is read second, so the
+         difference can transiently overcount but never go negative for
+         long — clamp anyway. *)
+      ns_conns_open = max 0 (accepted - closed);
+      ns_accepted = accepted;
+      ns_refused = Atomic.get sh.ctr.c_refused;
+      ns_closed = closed;
+      ns_failed = Atomic.get sh.ctr.c_failed;
+      ns_evicted = Atomic.get sh.ctr.c_evicted;
+      ns_parsed = Atomic.get sh.ctr.r_parsed;
+      ns_served = Atomic.get sh.ctr.r_served;
+      ns_req_failed = Atomic.get sh.ctr.r_failed;
+      ns_malformed = Atomic.get sh.ctr.r_malformed;
+      ns_too_large = Atomic.get sh.ctr.r_too_large;
+      ns_shed = Atomic.get sh.ctr.r_shed;
+      ns_inj_refused = Atomic.get sh.ctr.r_inj_refused;
+      ns_accept_errors = Atomic.get sh.ctr.a_errors;
+      ns_accept_backoffs = Atomic.get sh.ctr.a_backoffs;
+    }
+  in
+  {
+    Admin.n_backend = (match t.backend with Epoll.Epoll -> "epoll" | Epoll.Poll -> "poll");
+    n_port = t.bound_port;
+    n_admin_port = t.admin_bound_port;
+    n_live = Atomic.get t.live;
+    n_draining = Atomic.get t.draining;
+    n_faults_injected = Rt.Faults.injected t.faults;
+    n_shards = Array.map shard_view t.shards;
+  }
+
+let split_target target =
+  match String.index_opt target '?' with
+  | None -> (target, "")
+  | Some i ->
+    ( String.sub target 0 i,
+      String.sub target (i + 1) (String.length target - i - 1) )
+
+let query_has query key =
+  List.exists
+    (fun kv -> kv = key || kv = key ^ "=1")
+    (String.split_on_char '&' query)
+
+let admin_respond t (req : Httpkit.Request.t) =
+  let path, query = split_target req.Httpkit.Request.target in
+  let draining = Atomic.get t.draining || not (Rt.Runtime.is_serving t.rt) in
+  let keep_alive = not draining in
+  let full =
+    match path with
+    | "/healthz" ->
+      if draining then
+        Httpkit.Response.build ~status:Httpkit.Response.Service_unavailable
+          ~content_type:"text/plain" ~keep_alive:false ~body:"draining\n" ()
+      else
+        Httpkit.Response.build ~content_type:"text/plain" ~keep_alive
+          ~body:"ok\n" ()
+    | "/metrics" ->
+      let snap = Rt.Runtime.telemetry_snapshot t.rt in
+      Httpkit.Response.build ~content_type:"text/plain; version=0.0.4"
+        ~keep_alive
+        ~body:(Admin.metrics_text snap (net_view t))
+        ()
+    | "/stats.json" ->
+      (* [?swap=1] rotates the streaming windows: the periodic scraper
+         (melyctl rt top) passes it so each poll reads the interval
+         since its previous poll. *)
+      let snap =
+        Rt.Runtime.telemetry_snapshot ~swap_window:(query_has query "swap") t.rt
+      in
+      Httpkit.Response.build ~content_type:"application/json" ~keep_alive
+        ~body:(Admin.stats_json snap (net_view t))
+        ()
+    | _ -> t.resp_404
+  in
+  match req.Httpkit.Request.meth with
+  | Httpkit.Request.HEAD -> head_of_response full
+  | _ -> full
+
 (* Serve one parsed request: app → slice queue → write attempt. An app
    exception is answered with a 500, closes this one connection, and is
    re-raised so the runtime contains and counts it — sibling
@@ -396,12 +509,16 @@ let respond t conn req ~close_after (_ctx : Rt.Runtime.ctx) =
   @@ fun () ->
   if Atomic.get conn.failed then Atomic.incr conn.shard.ctr.r_failed
   else
-    match t.app req with
+    match if conn.admin then admin_respond t req else t.app req with
     | response ->
       queue_out conn response;
       Atomic.incr conn.shard.ctr.r_served;
       Atomic.set conn.last_progress (Rt.Clock.now_ns ());
-      if close_after then finish_conn conn;
+      (* An admin response sent mid-drain says [Connection: close]
+         (see [admin_respond]); closing here makes the header true and
+         lets the drain finish instead of waiting out the grace. *)
+      if close_after || (conn.admin && Atomic.get t.draining) then
+        finish_conn conn;
       try_write t conn
     | exception e ->
       Atomic.incr conn.shard.ctr.r_failed;
@@ -462,7 +579,12 @@ let rec parse_loop t conn (ctx : Rt.Runtime.ctx) =
       Atomic.set conn.completed true;
       Atomic.set conn.partial (String.length conn.pending > 0);
       Atomic.set conn.last_progress (Rt.Clock.now_ns ());
-      if Rt.Runtime.pending t.rt >= t.overload.shed_pending_hwm then
+      if
+        (* The admin plane must answer precisely when the server is
+           overloaded — scrapes bypass the shed check. *)
+        (not conn.admin)
+        && Rt.Runtime.pending t.rt >= t.overload.shed_pending_hwm
+      then
         reject t conn t.resp_503 conn.shard.ctr.r_shed ctx
           ~note:(fun ictx ->
             Rt.Runtime.note_shed t.rt ~worker:ictx.worker ~color:conn.color)
@@ -544,11 +666,16 @@ let close_conn t sh conn =
     wake_shard t.shards.(0)
 
 let maybe_close t sh conn =
+  (* An idle admin connection survives the start of a drain — the drain
+     sweep reaps it after its grace window — so a scraper holding a
+     keep-alive connection can still observe the drain itself. *)
   if
     (match Hashtbl.find_opt sh.conns conn.color with
     | Some c -> c == conn
     | None -> false)
-    && should_close ~draining:(Atomic.get t.draining) conn
+    && should_close
+         ~draining:((not conn.admin) && Atomic.get t.draining)
+         conn
   then close_conn t sh conn
 
 (* Batched injection: readiness events accumulate on the shard and go
@@ -580,9 +707,12 @@ let batch_add sh conn handler run =
   sh.batch <- (conn, handler, run) :: sh.batch;
   sh.batch_n <- sh.batch_n + 1
 
-(* Should the shard keep read interest on this connection? *)
+(* Should the shard keep read interest on this connection? Admin
+   connections stay readable through a drain so /healthz can answer
+   503; the drain sweep closes them after a grace period. *)
 let want_read ~draining conn =
-  (not draining) && (not conn.eof) && (not conn.kill) && (not conn.evicting)
+  ((not draining) || conn.admin)
+  && (not conn.eof) && (not conn.kill) && (not conn.evicting)
   && not (Atomic.get conn.wants_close)
 
 let set_interest sh conn ~read ~write =
@@ -685,7 +815,7 @@ let accept_backoff sh ~now =
    audit, epoll registration (edge-triggered read), header deadline.
    Accepted/closed counters live on this shard, so the conservation
    identity [conns_accepted = conns_closed] holds per shard. *)
-let install_conn t sh fd =
+let install_conn t sh ?(admin = false) fd =
   if Atomic.get t.draining then begin
     (* Handed off just before the drain flag flipped: refuse cleanly. *)
     (try Unix.close fd with Unix.Unix_error _ -> ());
@@ -701,6 +831,7 @@ let install_conn t sh fd =
         fd;
         color = int_of_fd fd;
         shard = sh;
+        admin;
         pending = "";
         scan_hint = 0;
         stop_parsing = false;
@@ -774,6 +905,32 @@ let rec accept_batch t sh budget =
         accept_batch t sh (budget - 1)
       end
 
+(* Admin accept loop, acceptor shard only. Admin connections install on
+   the acceptor shard itself (no hand-off: the traffic is one scraper,
+   not a fleet) and bypass the [max_clients] cap so the plane answers
+   precisely when the server is saturated. They still count in [live]
+   and in this shard's accepted/closed counters, so every conservation
+   identity holds unchanged. *)
+let rec accept_admin t sh afd budget =
+  if budget > 0 then
+    match sys_accept_on t afd with
+    | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK), _, _) -> ()
+    | exception Unix.Unix_error (EINTR, _, _) -> accept_admin t sh afd budget
+    | exception Unix.Unix_error (_, _, _) ->
+      (* fd pressure or a stray errno: drop this lap's attempt; the
+         level-triggered listener re-reports next lap. *)
+      Atomic.incr sh.ctr.a_errors
+    | fd, _ ->
+      if Atomic.get t.draining then begin
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Atomic.incr sh.ctr.c_refused
+      end
+      else begin
+        Atomic.incr t.live;
+        install_conn t sh ~admin:true fd
+      end;
+      accept_admin t sh afd (budget - 1)
+
 (* ------------------------------------------------------------------ *)
 (* Deadline armor: evaluated lazily when the wheel fires a connection.
    Three clocks, checked in severity order: write progress (the peer
@@ -846,6 +1003,13 @@ let drain_wake_pipe sh =
 let shard_loop t sh =
   let is_acceptor = sh.id = 0 in
   Epoll.add sh.ep sh.wake_r ~read:true ~write:false ~edge:false;
+  (* The admin listener is level-triggered and always armed on the
+     acceptor: admin conns bypass the client cap, and mid-drain arrivals
+     are refused in [accept_admin], so there is nothing to pause for. *)
+  (match t.admin_fd with
+  | Some afd when is_acceptor ->
+    Epoll.add sh.ep afd ~read:true ~write:false ~edge:false
+  | _ -> ());
   (* The listener is level-triggered: a budget-bounded accept batch may
      leave connections pending, and they must re-report. *)
   let listening = ref false in
@@ -887,6 +1051,13 @@ let shard_loop t sh =
         if fd = sh.wake_r then drain_wake_pipe sh
         else if is_acceptor && fd = t.listen_fd then
           accept_batch t sh accept_budget
+        else if
+          is_acceptor
+          && match t.admin_fd with Some afd -> fd = afd | None -> false
+        then
+          (match t.admin_fd with
+          | Some afd -> accept_admin t sh afd accept_budget
+          | None -> ())
         else
           match Hashtbl.find_opt sh.conns (int_of_fd fd) with
           | None -> ()
@@ -926,7 +1097,7 @@ let shard_loop t sh =
     | [] -> ()
     | _ ->
       let fds = Atomic.exchange sh.handoff [] in
-      List.iter (install_conn t sh) (List.rev fds));
+      List.iter (fun fd -> install_conn t sh fd) (List.rev fds));
     (* Deadline armor: fire due wheel entries; stale entries (closed or
        recycled fds, moved deadlines) re-evaluate harmlessly. *)
     let now = Rt.Clock.now_ns () in
@@ -955,10 +1126,24 @@ let shard_loop t sh =
       (* Drain sweep (bounded laps: the wait timeout caps the cadence,
          the drain deadline caps the total). *)
       let doomed = ref [] in
+      (* Admin connections get a short grace so a scraper can still read
+         the draining snapshot, then are reaped between requests. *)
+      let admin_grace = Float.min 1.0 (t.drain_deadline /. 2.) in
+      let drain_elapsed =
+        match !drain_started with
+        | None -> 0.0
+        | Some t0 -> Rt.Clock.elapsed_seconds ~since:t0
+      in
       Hashtbl.iter
         (fun _ c ->
-          if should_close ~draining:true c || past_deadline then
-            doomed := c :: !doomed)
+          let doom =
+            if c.admin then
+              past_deadline
+              || should_close ~draining:false c
+              || (drain_elapsed > admin_grace && reapable c)
+            else should_close ~draining:true c || past_deadline
+          in
+          if doom then doomed := c :: !doomed)
         sh.conns;
       List.iter
         (fun c ->
@@ -972,23 +1157,14 @@ let shard_loop t sh =
     end
   done;
   Epoll.close sh.ep;
-  if is_acceptor then (try Unix.close t.listen_fd with Unix.Unix_error _ -> ())
+  if is_acceptor then begin
+    (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+    match t.admin_fd with
+    | Some afd -> ( try Unix.close afd with Unix.Unix_error _ -> ())
+    | None -> ()
+  end
 
 (* ------------------------------------------------------------------ *)
-
-(* Headers-only variant of a prebuilt response, for HEAD: everything up
-   to and including the blank line (Content-Length intact, as HEAD
-   requires). *)
-let head_of_response resp =
-  let n = String.length resp in
-  let rec find i =
-    if i + 3 >= n then resp
-    else if resp.[i] = '\r' && resp.[i + 1] = '\n' && resp.[i + 2] = '\r'
-            && resp.[i + 3] = '\n'
-    then String.sub resp 0 (i + 4)
-    else find (i + 1)
-  in
-  find 0
 
 let default_app ~cache ~resp_404 (req : Httpkit.Request.t) =
   let full =
@@ -1005,7 +1181,7 @@ let read_buf_len = 16_384
 let create ~rt ?(shards = 1) ?backend ?(max_clients = 1024) ?(backlog = 128)
     ?(max_request_bytes = 65_536) ?(drain_deadline = 5.0)
     ?(overload = default_overload) ?(faults = Rt.Faults.passthrough) ?app
-    ~cache ~port () =
+    ?admin_port ~cache ~port () =
   if shards < 1 then invalid_arg "Rtnet.Server.create: shards must be >= 1";
   if max_clients < 1 then
     invalid_arg "Rtnet.Server.create: max_clients must be >= 1";
@@ -1034,6 +1210,27 @@ let create ~rt ?(shards = 1) ?backend ?(max_clients = 1024) ?(backlog = 128)
     with e ->
       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
       raise e
+  in
+  let admin_fd, admin_bound_port =
+    match admin_port with
+    | None -> (None, 0)
+    | Some p -> (
+      let afd = Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.setsockopt afd Unix.SO_REUSEADDR true;
+        Unix.bind afd (Unix.ADDR_INET (Unix.inet_addr_loopback, p));
+        Unix.listen afd backlog;
+        Unix.set_nonblock afd;
+        let bp =
+          match Unix.getsockname afd with
+          | Unix.ADDR_INET (_, bp) -> bp
+          | _ -> p
+        in
+        (Some afd, bp)
+      with e ->
+        (try Unix.close afd with Unix.Unix_error _ -> ());
+        (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+        raise e)
   in
   let mk_shard id =
     let wake_r, wake_w = Unix.pipe ~cloexec:true () in
@@ -1074,6 +1271,8 @@ let create ~rt ?(shards = 1) ?backend ?(max_clients = 1024) ?(backlog = 128)
     backend;
     listen_fd;
     bound_port;
+    admin_fd;
+    admin_bound_port;
     shards = Array.init shards mk_shard;
     live = Atomic.make 0;
     listener_paused = Atomic.make false;
@@ -1109,6 +1308,10 @@ let create ~rt ?(shards = 1) ?backend ?(max_clients = 1024) ?(backlog = 128)
   }
 
 let port t = t.bound_port
+
+let admin_port t =
+  match t.admin_fd with None -> None | Some _ -> Some t.admin_bound_port
+
 let shard_count t = Array.length t.shards
 let backend t = t.backend
 let ownership_violations t = Atomic.get t.own_violations
@@ -1144,6 +1347,7 @@ let stop t =
   | Created ->
     t.state <- Stopped;
     close_quietly t.listen_fd;
+    (match t.admin_fd with Some afd -> close_quietly afd | None -> ());
     Array.iter
       (fun sh ->
         Epoll.close sh.ep;

@@ -125,6 +125,7 @@ val create :
   ?overload:overload ->
   ?faults:Rt.Faults.t ->
   ?app:(Httpkit.Request.t -> string) ->
+  ?admin_port:int ->
   cache:(string, string) Hashtbl.t ->
   port:int ->
   unit ->
@@ -145,8 +146,16 @@ val create :
     graceful drain in {!stop}; [overload] (default
     {!default_overload}) configures the deadline/shedding armor;
     [faults] (default passthrough) is the syscall fault plane.
-    Deadlines must be positive, [shed_pending_hwm >= 0]. Ignores
-    [SIGPIPE] process-wide (a server must). *)
+    [admin_port] (default absent) binds a second loopback listener for
+    the telemetry plane: its connections are ordinary fd-colored
+    events on shard 0 answering [GET /metrics] (Prometheus text),
+    [GET /stats.json] (full snapshot; [?swap=1] also rotates the
+    histogram window epoch) and [GET /healthz] (200 accepting, 503
+    draining); they are exempt from [max_clients] and load shedding
+    and stay readable through a short drain grace so a scraper can
+    observe the drain itself. Deadlines must be positive,
+    [shed_pending_hwm >= 0]. Ignores [SIGPIPE] process-wide (a server
+    must). *)
 
 val start : t -> unit
 (** Spawn the poller shard domains and begin serving. The runtime must
@@ -156,6 +165,10 @@ val start : t -> unit
 
 val port : t -> int
 (** The actually-bound TCP port. *)
+
+val admin_port : t -> int option
+(** The actually-bound admin TCP port, when [create] was given
+    [~admin_port] ([Some 0] input picks an ephemeral port too). *)
 
 val shard_count : t -> int
 

@@ -16,6 +16,7 @@ let () =
       ("spmc", Test_spmc.suite);
       ("rt-stress", Test_rt_stress.suite);
       ("rt-trace", Test_rt_trace.suite);
+      ("rt-telemetry", Test_rt_telemetry.suite);
       ("rtnet", Test_rtnet.suite);
       ("rtnet-chaos", Test_rtnet_chaos.suite);
       ("properties", Test_properties.suite);

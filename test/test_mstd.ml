@@ -126,6 +126,104 @@ let test_units () =
   Alcotest.(check string) "percent" "39.73%" (Mstd.Units.percent 0.3973);
   Alcotest.(check string) "bytes" "6MB" (Mstd.Units.bytes (6 * 1024 * 1024))
 
+let test_histogram_windowed () =
+  let w = Mstd.Histogram.Windowed.create ~buckets:32 () in
+  for _ = 1 to 100 do
+    Mstd.Histogram.Windowed.add w ~epoch:1 50.0
+  done;
+  Alcotest.(check int) "cumulative sees epoch 1" 100
+    (Mstd.Histogram.count (Mstd.Histogram.Windowed.cumulative w));
+  Alcotest.(check int) "window empty before first swap" 0
+    (Mstd.Histogram.count (Mstd.Histogram.Windowed.window w ~epoch:1));
+  for _ = 1 to 40 do
+    Mstd.Histogram.Windowed.add w ~epoch:2 50.0
+  done;
+  Alcotest.(check int) "window after swap = epoch-1 adds" 100
+    (Mstd.Histogram.count (Mstd.Histogram.Windowed.window w ~epoch:2));
+  for _ = 1 to 7 do
+    Mstd.Histogram.Windowed.add w ~epoch:3 50.0
+  done;
+  Alcotest.(check int) "next window drops the stale buffer" 40
+    (Mstd.Histogram.count (Mstd.Histogram.Windowed.window w ~epoch:3));
+  Alcotest.(check int) "cumulative keeps everything" 147
+    (Mstd.Histogram.count (Mstd.Histogram.Windowed.cumulative w));
+  (* copy is tear-proof by construction: total recomputed from buckets. *)
+  let c = Mstd.Histogram.copy (Mstd.Histogram.Windowed.cumulative w) in
+  Alcotest.(check int) "copy count = bucket sum"
+    (Mstd.Histogram.fold (fun _ n acc -> acc + n) c 0)
+    (Mstd.Histogram.count c)
+
+let test_json_roundtrip () =
+  let open Mstd.Json in
+  let v =
+    Obj
+      [
+        ("a", int 42);
+        ("b", Str "hi \"there\"\n\t\\");
+        ("c", List [ Bool true; Bool false; Null; Num 1.5 ]);
+        ("nested", Obj [ ("xs", List [ int 1; int 2; int 3 ]) ]);
+      ]
+  in
+  let s = to_string v in
+  Alcotest.(check bool) "round-trips" true (parse s = v);
+  Alcotest.(check int) "get_int" 42 (get_int "a" v);
+  Alcotest.(check string) "get_str" "hi \"there\"\n\t\\" (get_str "b" v);
+  Alcotest.(check int) "nested list" 3
+    (List.length (get_list "xs" (member_exn "nested" v)));
+  Alcotest.(check bool) "member miss is None" true (member "zzz" v = None);
+  Alcotest.(check bool) "unicode escape" true
+    (parse "\"a\\u0041b\"" = Str "aAb");
+  Alcotest.(check bool) "negative + exponent" true
+    (parse "-1.5e2" = Num (-150.0));
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) ("rejects " ^ bad) true
+        (match parse bad with
+        | exception Parse_error _ -> true
+        | _ -> false))
+    [ "{"; "[1,]"; "tru"; "1 2"; "\"unterminated"; "{\"a\":}" ]
+
+let test_prometheus_exposition () =
+  let p = Mstd.Prometheus.create () in
+  Mstd.Prometheus.counter p ~name:"m_total" ~help:"a counter" 7;
+  Mstd.Prometheus.counter p ~name:"m_total" ~help:"a counter"
+    ~labels:[ ("worker", "1") ] 3;
+  Mstd.Prometheus.gauge p ~name:"g" ~help:"odd \\ help\nline"
+    ~labels:[ ("k", "va\"l\n") ]
+    1.5;
+  let h = Mstd.Histogram.create ~buckets:16 () in
+  Mstd.Histogram.add h 2.0;
+  Mstd.Histogram.add h 2.0;
+  Mstd.Histogram.add h 1024.0;
+  Mstd.Prometheus.histogram p ~name:"lat" ~help:"hist" h;
+  let out = Mstd.Prometheus.contents p in
+  let count_sub needle =
+    let n = String.length needle and h = String.length out in
+    let rec go i acc =
+      if i + n > h then acc
+      else go (i + 1) (if String.sub out i n = needle then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "HELP emitted once per family" 1
+    (count_sub "# HELP m_total a counter");
+  Alcotest.(check int) "TYPE emitted once per family" 1
+    (count_sub "# TYPE m_total counter");
+  Alcotest.(check int) "unlabeled sample" 1 (count_sub "\nm_total 7\n");
+  Alcotest.(check int) "labeled sample" 1
+    (count_sub "m_total{worker=\"1\"} 3\n");
+  Alcotest.(check int) "label value escaped" 1
+    (count_sub "{k=\"va\\\"l\\n\"}");
+  Alcotest.(check int) "help escaped" 1 (count_sub "odd \\\\ help\\nline");
+  Alcotest.(check int) "+Inf bucket closes the histogram" 1
+    (count_sub "lat_bucket{le=\"+Inf\"} 3\n");
+  Alcotest.(check int) "histogram count" 1 (count_sub "lat_count 3\n");
+  (* Buckets are cumulative: the le=+Inf count equals the total and
+     every preceding bucket is <= it; spot-check the first bucket holds
+     the two 2.0 observations. *)
+  Alcotest.(check bool) "a low bucket holds the 2.0s" true
+    (count_sub "} 2\n" >= 1)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -140,6 +238,9 @@ let suite =
     Alcotest.test_case "heap orders" `Quick test_heap_orders;
     QCheck_alcotest.to_alcotest prop_heap_sorted;
     Alcotest.test_case "histogram quantile" `Quick test_histogram_quantile;
+    Alcotest.test_case "histogram windowed epochs" `Quick test_histogram_windowed;
+    Alcotest.test_case "json round-trip + accessors" `Quick test_json_roundtrip;
+    Alcotest.test_case "prometheus exposition" `Quick test_prometheus_exposition;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table too many cells" `Quick test_table_too_many_cells;
     Alcotest.test_case "units" `Quick test_units;

@@ -69,12 +69,14 @@ let read_until_eof fd =
 
 let get path = Printf.sprintf "GET %s HTTP/1.1\r\nHost: t\r\n\r\n" path
 
-let with_server ?(workers = 2) ?trace ?shards ?backend ?max_clients ?app body =
+let with_server ?(workers = 2) ?trace ?shards ?backend ?max_clients ?app
+    ?admin_port body =
   let rt = Rt.Runtime.create ~workers ?trace () in
   let cache = cache () in
   Rt.Runtime.start rt;
   let server =
-    Rtnet.Server.create ~rt ?shards ?backend ?max_clients ?app ~cache ~port:0 ()
+    Rtnet.Server.create ~rt ?shards ?backend ?max_clients ?app ?admin_port ~cache
+      ~port:0 ()
   in
   Rtnet.Server.start server;
   Fun.protect
@@ -395,6 +397,165 @@ let test_backend_parity () =
       (poll_outcome = epoll_outcome)
   end
 
+(* ------------------------------------------------------------------ *)
+(* Admin plane: /metrics, /stats.json and /healthz served by the same
+   fd-colored event machinery as the application traffic. *)
+
+(* One keep-alive HTTP exchange on an already-open socket: send the
+   request, read exactly one Content-Length-framed response. Returns
+   (status line, whole response). *)
+let roundtrip fd req =
+  send fd req;
+  let buf = Buffer.create 4096 in
+  let rec header_end raw i =
+    if i + 3 >= String.length raw then None
+    else if
+      raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+      && raw.[i + 3] = '\n'
+    then Some (i + 4)
+    else header_end raw (i + 1)
+  in
+  let content_length raw =
+    let lower = String.lowercase_ascii raw in
+    let key = "content-length:" in
+    let rec find i =
+      if i + String.length key > String.length lower then 0
+      else if String.sub lower i (String.length key) = key then
+        let rec stop j =
+          if j < String.length lower && lower.[j] <> '\r' then stop (j + 1)
+          else j
+        in
+        let v = String.trim (String.sub lower (i + String.length key)
+                               (stop (i + String.length key) - i - String.length key))
+        in
+        int_of_string v
+      else find (i + 1)
+    in
+    find 0
+  in
+  let b = Bytes.create 4096 in
+  let rec fill () =
+    let raw = Buffer.contents buf in
+    let done_ =
+      match header_end raw 0 with
+      | None -> false
+      | Some body_off -> String.length raw - body_off >= content_length raw
+    in
+    if not done_ then
+      match Unix.read fd b 0 4096 with
+      | 0 -> ()
+      | n ->
+        Buffer.add_subbytes buf b 0 n;
+        fill ()
+      | exception Unix.Unix_error (EINTR, _, _) -> fill ()
+  in
+  fill ();
+  let raw = Buffer.contents buf in
+  let status =
+    match String.index_opt raw '\r' with
+    | Some i -> String.sub raw 0 i
+    | None -> raw
+  in
+  (status, raw)
+
+let admin_body raw =
+  let rec header_end i =
+    if i + 3 >= String.length raw then String.length raw
+    else if
+      raw.[i] = '\r' && raw.[i + 1] = '\n' && raw.[i + 2] = '\r'
+      && raw.[i + 3] = '\n'
+    then i + 4
+    else header_end (i + 1)
+  in
+  let b = header_end 0 in
+  String.sub raw b (String.length raw - b)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_admin_endpoints () =
+  with_server ~workers:2 ~shards:2 ~admin_port:0 (fun rt server cache ->
+      let aport = Option.get (Rtnet.Server.admin_port server) in
+      (* Real traffic first so the series are non-trivial. *)
+      let r =
+        Rtnet.Loadgen.run ~port:(Rtnet.Server.port server) ~conns:8 ~requests:40
+          ~pipeline:4 ~close_last:true ~targets:(targets cache) ()
+      in
+      Alcotest.(check int) "load ok" (8 * 40) r.responses_ok;
+      let fd = connect aport in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let status, raw = roundtrip fd (get "/healthz") in
+          Alcotest.(check string) "healthz 200" "HTTP/1.1 200 OK" status;
+          Alcotest.(check bool) "healthz body" true (contains raw "ok");
+          let status, raw = roundtrip fd (get "/metrics") in
+          Alcotest.(check string) "metrics 200" "HTTP/1.1 200 OK" status;
+          let body = admin_body raw in
+          List.iter
+            (fun series ->
+              Alcotest.(check bool) (series ^ " present") true
+                (contains body series))
+            [
+              "# TYPE mely_runtime_executed_total counter";
+              "mely_worker_executed_total{worker=\"0\"}";
+              "mely_worker_executed_total{worker=\"1\"}";
+              "mely_worker_queue_wait_p99_ns{worker=\"0\"}";
+              "mely_worker_queue_wait_ns_bucket{worker=\"0\",le=\"+Inf\"}";
+              "mely_net_shard_conns_open{shard=\"0\"}";
+              "mely_net_shard_conns_open{shard=\"1\"}";
+              "mely_net_shard_reqs_served_total{shard=\"0\"}";
+            ];
+          let status, raw = roundtrip fd (get "/stats.json") in
+          Alcotest.(check string) "stats 200" "HTTP/1.1 200 OK" status;
+          let j = Mstd.Json.parse (admin_body raw) in
+          let runtime = Mstd.Json.member_exn "runtime" j in
+          Alcotest.(check int) "workers" 2 (Mstd.Json.get_int "workers" runtime);
+          Alcotest.(check bool) "executed > 0" true
+            (Mstd.Json.get_int "executed" runtime > 0);
+          let shards =
+            Mstd.Json.get_list "shards" (Mstd.Json.member_exn "net" j)
+          in
+          Alcotest.(check int) "2 net shards" 2 (List.length shards);
+          let served =
+            List.fold_left
+              (fun acc s -> acc + Mstd.Json.get_int "served" s)
+              0 shards
+          in
+          Alcotest.(check bool) "shards served the load" true (served >= 8 * 40);
+          let status, _ = roundtrip fd (get "/nope") in
+          Alcotest.(check string) "unknown admin path is 404"
+            "HTTP/1.1 404 Not Found" status);
+      Rtnet.Server.stop server;
+      Rt.Runtime.stop rt)
+
+(* /healthz must flip 200 -> 503 across a drain, observed on one
+   held-open admin connection: admin conns stay readable through the
+   drain grace precisely so a scraper can watch the drain happen. *)
+let test_admin_healthz_drain_flip () =
+  with_server ~workers:2 ~admin_port:0 (fun rt server _cache ->
+      let aport = Option.get (Rtnet.Server.admin_port server) in
+      let fd = connect aport in
+      Fun.protect
+        ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          let status, _ = roundtrip fd (get "/healthz") in
+          Alcotest.(check string) "healthz while accepting" "HTTP/1.1 200 OK"
+            status;
+          let stopper = Domain.spawn (fun () -> Rtnet.Server.stop server) in
+          (* Give stop a moment to raise the draining flag. *)
+          Unix.sleepf 0.05;
+          let status, raw = roundtrip fd (get "/healthz") in
+          Alcotest.(check string) "healthz while draining"
+            "HTTP/1.1 503 Service Unavailable" status;
+          Alcotest.(check bool) "draining body" true (contains raw "draining");
+          Alcotest.(check bool) "mid-drain response closes" true
+            (contains (String.lowercase_ascii raw) "connection: close");
+          Domain.join stopper);
+      Rt.Runtime.stop rt)
+
 let suite =
   [
     Alcotest.test_case "e2e: 5k pipelined torn requests, 4 workers" `Slow
@@ -415,4 +576,8 @@ let suite =
     Alcotest.test_case "HEAD serves headers only" `Quick test_head_headers_only;
     Alcotest.test_case "accept cap delays the second client" `Quick
       test_max_clients_cap;
+    Alcotest.test_case "admin: /metrics, /stats.json, /healthz, 404" `Quick
+      test_admin_endpoints;
+    Alcotest.test_case "admin: /healthz flips 200 -> 503 across drain" `Quick
+      test_admin_healthz_drain_flip;
   ]
