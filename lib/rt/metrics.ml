@@ -5,6 +5,7 @@ type t = {
   steals_out : int Atomic.t;
   failed_attempts : int Atomic.t;
   visits : int Atomic.t;
+  batch_extra : int Atomic.t;
   parks : int Atomic.t;
   park_seconds : float Atomic.t;
   parked_now : bool Atomic.t;
@@ -22,6 +23,7 @@ type snapshot = {
   steals_out : int;
   failed_attempts : int;
   visits : int;
+  batch_extra : int;
   parks : int;
   park_seconds : float;
   parked_now : bool;
@@ -40,6 +42,7 @@ let create () : t =
     steals_out = Atomic.make 0;
     failed_attempts = Atomic.make 0;
     visits = Atomic.make 0;
+    batch_extra = Atomic.make 0;
     parks = Atomic.make 0;
     park_seconds = Atomic.make 0.0;
     parked_now = Atomic.make false;
@@ -56,6 +59,9 @@ let on_steal_in (t : t) = Atomic.incr t.steals_in
 let on_steal_out (t : t) = Atomic.incr t.steals_out
 let on_failed_attempt (t : t) = Atomic.incr t.failed_attempts
 let on_visit (t : t) = Atomic.incr t.visits
+
+let on_batch_extra (t : t) ~count =
+  if count > 0 then ignore (Atomic.fetch_and_add t.batch_extra count)
 let on_shed (t : t) = Atomic.incr t.sheds
 let on_evict (t : t) = Atomic.incr t.evictions
 
@@ -92,6 +98,7 @@ let snapshot (t : t) : snapshot =
     steals_out = Atomic.get t.steals_out;
     failed_attempts = Atomic.get t.failed_attempts;
     visits = Atomic.get t.visits;
+    batch_extra = Atomic.get t.batch_extra;
     parks = Atomic.get t.parks;
     park_seconds = Atomic.get t.park_seconds;
     parked_now = Atomic.get t.parked_now;

@@ -17,6 +17,10 @@ type snapshot = {
   visits : int;
       (** individual victims probed across all steal rounds; with the
           per-visit trace spans this makes locality ordering auditable *)
+  batch_extra : int;
+      (** color-queues this worker claimed beyond the first in batch
+          steals — [steals_in - batch_extra] is the number of winning
+          probes, so this is exactly what the batch policy saved *)
   parks : int;  (** times the worker parked on the idle condition *)
   park_seconds : float;  (** total wall-clock time spent parked *)
   parked_now : bool;  (** asleep on the idle condition right now *)
@@ -45,6 +49,10 @@ val on_failed_attempt : t -> unit
 
 val on_visit : t -> unit
 (** One victim probed during a steal round (whatever the outcome). *)
+
+val on_batch_extra : t -> count:int -> unit
+(** [count] color-queues claimed beyond the first by one winning probe
+    (no-op when [count <= 0]). *)
 
 val on_shed : t -> unit
 (** One request refused under overload (503). *)

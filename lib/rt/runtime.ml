@@ -83,12 +83,25 @@ type worker_state = {
   mutable batch_remaining : int;  (** owner-private *)
   mutable cached_most : int;  (** owner-private victim-order cache *)
   mutable cached_victims : int list;
+  probe_cost : float array;
+      (** Per-victim probe-cost EWMA, ns. Owner-private: only this
+          worker probes with this array. 0.0 = never probed. *)
+  mutable probe_rounds : int;  (** steal rounds since creation; owner-private *)
+  mutable lat_victims : int list;
+      (** locality order re-ranked by probe cost; owner-private cache *)
   metrics : Metrics.t;
 }
 
-type ws_config = { enabled : bool; locality : bool; time_left : bool; penalty : bool }
+type ws_config = {
+  enabled : bool;
+  locality : bool;
+  time_left : bool;
+  penalty : bool;
+  latency : bool;
+}
 
-let default_ws = { enabled = true; locality = true; time_left = true; penalty = true }
+let default_ws =
+  { enabled = true; locality = true; time_left = true; penalty = true; latency = true }
 
 type failure_policy = Swallow | Stop_runtime
 
@@ -116,7 +129,17 @@ type t = {
   n : int;
   ws : ws_config;
   batch : int;
-  worthy_threshold : int;
+  worthy_threshold : int Atomic.t;
+      (** The worthiness bar, tunable online by the controller; thieves
+          read it once per probe. *)
+  steal_policy : Policy.batch Atomic.t;
+      (** Batch policy in force; read once per probe, so a controller
+          move applies to the next probe without any hand-shake. *)
+  controller : (Policy.Controller.t * Mutex.t) option;
+      (** Online tuner, ticked from the telemetry window swap. The
+          mutex serializes ticks (any thread may drive the swap); the
+          hot path never touches it — workers see controller output
+          only through the two atomics above. *)
   states : worker_state array;
   victims : int list array;  (** per-worker locality victim order *)
   shards : shard array;
@@ -164,7 +187,8 @@ let locality_victims n =
       List.sort (fun a b -> compare (key a) (key b)) others)
 
 let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
-    ?(worthy_threshold = 2_000) ?(on_error = Swallow) ?trace () =
+    ?(worthy_threshold = 2_000) ?(steal_policy = Policy.Steal_one) ?controller
+    ?(on_error = Swallow) ?trace () =
   let n =
     match workers with
     | Some n ->
@@ -174,11 +198,29 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
   in
   if worthy_threshold < 0 then
     invalid_arg "Rt.Runtime.create: worthy_threshold must be >= 0";
+  let controller =
+    Option.map
+      (fun config ->
+        ( Policy.Controller.create ~config ~batch:steal_policy
+            ~threshold:worthy_threshold (),
+          Mutex.create () ))
+      controller
+  in
+  (* With a controller, the clamped operating point is authoritative
+     from tick zero — start the atomics on it so the first snapshot
+     already agrees with the controller state. *)
+  let worthy_threshold =
+    match controller with
+    | Some (ctl, _) -> Policy.Controller.threshold ctl
+    | None -> worthy_threshold
+  in
   {
     n;
     ws;
     batch = batch_threshold;
-    worthy_threshold;
+    worthy_threshold = Atomic.make worthy_threshold;
+    steal_policy = Atomic.make steal_policy;
+    controller;
     states =
       Array.init n (fun _ ->
           {
@@ -190,6 +232,9 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
             batch_remaining = 0;
             cached_most = -1;
             cached_victims = [];
+            probe_cost = Array.make n 0.0;
+            probe_rounds = 0;
+            lat_victims = [];
             metrics = Metrics.create ();
           });
     victims = locality_victims n;
@@ -626,8 +671,53 @@ let execute t w (cq : color_queue) event =
    list is cached per worker and recomputed only when the most-loaded
    hint actually moves. Owner-private fields: only worker [w] calls
    this for itself. *)
+(* Latency-aware refinement of the locality order. Each worker keeps a
+   per-victim probe-cost EWMA (fed by [try_steal] from the same
+   timestamps the Visit spans carry): a winning probe is cheap at any
+   latency, an empty one wasted the whole round-trip — so the EWMA is
+   the expected cost of *useful* work from that victim. Ranking by raw
+   EWMA would let nanosecond noise reorder equally-near victims, so
+   costs are quantized to log2 buckets and the sort is stable on the
+   original locality position: within a cost magnitude the cache
+   topology still decides, and a victim must get ~2x worse (or better)
+   before it moves. Re-ranked every [rerank_interval] rounds —
+   owner-private state, no synchronization. *)
+let ewma_alpha = 0.125
+
+let rerank_interval = 64
+
+let probe_cost_update ws victim ~outcome ~dt_ns =
+  let weight =
+    match outcome with
+    | Trace.Won -> 0.25  (* a win amortizes its latency *)
+    | Trace.Empty -> 4.0  (* pure waste; also punishes always-empty victims *)
+    | Trace.Unworthy | Trace.Executing -> 1.0
+  in
+  let cost = weight *. Float.max 1.0 dt_ns in
+  let prev = ws.probe_cost.(victim) in
+  ws.probe_cost.(victim) <-
+    (if prev = 0.0 then cost else prev +. (ewma_alpha *. (cost -. prev)))
+
+let cost_bucket e =
+  if e <= 0.0 then 0 else int_of_float (Float.log2 (1.0 +. (e /. 1_000.0)))
+
+let latency_order t w ws =
+  if ws.lat_victims = [] || ws.probe_rounds mod rerank_interval = 0 then begin
+    let keyed =
+      List.mapi (fun i v -> (cost_bucket ws.probe_cost.(v), i, v)) t.victims.(w)
+    in
+    ws.lat_victims <-
+      List.map
+        (fun (_, _, v) -> v)
+        (List.sort
+           (fun (ba, ia, _) (bb, ib, _) -> compare (ba, ia) (bb, ib))
+           keyed)
+  end;
+  ws.lat_victims
+
 let victim_order t w =
-  if t.ws.locality then t.victims.(w)
+  if t.ws.locality then
+    if t.ws.latency then latency_order t w t.states.(w) else t.victims.(w)
   else begin
     let ws = t.states.(w) in
     let most = ref 0 and best = ref (-1) in
@@ -661,75 +751,117 @@ let victim_order t w =
    lock it described). *)
 let steal_scan_budget = 16
 
-(* Claim a worthy queue out of the victim's inbox. Without this,
-   freshly published colors would be invisible to thieves until the
-   owner's next color switch moves them into its deque — on a loaded
-   owner that window is exactly when stealing matters. Taking the whole
-   Treiber stack and re-pushing the unclaimed rest is safe: the queues
-   stay [chained] throughout, and the owner cannot park meanwhile
-   because their events keep [pending] positive. *)
-let steal_inbox vs pred =
+(* Claim up to [max_take] worthy queues out of the victim's inbox.
+   Without this, freshly published colors would be invisible to thieves
+   until the owner's next color switch moves them into its deque — on a
+   loaded owner that window is exactly when stealing matters. Taking
+   the whole Treiber stack is safe: the queues stay [chained]
+   throughout, and the owner cannot park meanwhile because their events
+   keep [pending] positive.
+
+   The unclaimed rest goes back in ONE CAS, appended underneath
+   whatever was pushed concurrently: the rest is older than any
+   concurrent arrival (it was in the stack before our exchange), so
+   [cur @ rest] keeps the stack newest-first as a whole AND preserves
+   the rest's internal order. The seed re-pushed one element at a time,
+   which let a concurrent push land *between* two restored queues and
+   shuffle their relative age — the order regression test pins this
+   down. *)
+let steal_inbox vs ~max_take pred =
   match Atomic.get vs.inbox with
-  | [] -> None
+  | [] -> []
   | _ -> (
     match Atomic.exchange vs.inbox [] with
-    | [] -> None
+    | [] -> []
     | got ->
-      let oldest_first = List.rev got in
-      let rec split acc = function
-        | [] -> (None, List.rev acc)
-        | cq :: rest when pred cq -> (Some cq, List.rev_append acc rest)
-        | cq :: rest -> split (cq :: acc) rest
-      in
-      let claimed, rest = split [] oldest_first in
-      (* Re-push oldest first so the stack keeps its original order. *)
-      List.iter (fun cq -> inbox_push vs cq) rest;
+      let claimed, rest = Policy.split_stack ~newest_first:got ~max_take pred in
+      if rest <> [] then begin
+        let rec restore () =
+          let cur = Atomic.get vs.inbox in
+          if not (Atomic.compare_and_set vs.inbox cur (cur @ rest)) then restore ()
+        in
+        restore ()
+      end;
       claimed)
 
+(* Returns the visit outcome plus how many queues the probe won. Under
+   a batch policy a winning probe claims up to [Policy.want] queues: a
+   contiguous worthy run of the victim's deque ([Spmc_queue.steal_many])
+   or the oldest worthy block of its inbox. The first claimed queue
+   becomes the thief's current directly (skipping the inbox/deque
+   round-trip, as with single steal); the rest land on the thief's OWN
+   deque — legal because the thief's domain is that deque's single
+   producer — where they are next in rotation and, being still
+   [chained], visible to second-order thieves for re-balancing.
+   Ownership writes happen before the deque pushes, so any second thief
+   that claims one synchronizes after our [owner] store. *)
 let steal_from t w victim =
   let vs = t.states.(victim) in
   let ws = t.states.(w) in
+  let threshold = Atomic.get t.worthy_threshold in
   (* Plain reads of the weighted pair: worthiness is a heuristic, a
      stale value only mis-ranks a candidate, never breaks safety. *)
   let worthy cq =
-    (not t.ws.time_left) || cq.weighted_in - cq.weighted_out > t.worthy_threshold
+    (not t.ws.time_left) || cq.weighted_in - cq.weighted_out > threshold
+  in
+  let max_take =
+    Policy.want (Atomic.get t.steal_policy) ~available:(Atomic.get vs.n_chained)
   in
   let claimed =
-    match Spmc_queue.steal vs.deque ~budget:steal_scan_budget worthy with
-    | Some _ as c -> c
-    | None -> steal_inbox vs worthy
+    match Spmc_queue.steal_many vs.deque ~budget:steal_scan_budget ~max_take worthy with
+    | [] -> steal_inbox vs ~max_take worthy
+    | run -> run
   in
   match claimed with
-  | Some cq ->
-    Atomic.decr vs.n_chained;
-    Atomic.set cq.owner w;
-    (* Skip the inbox/deque round-trip: the stolen color becomes the
-       thief's current directly. *)
-    ws.current <- Some cq;
-    Atomic.set ws.current_color cq.color;
+  | [] ->
+    let outcome =
+      if Atomic.get vs.n_chained <= 0 then
+        if Atomic.get vs.current_color >= 0 then Trace.Executing else Trace.Empty
+      else Trace.Unworthy
+    in
+    (outcome, 0)
+  | first :: extra ->
+    let k = List.length claimed in
+    ignore (Atomic.fetch_and_add vs.n_chained (-k));
+    List.iter (fun cq -> Atomic.set cq.owner w) claimed;
+    ws.current <- Some first;
+    Atomic.set ws.current_color first.color;
     ws.batch_remaining <- t.batch;
-    Atomic.incr t.steal_count;
-    Metrics.on_steal_in ws.metrics;
-    Metrics.on_steal_out vs.metrics;
-    Metrics.note_queue_len ws.metrics (cq_len cq);
-    Telemetry.on_steal t.telemetry ~thief:w ~victim;
-    Trace.Won
-  | None ->
-    if Atomic.get vs.n_chained <= 0 then
-      if Atomic.get vs.current_color >= 0 then Trace.Executing else Trace.Empty
-    else Trace.Unworthy
+    List.iter
+      (fun cq ->
+        Atomic.incr ws.n_chained;
+        Spmc_queue.push ws.deque cq)
+      extra;
+    ignore (Atomic.fetch_and_add t.steal_count k);
+    for _ = 1 to k do
+      Metrics.on_steal_in ws.metrics;
+      Metrics.on_steal_out vs.metrics
+    done;
+    Metrics.on_batch_extra ws.metrics ~count:(k - 1);
+    Metrics.note_queue_len ws.metrics (cq_len first);
+    Telemetry.on_steal t.telemetry ~thief:w ~victim ~count:k;
+    (Trace.Won, k)
 
 let try_steal t w =
   Atomic.incr t.attempt_count;
   let ws = t.states.(w) in
+  ws.probe_rounds <- ws.probe_rounds + 1;
+  (* One clock read per probe feeds both the Visit span and the
+     probe-cost EWMA; skipped entirely when neither consumer is on. *)
+  let timing = (t.ws.locality && t.ws.latency) || t.trace <> None in
   let rec visit = function
     | [] -> false
     | victim :: rest ->
-      let outcome = steal_from t w victim in
+      let t0 = if timing then Clock.now_ns () else 0L in
+      let outcome, won_count = steal_from t w victim in
       Metrics.on_visit ws.metrics;
+      let t1 = if timing then Clock.now_ns () else 0L in
+      if t.ws.locality && t.ws.latency then
+        probe_cost_update ws victim ~outcome
+          ~dt_ns:(Int64.to_float (Int64.sub t1 t0));
       (match t.trace with
       | Some tr ->
-        Trace.record_visit tr ~worker:w ~victim ~outcome ~ns:(Clock.now_ns ())
+        Trace.record_visit tr ~worker:w ~victim ~outcome ~claimed:won_count ~ns:t1
       | None -> ());
       (match outcome with Trace.Won -> true | _ -> visit rest)
   in
@@ -896,6 +1028,62 @@ let quiesce t =
   Atomic.decr t.n_waiters;
   Mutex.unlock t.park_mutex
 
+let steal_policy t = Atomic.get t.steal_policy
+let worthy_threshold t = Atomic.get t.worthy_threshold
+
+let controller_snapshot t =
+  Option.map
+    (fun (ctl, lock) ->
+      Mutex.lock lock;
+      let s = Policy.Controller.snapshot ctl in
+      Mutex.unlock lock;
+      s)
+    t.controller
+
+(* One controller decision from the just-closed telemetry window: merge
+   the per-worker window histograms, tick, publish the new operating
+   point through the two atomics. Callers must have swapped the window
+   first. The ctl mutex serializes concurrent scrapers; workers never
+   take it. *)
+let apply_controller t =
+  match t.controller with
+  | None -> ()
+  | Some (ctl, lock) ->
+    let merged = ref None in
+    for w = 0 to t.n - 1 do
+      let s = Telemetry.sample t.telemetry ~worker:w in
+      match !merged with
+      | None -> merged := Some (Mstd.Histogram.copy s.Telemetry.qwait_win)
+      | Some into -> Mstd.Histogram.merge ~into s.Telemetry.qwait_win
+    done;
+    let signal =
+      match !merged with
+      | None ->
+        {
+          Policy.Controller.sig_qwait_p99_ns = 0.0;
+          sig_window_events = 0;
+          sig_steals = Atomic.get t.steal_count;
+        }
+      | Some h ->
+        {
+          Policy.Controller.sig_qwait_p99_ns = Mstd.Histogram.quantile h 0.99;
+          sig_window_events = Mstd.Histogram.count h;
+          sig_steals = Atomic.get t.steal_count;
+        }
+    in
+    Mutex.lock lock;
+    Policy.Controller.tick ctl signal;
+    Atomic.set t.steal_policy (Policy.Controller.batch ctl);
+    Atomic.set t.worthy_threshold (Policy.Controller.threshold ctl);
+    Mutex.unlock lock
+
+(* Close the current streaming window and let the controller consume
+   it — the driver for benches and embedders that do not go through
+   [telemetry_snapshot ~swap_window:true]. *)
+let tick_controller t =
+  Telemetry.swap_window t.telemetry;
+  apply_controller t
+
 let executed t = Atomic.get t.executed
 let steals t = Atomic.get t.steal_count
 let steal_attempts t = Atomic.get t.attempt_count
@@ -1000,7 +1188,13 @@ let telemetry t = t.telemetry
    windows are rotated first, so the returned window histograms cover
    the interval since the previous swap. *)
 let telemetry_snapshot ?(swap_window = false) t =
-  if swap_window then Telemetry.swap_window t.telemetry;
+  if swap_window then begin
+    Telemetry.swap_window t.telemetry;
+    (* The epoch swap is the controller's clock: whoever closes a
+       window hands it to the tuner, so a periodic scraper (the admin
+       plane's /stats.json?swap=1) drives adaptation for free. *)
+    apply_controller t
+  end;
   let worker w =
     let ws = t.states.(w) in
     let s = Telemetry.sample t.telemetry ~worker:w in
@@ -1035,4 +1229,7 @@ let telemetry_snapshot ?(swap_window = false) t =
     s_errors = Atomic.get t.error_count;
     s_serving = Atomic.get t.serving;
     s_accepting = Atomic.get t.shutdown = accepting;
+    s_steal_policy = Atomic.get t.steal_policy;
+    s_worthy_threshold = Atomic.get t.worthy_threshold;
+    s_controller = controller_snapshot t;
   }

@@ -62,6 +62,10 @@ type ws_config = {
   locality : bool;  (** visit victims in sibling order *)
   time_left : bool;  (** steal only worthy colors *)
   penalty : bool;  (** divide perceived time by handler penalties *)
+  latency : bool;
+      (** fold per-victim probe-cost EWMAs into the locality order so
+          distant / always-empty victims are probed last (only
+          meaningful with [locality]) *)
 }
 
 val default_ws : ws_config
@@ -71,6 +75,8 @@ val create :
   ?ws:ws_config ->
   ?batch_threshold:int ->
   ?worthy_threshold:int ->
+  ?steal_policy:Policy.batch ->
+  ?controller:Policy.Controller.config ->
   ?on_error:failure_policy ->
   ?trace:Trace.config ->
   unit ->
@@ -80,11 +86,19 @@ val create :
     the remaining weighted declared-cycle budget above which a color
     lands on the stealing list — the unit is declared cycles as given
     to {!handler}, already divided by the penalty when that heuristic
-    is on. [on_error] (default [Swallow]) is the handler-failure
-    policy. [trace] enables the {!Trace} flight recorder for the
-    lifetime of the runtime (per-worker span rings, optional latency
-    histograms); omitted, recording is compiled in but skipped behind
-    one branch per event. *)
+    is on. [steal_policy] (default {!Policy.Steal_one}) is the initial
+    batch policy: how many color-queues a thief claims per winning
+    probe. [controller] enables the online tuner: each telemetry window
+    swap ({!telemetry_snapshot} with [swap_window], or
+    {!tick_controller}) feeds the closed queue-wait window to a
+    {!Policy.Controller} that re-tunes the batch policy and the
+    worthiness threshold; without it both stay at their creation
+    values. With a controller the initial [worthy_threshold] is clamped
+    into the config's floor/ceiling. [on_error] (default [Swallow]) is
+    the handler-failure policy. [trace] enables the {!Trace} flight
+    recorder for the lifetime of the runtime (per-worker span rings,
+    optional latency histograms); omitted, recording is compiled in but
+    skipped behind one branch per event. *)
 
 val workers : t -> int
 
@@ -159,6 +173,24 @@ val is_serving : t -> bool
 val executed : t -> int
 val steals : t -> int
 val steal_attempts : t -> int
+
+val steal_policy : t -> Policy.batch
+(** Batch policy currently in force (the creation value, or the
+    controller's latest choice). *)
+
+val worthy_threshold : t -> int
+(** Worthiness bar currently in force. *)
+
+val controller_snapshot : t -> Policy.Controller.snapshot option
+(** State of the online tuner; [None] when {!create} got no
+    [controller]. *)
+
+val tick_controller : t -> unit
+(** Close the current telemetry window and let the controller consume
+    it (no-op tuning without a controller, but the window still
+    swaps). Equivalent to the swap performed by
+    [telemetry_snapshot ~swap_window:true] without building a
+    snapshot; call it from exactly one periodic driver. *)
 
 val pending : t -> int
 (** Accepted events not yet executed. Never negative; [0] after a

@@ -80,6 +80,68 @@ let take t ~budget pred =
 let pop t = take t ~budget:max_int (fun _ -> true)
 let steal t ?(budget = max_int) pred = take t ~budget pred
 
+(* Multi-slot claim: like [take], but after winning the first slot the
+   walker keeps CASing the immediately-following live slots — a
+   contiguous run of the queue — until [max_take] elements are held,
+   a live element fails [pred], or a CAS is lost. Claimed-by-others
+   (dead) nodes inside the run are skipped: they are already consumed,
+   so the claimed elements still come out in queue (FIFO) order, and
+   every slot CAS still has exactly one winner — batch size changes
+   how many slots one thief wins, not the per-slot protocol. Stopping
+   at the first lost race or rejected element keeps the claim a
+   contiguous run of live slots, so two concurrent batch thieves
+   partition the queue instead of interleaving through it.
+
+   The head advance generalizes [take]'s: [hbase] tracks the boundary
+   we last published, and while the prefix stays clean each claim
+   tries to swing [head] forward; the first lost head CAS (another
+   consumer got past us) stops further advances, never correctness. *)
+let take_many t ~budget ~max_take pred =
+  if max_take <= 0 then []
+  else begin
+    let hbase = ref (Atomic.get t.head) in
+    let advance = ref true in
+    let acc = ref [] in
+    let taken = ref 0 in
+    let rec walk node clean budget =
+      if budget > 0 && !taken < max_take then
+        match Atomic.get node.next with
+        | None -> ()
+        | Some n -> (
+            let seen = Atomic.get n.slot in
+            match seen with
+            | None -> walk n clean budget
+            | Some v ->
+                if pred v && Atomic.compare_and_set n.slot seen None then begin
+                  acc := v :: !acc;
+                  incr taken;
+                  let clean =
+                    if clean && !advance then
+                      if Atomic.compare_and_set t.head !hbase n then begin
+                        hbase := n;
+                        true
+                      end
+                      else begin
+                        (* Another consumer advanced [head] past our
+                           base; the prefix is still consumed, but our
+                           base is stale — stop advancing. *)
+                        advance := false;
+                        clean
+                      end
+                    else clean
+                  in
+                  walk n clean budget
+                end
+                else if !taken = 0 then walk n false (budget - 1)
+                else () (* run ends: lost a race or rejected element *))
+    in
+    walk !hbase true budget;
+    List.rev !acc
+  end
+
+let steal_many t ?(budget = max_int) ~max_take pred =
+  take_many t ~budget ~max_take pred
+
 let length t =
   let rec count node acc =
     match Atomic.get node.next with

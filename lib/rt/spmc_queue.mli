@@ -40,6 +40,19 @@ val steal :
     [pred], scanning at most [budget] live candidates (default: no
     bound). Elements rejected by [pred] are left in place. *)
 
+val steal_many :
+  'a t -> ?budget:int -> max_take:int -> ('a -> bool) -> 'a list
+(** [steal_many q ~max_take pred] claims a contiguous run of up to
+    [max_take] elements: the oldest element [pred] accepts, then the
+    immediately-following live elements while they keep satisfying
+    [pred]. Returned oldest-first (queue order). Each element is won
+    with its own slot CAS, so exactly-once delivery is per slot exactly
+    as with {!steal}; the run stops at the first rejected element or
+    lost race, so concurrent batch thieves partition the queue rather
+    than interleave. [budget] bounds rejected live candidates scanned
+    before the first claim (default: no bound). [max_take <= 0]
+    returns []. *)
+
 val is_empty : 'a t -> bool
 (** No unclaimed element at the moment of the call (racy snapshot). *)
 

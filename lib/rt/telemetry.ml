@@ -60,10 +60,11 @@ let on_exec t ~worker ~qwait_ns ~service_ns =
   s.service_sum_ns <- s.service_sum_ns + service_ns
 
 (* Called by the thief; it writes its own matrix row, so the matrix is
-   single-writer per row like everything else in the shard. *)
-let on_steal t ~thief ~victim =
+   single-writer per row like everything else in the shard. [count] is
+   the number of color-queues the probe won (> 1 under batch steal). *)
+let on_steal t ~thief ~victim ~count =
   let row = t.shards.(thief).steals_from in
-  row.(victim) <- row.(victim) + 1
+  row.(victim) <- row.(victim) + count
 
 type sample = {
   qwait : Mstd.Histogram.t;
@@ -119,4 +120,8 @@ type snapshot = {
   s_errors : int;
   s_serving : bool;
   s_accepting : bool;  (** shutdown gate open (false once draining) *)
+  s_steal_policy : Policy.batch;  (** batch policy in force at snapshot *)
+  s_worthy_threshold : int;  (** worthiness bar in force at snapshot *)
+  s_controller : Policy.Controller.snapshot option;
+      (** [None] when the runtime was created without a controller *)
 }

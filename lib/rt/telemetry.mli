@@ -29,9 +29,10 @@ val on_exec : t -> worker:int -> qwait_ns:int -> service_ns:int -> unit
 (** Record one executed event: queue wait (enqueue to start of run) and
     service time. Must be called by worker [worker]'s own domain. *)
 
-val on_steal : t -> thief:int -> victim:int -> unit
-(** Record a won steal in the worker×victim matrix. Must be called by
-    the thief's domain (each row is single-writer). *)
+val on_steal : t -> thief:int -> victim:int -> count:int -> unit
+(** Record a won steal of [count] color-queues in the worker×victim
+    matrix ([count > 1] under a batch policy). Must be called by the
+    thief's domain (each row is single-writer). *)
 
 (** Racy-read-safe copies of one worker's shard. *)
 type sample = {
@@ -80,4 +81,8 @@ type snapshot = {
   s_errors : int;
   s_serving : bool;
   s_accepting : bool;  (** shutdown gate open (false once draining) *)
+  s_steal_policy : Policy.batch;  (** batch policy in force at snapshot *)
+  s_worthy_threshold : int;  (** worthiness bar in force at snapshot *)
+  s_controller : Policy.Controller.snapshot option;
+      (** [None] when the runtime was created without a controller *)
 }

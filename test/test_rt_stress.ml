@@ -36,16 +36,47 @@ let busywork iters =
   done;
   ignore !acc
 
+(* The ownership/recycled/FIFO scenarios below are parameterized by the
+   batch steal policy: [policy = None] is the original untraced
+   Steal_one run; [Some p] runs the same scenario under [p] with the
+   flight recorder on, and each run's real-domain trace must pass the
+   offline replay checkers — multi-queue claims must not be able to buy
+   throughput at the expense of mutual exclusion or per-color FIFO. *)
+let make_rt ?policy ~workers () =
+  match policy with
+  | None -> Rt.Runtime.create ~workers ()
+  | Some p ->
+    Rt.Runtime.create ~workers ~steal_policy:p
+      ~trace:{ Rt.Trace.capacity = 16_384; histograms = false }
+      ()
+
+let certify_trace ~msg rt =
+  match Rt.Runtime.trace rt with
+  | None -> ()
+  | Some tr ->
+    (match Rt.Trace.check_mutual_exclusion tr with
+    | None -> ()
+    | Some v ->
+      let (wa, a), (wb, b) = (v.Rt.Trace.va, v.vb) in
+      Alcotest.failf "%s: mutual-exclusion violation color %d (%s on w%d vs %s on w%d)"
+        msg a.Rt.Trace.x_color a.x_handler wa b.x_handler wb);
+    (match Rt.Trace.check_fifo_per_color tr with
+    | None -> ()
+    | Some v ->
+      let (_, a), (_, b) = (v.Rt.Trace.va, v.vb) in
+      Alcotest.failf "%s: FIFO violation color %d (seq %d ran before seq %d)" msg
+        a.Rt.Trace.x_color b.x_seq a.x_seq)
+
 (* Steal/enqueue ownership transfer: all colors hash to worker 0 and
    every handler registers the *next* color in a ring, so enqueues to a
    color keep arriving from handlers running on other workers while that
    color's queue sits stealable — exactly the collision the seed's
    deferred ownership transfer loses. *)
-let test_steal_enqueue_ownership () =
+let test_steal_enqueue_ownership ?policy ?(runs = 60) () =
   let total_steals = ref 0 in
-  for run = 1 to 60 do
+  for run = 1 to runs do
     let workers = 2 + (run mod 3) in
-    let rt = Rt.Runtime.create ~workers () in
+    let rt = make_rt ?policy ~workers () in
     (* Large declared cycles: every color is immediately steal-worthy. *)
     let h = Rt.Runtime.handler rt ~name:"own" ~declared_cycles:500_000 () in
     let n_colors = 6 and seeds = 4 and depth = 5 in
@@ -93,7 +124,8 @@ let test_steal_enqueue_ownership () =
       (Printf.sprintf "run %d: steals out = steals" run)
       (Rt.Runtime.steals rt)
       (sum (fun (s : Rt.Metrics.snapshot) -> s.steals_out));
-    total_steals := !total_steals + Rt.Runtime.steals rt
+    total_steals := !total_steals + Rt.Runtime.steals rt;
+    certify_trace ~msg:(Printf.sprintf "ownership run %d" run) rt
   done;
   Alcotest.(check bool) "ownership transfers exercised" true (!total_steals > 0)
 
@@ -102,10 +134,10 @@ let test_steal_enqueue_ownership () =
    unmapping) between consecutive events of its color. An enqueuer
    racing [forget_if_drained] on the seed code pushes into a dropped
    queue and the event is duplicated onto a fresh queue or lost. *)
-let test_recycled_colors () =
-  for run = 1 to 50 do
+let test_recycled_colors ?policy ?(runs = 50) () =
+  for run = 1 to runs do
     let workers = 2 + (run mod 3) in
-    let rt = Rt.Runtime.create ~workers () in
+    let rt = make_rt ?policy ~workers () in
     let h = Rt.Runtime.handler rt ~name:"recycle" ~declared_cycles:100_000 () in
     let n_colors = 3 and chains = 6 and depth = 40 in
     let count = Atomic.make 0 in
@@ -134,16 +166,17 @@ let test_recycled_colors () =
     Alcotest.(check int) (Printf.sprintf "run %d: probe serial" run) 0
       (Atomic.get violations);
     Alcotest.(check int) (Printf.sprintf "run %d: runtime serial" run) 1
-      (Rt.Runtime.max_concurrent_same_color rt)
+      (Rt.Runtime.max_concurrent_same_color rt);
+    certify_trace ~msg:(Printf.sprintf "recycle run %d" run) rt
   done
 
 (* Per-color FIFO must survive steals and recycling: each color records
    its observed sequence numbers; mutual exclusion makes the per-color
    array single-writer. *)
-let test_fifo_under_stealing () =
-  for run = 1 to 50 do
+let test_fifo_under_stealing ?policy ?(runs = 50) () =
+  for run = 1 to runs do
     let workers = 2 + (run mod 3) in
-    let rt = Rt.Runtime.create ~workers () in
+    let rt = make_rt ?policy ~workers () in
     let h = Rt.Runtime.handler rt ~name:"fifo" ~declared_cycles:200_000 () in
     let n_colors = 5 and per_color = 30 in
     let seen = Array.make n_colors [] in
@@ -164,7 +197,8 @@ let test_fifo_under_stealing () =
         Alcotest.(check int)
           (Printf.sprintf "run %d: color %d complete" run c)
           per_color (List.length entries))
-      seen
+      seen;
+    certify_trace ~msg:(Printf.sprintf "fifo run %d" run) rt
   done
 
 (* Parking: while a single serial color executes, every other worker has
@@ -493,11 +527,25 @@ let test_park_wake_storm () =
 
 let suite =
   [
-    Alcotest.test_case "steal/enqueue ownership x60" `Slow test_steal_enqueue_ownership;
+    Alcotest.test_case "steal/enqueue ownership x60" `Slow (fun () ->
+        test_steal_enqueue_ownership ());
     Alcotest.test_case "conservation under storm x8" `Slow test_conservation_under_storm;
     Alcotest.test_case "park/wake storm x4" `Slow test_park_wake_storm;
-    Alcotest.test_case "recycled colors x50" `Slow test_recycled_colors;
-    Alcotest.test_case "fifo under stealing x50" `Slow test_fifo_under_stealing;
+    Alcotest.test_case "recycled colors x50" `Slow (fun () -> test_recycled_colors ());
+    Alcotest.test_case "fifo under stealing x50" `Slow (fun () ->
+        test_fifo_under_stealing ());
+    Alcotest.test_case "ownership under steal-two, traced x20" `Slow (fun () ->
+        test_steal_enqueue_ownership ~policy:Rt.Policy.Steal_two ~runs:20 ());
+    Alcotest.test_case "ownership under steal-half, traced x20" `Slow (fun () ->
+        test_steal_enqueue_ownership ~policy:Rt.Policy.Steal_half ~runs:20 ());
+    Alcotest.test_case "recycled colors under steal-two, traced x15" `Slow
+      (fun () -> test_recycled_colors ~policy:Rt.Policy.Steal_two ~runs:15 ());
+    Alcotest.test_case "recycled colors under steal-half, traced x15" `Slow
+      (fun () -> test_recycled_colors ~policy:Rt.Policy.Steal_half ~runs:15 ());
+    Alcotest.test_case "fifo under steal-two, traced x15" `Slow (fun () ->
+        test_fifo_under_stealing ~policy:Rt.Policy.Steal_two ~runs:15 ());
+    Alcotest.test_case "fifo under steal-half, traced x15" `Slow (fun () ->
+        test_fifo_under_stealing ~policy:Rt.Policy.Steal_half ~runs:15 ());
     Alcotest.test_case "parking on serial chain" `Quick test_parking_on_serial_chain;
     Alcotest.test_case "raising handlers terminate (4 workers)" `Quick
       test_raising_handlers_terminate;

@@ -165,6 +165,158 @@ let test_growth () =
   drain ();
   Alcotest.(check int) "nothing lost" !next_push !next_pop
 
+(* steal_many single-threaded semantics: a contiguous run from the
+   oldest accepted element, oldest-first, stopping at the first rejected
+   element; the budget only bounds rejections scanned before the first
+   claim; max_take <= 0 claims nothing. *)
+let test_steal_many_sequential () =
+  let q = Rt.Spmc_queue.create () in
+  for i = 1 to 10 do
+    Rt.Spmc_queue.push q i
+  done;
+  Alcotest.(check (list int)) "max_take 0 claims nothing" []
+    (Rt.Spmc_queue.steal_many q ~max_take:0 (fun _ -> true));
+  Alcotest.(check (list int)) "run stops at the first rejected element" [ 2 ]
+    (Rt.Spmc_queue.steal_many q ~max_take:3 (fun v -> v mod 2 = 0));
+  Alcotest.(check (list int)) "contiguous run, oldest first" [ 5; 6; 7 ]
+    (Rt.Spmc_queue.steal_many q ~max_take:3 (fun v -> v >= 5));
+  (* Live: 1 3 4 8 9 10.  A budget of 2 exhausts on the rejected 1, 3
+     before reaching anything the predicate wants. *)
+  Alcotest.(check (list int)) "budget too small" []
+    (Rt.Spmc_queue.steal_many q ~budget:2 ~max_take:2 (fun v -> v >= 9));
+  (* The claimed holes (2, 5, 6, 7) are dead nodes mid-queue; a batch
+     walk must skip them and still return a contiguous live run. *)
+  Alcotest.(check (list int)) "dead nodes skipped, run capped by max_take"
+    [ 8; 9 ]
+    (Rt.Spmc_queue.steal_many q ~max_take:2 (fun v -> v >= 8));
+  let rest = ref [] in
+  let rec drain () =
+    match Rt.Spmc_queue.pop q with
+    | None -> ()
+    | Some v ->
+      rest := v :: !rest;
+      drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "owner sees the rest in order" [ 1; 3; 4; 10 ]
+    (List.rev !rest)
+
+(* Three thieves claiming half the visible backlog per probe, against an
+   owner that interleaves pushes and pops over 20k elements: every
+   element claimed exactly once, and every returned batch strictly
+   ascending — a batch is a contiguous claim of a FIFO queue, so
+   out-of-order elements inside one batch would mean two thieves
+   interleaved instead of partitioned. *)
+let test_steal_half_exactly_once () =
+  let n_items = 20_000 and n_thieves = 3 in
+  let q = Rt.Spmc_queue.create () in
+  let claimed = Array.make n_items 0 in
+  let stop = Atomic.make false in
+  let thieves =
+    List.init n_thieves (fun _ ->
+        Domain.spawn (fun () ->
+            let got = ref 0 and bad_order = ref 0 in
+            while not (Atomic.get stop) do
+              let max_take = max 1 (Rt.Spmc_queue.length q / 2) in
+              match Rt.Spmc_queue.steal_many q ~max_take (fun _ -> true) with
+              | [] -> Domain.cpu_relax ()
+              | batch ->
+                let rec ascending = function
+                  | a :: (b :: _ as tl) -> a < b && ascending tl
+                  | _ -> true
+                in
+                if not (ascending batch) then incr bad_order;
+                List.iter
+                  (fun v ->
+                    claimed.(v) <- claimed.(v) + 1;
+                    incr got)
+                  batch
+            done;
+            (!got, !bad_order)))
+  in
+  let owner_got = ref 0 in
+  for v = 0 to n_items - 1 do
+    Rt.Spmc_queue.push q v;
+    if v mod 5 = 0 then
+      match Rt.Spmc_queue.pop q with
+      | Some u ->
+        claimed.(u) <- claimed.(u) + 1;
+        incr owner_got
+      | None -> ()
+  done;
+  let rec drain () =
+    match Rt.Spmc_queue.pop q with
+    | Some u ->
+      claimed.(u) <- claimed.(u) + 1;
+      incr owner_got;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Atomic.set stop true;
+  let thief_got, bad_order =
+    List.fold_left
+      (fun (g, b) d ->
+        let g', b' = Domain.join d in
+        (g + g', b + b'))
+      (0, 0) thieves
+  in
+  Alcotest.(check int) "every batch in queue order" 0 bad_order;
+  Alcotest.(check int) "every element claimed exactly once" n_items
+    (thief_got + !owner_got);
+  Array.iteri
+    (fun v n ->
+      if n <> 1 then
+        Alcotest.failf "element %d claimed %d times (want exactly 1)" v n)
+    claimed
+
+(* Adversarial empty race at every batch size: two thieves hammer a
+   mostly-empty queue with steal_many while the owner pushes singles — a
+   batch claim must never invent an element, and every element goes to
+   exactly one party whatever max_take is asking for. *)
+let test_steal_many_empty_race () =
+  List.iter
+    (fun max_take ->
+      let rounds = 1_000 in
+      let q = Rt.Spmc_queue.create () in
+      let stop = Atomic.make false in
+      let thieves =
+        List.init 2 (fun _ ->
+            Domain.spawn (fun () ->
+                let got = ref 0 in
+                while not (Atomic.get stop) do
+                  match Rt.Spmc_queue.steal_many q ~max_take (fun _ -> true) with
+                  | [] -> Domain.cpu_relax ()
+                  | batch -> got := !got + List.length batch
+                done;
+                !got))
+      in
+      let owner_got = ref 0 in
+      for i = 1 to rounds do
+        Rt.Spmc_queue.push q i;
+        match Rt.Spmc_queue.pop q with
+        | Some _ -> incr owner_got
+        | None -> ()
+      done;
+      let rec drain () =
+        match Rt.Spmc_queue.pop q with
+        | Some _ ->
+          incr owner_got;
+          drain ()
+        | None -> ()
+      in
+      drain ();
+      Atomic.set stop true;
+      let thief_got = List.fold_left (fun a d -> a + Domain.join d) 0 thieves in
+      Alcotest.(check int)
+        (Printf.sprintf "one claim per element at max_take %d" max_take)
+        rounds
+        (thief_got + !owner_got);
+      Alcotest.(check bool)
+        (Printf.sprintf "empty at the end (max_take %d)" max_take)
+        true (Rt.Spmc_queue.is_empty q))
+    [ 1; 2; 7 ]
+
 let suite =
   [
     Alcotest.test_case "sequential fifo" `Quick test_sequential_fifo;
@@ -172,4 +324,10 @@ let suite =
     Alcotest.test_case "concurrent exactly-once" `Quick test_concurrent_exactly_once;
     Alcotest.test_case "empty race" `Quick test_empty_race;
     Alcotest.test_case "growth and head advance" `Quick test_growth;
+    Alcotest.test_case "steal_many contiguous runs" `Quick
+      test_steal_many_sequential;
+    Alcotest.test_case "steal-half exactly-once and batch order" `Quick
+      test_steal_half_exactly_once;
+    Alcotest.test_case "steal_many empty race at every batch size" `Quick
+      test_steal_many_empty_race;
   ]
