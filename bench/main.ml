@@ -445,6 +445,100 @@ let bench_rt_sharded_serve ?(scrape = false) ~workers () =
     rb_latencies = [];
   }
 
+(* `bench/main.exe rt-json soak [FILE]` — sustained-throughput soak
+   under seeded worker kills: drives events through a serving runtime
+   for a wall-clock budget while the supervisor keeps healing, with a
+   stop-the-world conservation audit every checkpoint. Writes
+   BENCH_soak.json so CI can gate on the soak surviving and track the
+   healing-loop overhead as a rate. *)
+let run_soak_json ?(duration = 3.0) path =
+  let workers = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
+  let seed = 42 in
+  let plan =
+    {
+      Rt.Faults.calm_plan with
+      kill = { Rt.Faults.calm with errnos = [ (Unix.EIO, 0.0002) ] };
+    }
+  in
+  let faults = Rt.Faults.seeded ~plan seed in
+  let sup =
+    {
+      Rt.Supervision.default_config with
+      poll_interval_s = 0.001;
+      backoff_base_ns = 1_000_000;
+      backoff_max_ns = 100_000_000;
+      storm_max = 10_000;
+    }
+  in
+  let rt = Rt.Runtime.create ~workers ~faults ~supervision:sup () in
+  Rt.Runtime.start rt;
+  let h = Rt.Runtime.handler rt ~name:"soak" ~declared_cycles:200 () in
+  let colors = workers * 8 in
+  let run _ =
+    let acc = ref 0 in
+    for j = 1 to 500 do
+      acc := !acc + j
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  let accepted = ref 0 in
+  let checkpoints = ref 0 in
+  let check_every = 100_000 in
+  let since_check = ref 0 in
+  let i = ref 0 in
+  let burst = 256 in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. duration in
+  while Unix.gettimeofday () < deadline do
+    let batch = List.init burst (fun k -> ((!i + k) mod colors, h, run)) in
+    if Rt.Runtime.try_register_batch rt batch then accepted := !accepted + burst;
+    i := !i + burst;
+    since_check := !since_check + burst;
+    if !since_check >= check_every then begin
+      since_check := 0;
+      incr checkpoints;
+      Rt.Runtime.quiesce rt;
+      if Rt.Runtime.executed rt + Rt.Runtime.abandoned rt <> !accepted then
+        failwith "rt_soak: accepted events lost mid-soak";
+      match Rt.Runtime.debug_check_conservation rt with
+      | None -> ()
+      | Some m -> failwith ("rt_soak: conservation audit: " ^ m)
+    end
+  done;
+  Rt.Runtime.quiesce rt;
+  Rt.Runtime.stop rt;
+  let wall = Unix.gettimeofday () -. t0 in
+  if Rt.Runtime.executed rt + Rt.Runtime.abandoned rt <> !accepted then
+    failwith "rt_soak: accepted events lost";
+  if Rt.Runtime.max_concurrent_same_color rt <> 1 then
+    failwith "rt_soak: mutual exclusion violated";
+  (match Rt.Runtime.debug_check_conservation rt with
+  | None -> ()
+  | Some m -> failwith ("rt_soak: conservation audit: " ^ m));
+  let kills = (Rt.Faults.counts faults Rt.Faults.Kill).Rt.Faults.errnos in
+  let rate = float_of_int !accepted /. wall in
+  let oc = open_out path in
+  Printf.fprintf oc
+    "{\n\
+    \  \"soak\": {\"name\": \"rt_soak\", \"workers\": %d, \"seed\": %d, \
+     \"seconds\": %.3f,\n\
+    \    \"events\": %d, \"events_per_sec\": %.1f, \"checkpoints\": %d,\n\
+    \    \"kills\": %d, \"restarts\": %d, \"migrations\": %d, \
+     \"abandoned\": %d,\n\
+    \    \"degraded\": %b, \"ok\": true}\n\
+     }\n"
+    workers seed wall !accepted rate !checkpoints kills
+    (Rt.Runtime.worker_restarts rt)
+    (Rt.Runtime.migrations rt) (Rt.Runtime.abandoned rt)
+    (Rt.Runtime.is_degraded rt);
+  close_out oc;
+  Printf.printf
+    "rt_soak: %d events in %.1fs (%.0f ev/s), %d kills survived, %d restarts, \
+     %d migrations; wrote %s\n%!"
+    !accepted wall rate kills
+    (Rt.Runtime.worker_restarts rt)
+    (Rt.Runtime.migrations rt) path
+
 let run_rt_json path =
   let workers = min 4 (max 2 (Domain.recommended_domain_count () - 1)) in
   let events = 20_000 in
@@ -745,6 +839,8 @@ let () =
   | [] -> run_all ~quick
   | [ "micro" ] -> run_micro ()
   | [ "rt-json" ] -> run_rt_json "BENCH_rt.json"
+  | [ "rt-json"; "soak" ] -> run_soak_json "BENCH_soak.json"
+  | [ "rt-json"; "soak"; path ] -> run_soak_json path
   | [ "rt-json"; path ] -> run_rt_json path
   | [ "net-json" ] -> run_net_json "BENCH_net.json"
   | [ "net-json"; path ] -> run_net_json path

@@ -637,6 +637,19 @@ let render_top j prev ~interval ~tty =
     exec rate (get_int "pending" runtime) (get_int "active" runtime)
     (get_int "steals" runtime) (get_int "errors" runtime) (get_int "live" net)
     (get_int "faults_injected" net);
+  (* Older servers don't report the supervision fields; skip then. *)
+  (match member "live_workers" runtime with
+  | None -> ()
+  | Some lw ->
+    let degraded = to_bool (member_exn "degraded" runtime) in
+    Printf.printf
+      "health: %d/%d workers live, %d restarts, %d migrations, %d abandoned%s\n"
+      (to_int lw)
+      (get_int "workers" runtime)
+      (get_int "restarts" runtime)
+      (get_int "migrations" runtime)
+      (get_int "abandoned" runtime)
+      (if degraded then "  [DEGRADED]" else ""));
   (* Older servers don't report the policy fields; skip the row then. *)
   (match member "steal_policy" runtime with
   | None -> ()
@@ -657,8 +670,9 @@ let render_top j prev ~interval ~tty =
     Mstd.Table.create
       ~headers:
         [
-          "worker"; "executed"; "+exec"; "util"; "steals in"; "steals out";
-          "inbox"; "parked"; "win qwait p50"; "win qwait p99"; "win service p99";
+          "worker"; "state"; "hb age"; "executed"; "+exec"; "util";
+          "steals in"; "steals out"; "inbox"; "parked"; "win qwait p50";
+          "win qwait p99"; "win service p99";
         ]
   in
   List.iter
@@ -671,9 +685,25 @@ let render_top j prev ~interval ~tty =
           Mstd.Units.percent
             (Float.min 1.0 (float_of_int d /. (interval *. 1e9)))
       in
+      (* Liveness from the supervision plane (older servers: "-"). A
+         dead/lost slot shows its phase; a live one shows how long ago
+         it crossed an event boundary. *)
+      let state, hb_age =
+        match member "phase" w with
+        | None -> ("-", "-")
+        | Some p ->
+          let restarts = get_int "restarts" w in
+          let s = to_str p in
+          let s = if restarts > 0 then Printf.sprintf "%s(r%d)" s restarts else s in
+          ( s,
+            Mstd.Units.duration_ns (float_of_int (get_int "heartbeat_age_ns" w))
+          )
+      in
       Mstd.Table.add_row table
         [
           string_of_int (get_int "id" w);
+          state;
+          hb_age;
           string_of_int (get_int "executed" w);
           (match delta w "executed" with
           | None -> "-"
@@ -917,6 +947,85 @@ let run_rt_chaos seed workers conns requests loris json_out =
       + sb.Rtnet.Server.reqs_shed);
   let trb = Option.get (Rt.Runtime.trace rtb) in
   check "B" "trace replay clean" (replay_ok trb);
+  (* ---- Phase C: seeded worker-kill storm on the bare runtime. ----
+     Workers die at event boundaries per the seeded [Kill] stream; the
+     supervisor migrates their colors and respawns them. Kills land
+     only at boundaries, so a correct supervisor loses zero accepted
+     events; the k-th Kill decision is a pure function of (seed, k)
+     and every accepted event draws exactly one, so the kill count is
+     reproducible — asserted by running the same storm twice. *)
+  let storm_events = requests * 25 in
+  let kill_storm () =
+    let kill_plan =
+      {
+        Rt.Faults.calm_plan with
+        kill = { Rt.Faults.calm with errnos = [ (Unix.EIO, 0.01) ] };
+      }
+    in
+    let faults = Rt.Faults.seeded ~plan:kill_plan seed in
+    let sup =
+      {
+        Rt.Supervision.default_config with
+        poll_interval_s = 0.001;
+        backoff_base_ns = 1_000_000;
+        backoff_max_ns = 50_000_000;
+        storm_max = 1_000;
+      }
+    in
+    let rtc =
+      Rt.Runtime.create ~workers ~trace:Rt.Trace.default_config ~faults
+        ~supervision:sup ()
+    in
+    Rt.Runtime.start rtc;
+    let h = Rt.Runtime.handler rtc ~name:"storm" ~declared_cycles:300 () in
+    let colors = max 8 (workers * 4) in
+    let accepted = ref 0 in
+    for i = 0 to storm_events - 1 do
+      if
+        Rt.Runtime.try_register rtc ~color:(i mod colors) ~handler:h (fun _ ->
+            let acc = ref 0 in
+            for j = 1 to 2_000 do
+              acc := !acc + j
+            done;
+            ignore (Sys.opaque_identity !acc))
+      then incr accepted
+    done;
+    Rt.Runtime.quiesce rtc;
+    (* Give the supervisor a beat to respawn a worker killed at the
+       very last event boundary, so "restored or degraded" is judged
+       on the settled state, not a respawn in flight. *)
+    let deadline = Unix.gettimeofday () +. 2.0 in
+    while
+      Rt.Runtime.live_workers rtc < workers
+      && (not (Rt.Runtime.is_degraded rtc))
+      && Unix.gettimeofday () < deadline
+    do
+      Unix.sleepf 0.002
+    done;
+    let settled_live = Rt.Runtime.live_workers rtc in
+    let settled_degraded = Rt.Runtime.is_degraded rtc in
+    Rt.Runtime.stop rtc;
+    let kills = (Rt.Faults.counts faults Rt.Faults.Kill).Rt.Faults.errnos in
+    (rtc, !accepted, kills, settled_live, settled_degraded)
+  in
+  let rtc, c_accepted, c_kills, c_live, c_degraded = kill_storm () in
+  let _, c_accepted2, c_kills2, _, _ = kill_storm () in
+  let c_exec = Rt.Runtime.executed rtc in
+  check "C" "workers were killed" (c_kills > 0);
+  check "C" "kill schedule deterministic per seed"
+    (c_kills = c_kills2 && c_accepted = c_accepted2);
+  check "C" "supervisor restarted workers" (Rt.Runtime.worker_restarts rtc > 0);
+  check "C" "colors migrated off dead workers" (Rt.Runtime.migrations rtc > 0);
+  check "C" "no accepted event was lost"
+    (c_exec + Rt.Runtime.abandoned rtc = c_accepted);
+  check "C" "backlog drained" (Rt.Runtime.pending rtc = 0);
+  check "C" "mutual exclusion held"
+    (Rt.Runtime.max_concurrent_same_color rtc = 1);
+  check "C" "trace replay clean" (replay_ok (Option.get (Rt.Runtime.trace rtc)));
+  check "C" "conservation audit clean"
+    (Rt.Runtime.debug_check_conservation rtc = None);
+  check "C" "worker count restored or degraded reported"
+    (c_live = workers || c_degraded);
   let all_ok = List.for_all (fun (_, _, ok) -> ok) !checks in
   Printf.printf
     "phase A (seed %d): %d/%d ok, %d shed, %d mismatches, %d failed conns; %d \
@@ -931,6 +1040,14 @@ let run_rt_chaos seed workers conns requests loris json_out =
      client, %d mismatches\n"
     sb.Rtnet.Server.reqs_served sb.Rtnet.Server.reqs_shed
     rb.Rtnet.Loadgen.sheds rb.Rtnet.Loadgen.mismatches;
+  Printf.printf
+    "phase C (kill storm, seed %d): %d events, %d worker kills, %d restarts, \
+     %d colors migrated, %d/%d workers live at settle%s\n"
+    seed c_accepted c_kills
+    (Rt.Runtime.worker_restarts rtc)
+    (Rt.Runtime.migrations rtc)
+    c_live workers
+    (if c_degraded then "  [DEGRADED]" else "");
   Printf.printf "chaos: %s (%d checks)\n"
     (if all_ok then "all invariants held" else "INVARIANT VIOLATED")
     (List.length !checks);
@@ -967,13 +1084,173 @@ let run_rt_chaos seed workers conns requests loris json_out =
       "{\"seed\":%d,\"workers\":%d,\"ok\":%b,\n\
        \ \"phase_a\":{\"server\":%s,\"loadgen\":%s,\"loris_408\":%d},\n\
        \ \"phase_b\":{\"server\":%s,\"loadgen\":%s},\n\
+       \ \"phase_c\":{\"events\":%d,\"executed\":%d,\"kills\":%d,\
+       \"restarts\":%d,\"migrations\":%d,\"abandoned\":%d,\
+       \"live_workers\":%d,\"degraded\":%b},\n\
        \ \"checks\":[%s]}\n"
       seed workers all_ok (stats_json sa) (load_json ra)
-      (Atomic.get evicted_408) (stats_json sb) (load_json rb) checks_json;
+      (Atomic.get evicted_408) (stats_json sb) (load_json rb) c_accepted c_exec
+      c_kills
+      (Rt.Runtime.worker_restarts rtc)
+      (Rt.Runtime.migrations rtc)
+      (Rt.Runtime.abandoned rtc)
+      c_live c_degraded checks_json;
     close_out oc;
     Printf.printf "wrote %s\n" path);
   flush stdout;
   if all_ok then 0 else 1
+
+(* Long-soak production gate: serve a sustained event stream for a
+   wall-clock budget with seeded worker kills mixed in, and stop the
+   world every [check_every] accepted events to assert the exact
+   conservation invariants (quiesce → attempts = executed + refused +
+   abandoned, structure audit clean, mutual exclusion never violated).
+   The CI smoke runs a seconds-long slice of this; operators can point
+   it at hours. Exits nonzero on the first violated invariant. *)
+let run_rt_soak seed workers duration kill_prob check_every json_out =
+  if workers < 1 then (
+    Printf.eprintf "melyctl: --workers must be >= 1 (got %d)\n" workers;
+    exit 2);
+  if duration <= 0.0 then (
+    Printf.eprintf "melyctl: --duration must be > 0 (got %g)\n" duration;
+    exit 2);
+  if kill_prob < 0.0 || kill_prob > 1.0 then (
+    Printf.eprintf "melyctl: --kill-prob must be in 0..1 (got %g)\n" kill_prob;
+    exit 2);
+  if check_every < 1 then (
+    Printf.eprintf "melyctl: --check-every must be >= 1 (got %d)\n" check_every;
+    exit 2);
+  let plan =
+    {
+      Rt.Faults.calm_plan with
+      kill = { Rt.Faults.calm with errnos = [ (Unix.EIO, kill_prob) ] };
+    }
+  in
+  let faults = Rt.Faults.seeded ~plan seed in
+  let sup =
+    {
+      Rt.Supervision.default_config with
+      poll_interval_s = 0.001;
+      backoff_base_ns = 1_000_000;
+      backoff_max_ns = 100_000_000;
+      storm_max = 10_000;
+    }
+  in
+  let rt = Rt.Runtime.create ~workers ~faults ~supervision:sup () in
+  Rt.Runtime.start rt;
+  let h = Rt.Runtime.handler rt ~name:"soak" ~declared_cycles:200 () in
+  let colors = max 16 (workers * 8) in
+  let run _ =
+    let acc = ref 0 in
+    for j = 1 to 500 do
+      acc := !acc + j
+    done;
+    ignore (Sys.opaque_identity !acc)
+  in
+  let accepted = ref 0 in
+  let refused = ref 0 in
+  let checkpoints = ref 0 in
+  let failures = ref [] in
+  let fail fmt =
+    Printf.ksprintf
+      (fun s ->
+        failures := s :: !failures;
+        Printf.eprintf "soak FAILED: %s\n%!" s)
+      fmt
+  in
+  (* Stop-the-world checkpoint: drain, then the books must balance to
+     the event. *)
+  let checkpoint () =
+    incr checkpoints;
+    Rt.Runtime.quiesce rt;
+    let exec = Rt.Runtime.executed rt in
+    let aband = Rt.Runtime.abandoned rt in
+    if exec + aband <> !accepted then
+      fail "checkpoint %d: accepted %d <> executed %d + abandoned %d"
+        !checkpoints !accepted exec aband;
+    if Rt.Runtime.pending rt <> 0 then
+      fail "checkpoint %d: pending %d after quiesce" !checkpoints
+        (Rt.Runtime.pending rt);
+    if Rt.Runtime.max_concurrent_same_color rt <> 1 then
+      fail "checkpoint %d: mutual exclusion violated (max same-color %d)"
+        !checkpoints
+        (Rt.Runtime.max_concurrent_same_color rt);
+    match Rt.Runtime.debug_check_conservation rt with
+    | None -> ()
+    | Some m -> fail "checkpoint %d: conservation audit: %s" !checkpoints m
+  in
+  let t0 = Unix.gettimeofday () in
+  let deadline = t0 +. duration in
+  let burst = 256 in
+  let since_check = ref 0 in
+  let i = ref 0 in
+  while Unix.gettimeofday () < deadline && not (Rt.Runtime.is_degraded rt) do
+    let batch =
+      List.init burst (fun k -> ((!i + k) mod colors, h, run))
+    in
+    if Rt.Runtime.try_register_batch rt batch then accepted := !accepted + burst
+    else refused := !refused + burst;
+    i := !i + burst;
+    since_check := !since_check + burst;
+    if !since_check >= check_every then begin
+      since_check := 0;
+      checkpoint ()
+    end
+  done;
+  checkpoint ();
+  let settle = Unix.gettimeofday () +. 2.0 in
+  while
+    Rt.Runtime.live_workers rt < workers
+    && (not (Rt.Runtime.is_degraded rt))
+    && Unix.gettimeofday () < settle
+  do
+    Unix.sleepf 0.002
+  done;
+  let live = Rt.Runtime.live_workers rt in
+  let degraded = Rt.Runtime.is_degraded rt in
+  if live <> workers && not degraded then
+    fail "settled at %d/%d live workers without reporting degraded" live workers;
+  Rt.Runtime.stop rt;
+  let wall = Unix.gettimeofday () -. t0 in
+  let kills = (Rt.Faults.counts faults Rt.Faults.Kill).Rt.Faults.errnos in
+  let ok = !failures = [] in
+  Printf.printf
+    "soak (seed %d, %d workers, %.1fs): %d events (%.0f ev/s), %d checkpoints, \
+     %d kills, %d restarts, %d migrations, %d abandoned, %d/%d live%s — %s\n"
+    seed workers wall !accepted
+    (float_of_int !accepted /. wall)
+    !checkpoints kills
+    (Rt.Runtime.worker_restarts rt)
+    (Rt.Runtime.migrations rt)
+    (Rt.Runtime.abandoned rt)
+    live workers
+    (if degraded then "  [DEGRADED]" else "")
+    (if ok then "all invariants held" else "INVARIANT VIOLATED");
+  (match json_out with
+  | None -> ()
+  | Some path ->
+    let oc = open_out path in
+    let failures_json =
+      !failures |> List.rev
+      |> List.map (fun s -> Printf.sprintf "%S" s)
+      |> String.concat ","
+    in
+    Printf.fprintf oc
+      "{\"seed\":%d,\"workers\":%d,\"ok\":%b,\"seconds\":%.3f,\
+       \"events\":%d,\"rate\":%.0f,\"checkpoints\":%d,\"kills\":%d,\
+       \"restarts\":%d,\"migrations\":%d,\"abandoned\":%d,\
+       \"live_workers\":%d,\"degraded\":%b,\"failures\":[%s]}\n"
+      seed workers ok wall !accepted
+      (float_of_int !accepted /. wall)
+      !checkpoints kills
+      (Rt.Runtime.worker_restarts rt)
+      (Rt.Runtime.migrations rt)
+      (Rt.Runtime.abandoned rt)
+      live degraded failures_json;
+    close_out oc;
+    Printf.printf "wrote %s\n" path);
+  flush stdout;
+  if ok then 0 else 1
 
 open Cmdliner
 
@@ -1188,13 +1465,49 @@ let rt_cmd =
     Cmd.v
       (Cmd.info "chaos"
          ~doc:
-           "Serve under a seeded deterministic syscall fault schedule plus \
-            slow-loris clients, then saturate a deliberately slow app with a \
-            tiny shed budget. Asserts the armor's conservation invariants \
-            (conns accepted = closed, reqs parsed = served+failed+shed), \
-            loris 408 evictions, 503 shedding, and a clean flight-recorder \
-            replay; exits nonzero on any violation.")
+           "Three-phase fault drill. A: serve under a seeded deterministic \
+            syscall fault schedule plus slow-loris clients. B: saturate a \
+            deliberately slow app with a tiny shed budget. C: seeded \
+            worker-kill storm on the bare runtime — domains die at event \
+            boundaries, the supervisor migrates their colors and respawns \
+            them. Asserts the armor's conservation invariants, loris 408 \
+            evictions, 503 shedding, clean flight-recorder replays, \
+            zero-lost-events and a deterministic kill schedule; exits \
+            nonzero on any violation.")
       Term.(const run_rt_chaos $ seed $ workers $ conns $ requests $ loris $ json_out)
+  in
+  let soak_cmd =
+    let seed =
+      let doc = "Seed for the deterministic kill schedule." in
+      Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+    in
+    let duration =
+      let doc = "Wall-clock soak budget in seconds." in
+      Arg.(value & opt float 10.0 & info [ "duration" ] ~docv:"SECONDS" ~doc)
+    in
+    let kill_prob =
+      let doc = "Worker-kill probability per executed event (0 disables kills)." in
+      Arg.(value & opt float 0.0002 & info [ "kill-prob" ] ~docv:"P" ~doc)
+    in
+    let check_every =
+      let doc = "Quiesce and audit conservation every N accepted events." in
+      Arg.(value & opt int 100_000 & info [ "check-every" ] ~docv:"N" ~doc)
+    in
+    let json_out =
+      let doc = "Write a machine-readable JSON report here (for CI)." in
+      Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+    in
+    Cmd.v
+      (Cmd.info "soak"
+         ~doc:
+           "Long-soak production gate: drive a sustained event stream through \
+            a serving runtime for a wall-clock budget with seeded worker \
+            kills mixed in, stopping the world every N events to audit exact \
+            conservation (no accepted event lost, structure clean, mutual \
+            exclusion intact). Exits nonzero on the first violation.")
+      Term.(
+        const run_rt_soak $ seed $ workers $ duration $ kill_prob $ check_every
+        $ json_out)
   in
   Cmd.group
     ~default:Term.(const run_rt $ workers $ events $ serve $ inject_rate $ duration)
@@ -1204,8 +1517,9 @@ let rt_cmd =
           (subcommands: $(b,trace) runs the microbenchmark under the flight \
           recorder, $(b,serve) serves real TCP traffic, $(b,top) watches a \
           serving instance live over its admin endpoint, $(b,loadgen) drives \
-          a server, $(b,chaos) runs the fault-injection drill).")
-    [ trace_cmd; serve_cmd; top_cmd; loadgen_cmd; chaos_cmd ]
+          a server, $(b,chaos) runs the fault-injection drill, $(b,soak) \
+          runs the long-soak self-healing gate).")
+    [ trace_cmd; serve_cmd; top_cmd; loadgen_cmd; chaos_cmd; soak_cmd ]
 
 let () =
   let doc = "Mely reproduction: workstealing for multicore event-driven systems" in

@@ -66,7 +66,40 @@ type color_queue = {
   chained : bool Atomic.t;
   owner : int Atomic.t;
   mutable retired : bool;  (** unmapped; under the shard lock *)
+  mutable poisoned : bool;
+      (** under the shard lock. Set when a wedged worker was
+          force-confiscated while (possibly) still executing this
+          color: its mutual exclusion can no longer be certified, so
+          further registers for the color are refused rather than run
+          concurrently with a zombie handler. Poisoned queues stay
+          mapped so the color cannot re-hash to a fresh queue. *)
 }
+
+(* Raised by a worker to die on purpose: the [Faults] Kill site, the
+   [Restart_worker] failure policy, and [inject_worker_death] all
+   funnel here. Raised only at an event boundary, after the event's
+   accounting is complete, so a deliberate death never loses an
+   accepted event. *)
+exception Worker_killed
+
+(* Raised by a worker acking a quarantine request at its next event
+   boundary: it exits immediately, leaving its colors for the
+   supervisor to reclaim. *)
+exception Worker_quarantined
+
+(* [q_state] protocol between a worker and the supervisor. The two
+   CASes ([q_normal -> q_requested] by the supervisor, then either
+   [q_requested -> q_acked] by the worker or [q_requested ->
+   q_confiscated] by the supervisor) have exactly one winner each, so
+   a worker that loses the ack race exits without touching its current
+   queue again — the supervisor owns it from that point on. *)
+let q_normal = 0
+
+let q_requested = 1
+
+let q_acked = 2
+
+let q_confiscated = 3
 
 type worker_state = {
   inbox : color_queue list Atomic.t;
@@ -90,6 +123,28 @@ type worker_state = {
   mutable lat_victims : int list;
       (** locality order re-ranked by probe cost; owner-private cache *)
   metrics : Metrics.t;
+  (* --- supervision state (one slot per worker; the slot survives the
+     domain, so a replacement inherits metrics/telemetry/trace shards
+     and stays the single writer — at most one live domain ever runs a
+     slot). --- *)
+  busy_since : int Atomic.t;
+      (** 0 = idle; else [Clock.now_ns] at the current event's start.
+          Doubles as the heartbeat stamp and the wedge-age source.
+          Replaces the global [active] RMW pair: raised BEFORE the
+          [pending] decrement, so an observer seeing [pending = 0]
+          sees every busy slot (same SC argument as the old counter). *)
+  hb_last : int Atomic.t;  (** ns of the last completed event boundary *)
+  q_state : int Atomic.t;  (** quarantine handshake; see [q_normal] *)
+  kill_flag : bool Atomic.t;  (** deliberate death requested (tests) *)
+  live : bool Atomic.t;  (** a domain is currently running this slot *)
+  exited : bool Atomic.t;  (** the domain's wrapper finished *)
+  crashed : bool Atomic.t;
+      (** exit was a death (escape/kill/quarantine), not a clean
+          terminal-quiescence return; written before [exited] *)
+  mutable death_reason : string;  (** written before [exited] is set *)
+  phase : int Atomic.t;  (** encoded {!Supervision.phase} *)
+  slot_restarts : int Atomic.t;
+  mutable q_since : int;  (** supervisor-private: quarantine request ns *)
 }
 
 type ws_config = {
@@ -103,7 +158,7 @@ type ws_config = {
 let default_ws =
   { enabled = true; locality = true; time_left = true; penalty = true; latency = true }
 
-type failure_policy = Swallow | Stop_runtime
+type failure_policy = Swallow | Stop_runtime | Restart_worker
 
 (* Shutdown gate, monotonic within a serving epoch: [accepting] takes
    any register, [draining] (set by [stop]) refuses external registers
@@ -144,7 +199,6 @@ type t = {
   victims : int list array;  (** per-worker locality victim order *)
   shards : shard array;
   pending : int Atomic.t;  (** queued events *)
-  active : int Atomic.t;  (** events being executed *)
   executed : int Atomic.t;
   steal_count : int Atomic.t;
   attempt_count : int Atomic.t;
@@ -165,8 +219,27 @@ type t = {
   telemetry : Telemetry.t;  (** always-on online stats plane *)
   trace : Trace.t option;  (** flight recorder; None = zero-cost disabled *)
   lifecycle_lock : Mutex.t;  (** serializes start/stop/run_until_idle *)
-  mutable domains : unit Domain.t list;  (** serving-mode workers *)
   mutable running : bool;
+  (* --- supervision plane --- *)
+  faults : Faults.t;
+      (** consulted at the [Kill] site at every event boundary when
+          active; [passthrough] costs one constructor check *)
+  sup : Supervision.config;
+  breakers : Supervision.Breaker.t array;  (** supervisor-private *)
+  slot_domains : unit Domain.t option array;
+      (** per-slot domain handle. Written by [spawn_worker] (under the
+          lifecycle lock at start, by the supervisor on respawn) and
+          cleared by whoever joins; lifecycle code only touches it
+          after the supervisor domain has been joined. *)
+  mon_stop : bool Atomic.t;
+  mutable monitor : unit Domain.t option;
+  restart_count : int Atomic.t;  (** worker domains respawned *)
+  migration_count : int Atomic.t;  (** color-queues re-homed *)
+  reclaim_count : int Atomic.t;  (** color-queues swept off dead slots *)
+  abandoned : int Atomic.t;
+      (** accepted events dropped at force-confiscation; conservation
+          becomes attempts = executed + pending + refused + abandoned *)
+  degraded : bool Atomic.t;  (** some slot is terminally lost *)
 }
 
 let default_color = 0
@@ -186,9 +259,33 @@ let locality_victims n =
       in
       List.sort (fun a b -> compare (key a) (key b)) others)
 
+(* {!Supervision.phase} packed into the per-slot atomic so any domain
+   can read it without locks. *)
+let phase_to_int = function
+  | Supervision.Live -> 0
+  | Supervision.Suspect -> 1
+  | Supervision.Quarantined -> 2
+  | Supervision.Dead -> 3
+  | Supervision.Restarting -> 4
+  | Supervision.Lost -> 5
+
+let phase_of_int = function
+  | 0 -> Supervision.Live
+  | 1 -> Supervision.Suspect
+  | 2 -> Supervision.Quarantined
+  | 3 -> Supervision.Dead
+  | 4 -> Supervision.Restarting
+  | _ -> Supervision.Lost
+
+(* Monotonic ns as int: 63 bits hold ~146 years of nanoseconds, and
+   every consumer (wedge ages, heartbeats, breaker arithmetic) wants
+   plain int math. *)
+let now_int () = Int64.to_int (Clock.now_ns ())
+
 let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
     ?(worthy_threshold = 2_000) ?(steal_policy = Policy.Steal_one) ?controller
-    ?(on_error = Swallow) ?trace () =
+    ?(on_error = Swallow) ?trace ?(faults = Faults.passthrough)
+    ?(supervision = Supervision.default_config) () =
   let n =
     match workers with
     | Some n ->
@@ -236,13 +333,23 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
             probe_rounds = 0;
             lat_victims = [];
             metrics = Metrics.create ();
+            busy_since = Atomic.make 0;
+            hb_last = Atomic.make 0;
+            q_state = Atomic.make q_normal;
+            kill_flag = Atomic.make false;
+            live = Atomic.make false;
+            exited = Atomic.make false;
+            crashed = Atomic.make false;
+            death_reason = "";
+            phase = Atomic.make (phase_to_int Supervision.Live);
+            slot_restarts = Atomic.make 0;
+            q_since = 0;
           });
     victims = locality_victims n;
     shards =
       Array.init n_shards (fun _ ->
           { sh_lock = Spinlock.create (); sh_tbl = Hashtbl.create 16 });
     pending = Atomic.make 0;
-    active = Atomic.make 0;
     executed = Atomic.make 0;
     steal_count = Atomic.make 0;
     attempt_count = Atomic.make 0;
@@ -260,8 +367,18 @@ let create ?workers ?(ws = default_ws) ?(batch_threshold = 10)
     telemetry = Telemetry.create ~workers:n;
     trace = Option.map (fun cfg -> Trace.create ~workers:n cfg) trace;
     lifecycle_lock = Mutex.create ();
-    domains = [];
     running = false;
+    faults;
+    sup = supervision;
+    breakers = Array.init n (fun _ -> Supervision.Breaker.create supervision);
+    slot_domains = Array.make n None;
+    mon_stop = Atomic.make false;
+    monitor = None;
+    restart_count = Atomic.make 0;
+    migration_count = Atomic.make 0;
+    reclaim_count = Atomic.make 0;
+    abandoned = Atomic.make 0;
+    degraded = Atomic.make false;
   }
 
 let workers t = t.n
@@ -336,6 +453,7 @@ let locate_locked t sh ?home color =
             | Some h -> ((h mod t.n) + t.n) mod t.n
             | None -> color mod t.n);
         retired = false;
+        poisoned = false;
       }
     in
     Hashtbl.replace sh.sh_tbl color cq;
@@ -389,6 +507,14 @@ let publish t ~self ?home ?(wake = true) event =
   let sh = shard_of t event.ev_color in
   Spinlock.acquire sh.sh_lock;
   let cq = locate_locked t sh ?home event.ev_color in
+  if cq.poisoned then begin
+    (* The color's last owner was force-confiscated while possibly
+       still executing it: running this event anywhere could overlap
+       the zombie handler, so the register is refused instead. *)
+    Spinlock.release sh.sh_lock;
+    false
+  end
+  else begin
   (match t.trace with
   | Some tr -> event.ev_seq <- Trace.next_seq tr
   | None -> ());
@@ -422,7 +548,9 @@ let publish t ~self ?home ?(wake = true) event =
      thief that is mid-claim is awake and responsible for the queue, so
      a skipped signal cannot strand the event. *)
   if wake && not (self = owner && Atomic.get ws.current_color = event.ev_color)
-  then wake_parked t
+  then wake_parked t;
+  true
+  end
 
 (* [pending] is raised BEFORE the event becomes poppable, so a worker
    that pops immediately can never drive the counter negative — the
@@ -443,9 +571,12 @@ let enqueue t ~internal ~self ?home event =
     Atomic.incr t.refused;
     false
   end
+  else if publish t ~self ?home event then true
   else begin
-    publish t ~self ?home event;
-    true
+    (* Poisoned color: accepted by the gate, refused at the queue. *)
+    Atomic.decr t.pending;
+    Atomic.incr t.refused;
+    false
   end
 
 let make_event ~handler ~color run =
@@ -500,7 +631,12 @@ let try_register_batch t ?home items =
         (fun (color, handler, run) ->
           let event = make_event ~handler ~color run in
           event.ev_enq <- Clock.now_ns ();
-          publish t ~self:(-1) ?home ~wake:false event)
+          if not (publish t ~self:(-1) ?home ~wake:false event) then begin
+            (* A poisoned color refuses its events individually; the
+               rest of the batch still lands. *)
+            Atomic.decr t.pending;
+            Atomic.incr t.refused
+          end)
         items;
       wake_parked_n t k;
       true
@@ -527,7 +663,8 @@ let forget_if_drained t cq =
   let sh = shard_of t cq.color in
   Spinlock.with_lock sh.sh_lock (fun () ->
       if
-        (not (Atomic.get cq.chained))
+        (not cq.poisoned)
+        && (not (Atomic.get cq.chained))
         && Atomic.get cq.running = 0
         && cq_len cq = 0
       then
@@ -639,14 +776,31 @@ let execute t w (cq : color_queue) event =
     }
   in
   let t0 = Clock.now_ns () in
+  let die_after = ref false in
   (match event.ev_run ctx with
   | () -> ()
   | exception e ->
     Atomic.incr t.error_count;
     Metrics.on_error t.states.(w).metrics ~handler:event.ev_handler.name
       ~exn:(Printexc.to_string e);
-    (match t.on_error with Swallow -> () | Stop_runtime -> request_abort t));
+    (match t.on_error with
+    | Swallow -> ()
+    | Stop_runtime -> request_abort t
+    | Restart_worker ->
+      (* The failing event still completes its accounting below (it is
+         consumed exactly once); only then does the worker die, so the
+         supervisor can migrate the remaining colors and respawn. *)
+      die_after := true));
   let t1 = Clock.now_ns () in
+  if Atomic.get t.states.(w).q_state = q_confiscated then begin
+    (* Zombie path: while this handler wedged, the supervisor
+       confiscated the slot — the queue was abandoned and this event
+       counted with it, so finish with the bare [running] release and
+       no executed/telemetry writes (the slot stays Lost, so the
+       single-writer shards are safe either way). *)
+    Atomic.decr cq.running;
+    raise Worker_quarantined
+  end;
   (* The span is stamped and recorded before [running] is released (and
      before the queue can be released, rotated or retired — all of that
      happens on this worker's next [next_event] call): everything inside
@@ -664,7 +818,8 @@ let execute t w (cq : color_queue) event =
     ~service_ns:(max 0 (Int64.to_int (Int64.sub t1 t0)));
   Atomic.decr cq.running;
   Atomic.incr t.executed;
-  Metrics.on_execute t.states.(w).metrics
+  Metrics.on_execute t.states.(w).metrics;
+  if !die_after then raise Worker_killed
 
 (* Most-loaded-first victim order for the non-locality mode. The seed
    rebuilt the [List.init]/[List.filter] on every probe round; now the
@@ -876,11 +1031,36 @@ let try_steal t w =
    parked siblings re-check and exit. *)
 let max_idle_backoff = 4_096
 
+(* Events currently executing on slots that still have a live domain.
+   Replaces the old global [active] counter: a busy bit stuck on a
+   dead or confiscated slot must not keep quiescence (and therefore
+   graceful drain) waiting forever — that was the hang the ISSUE's
+   first satellite names. Each slot raises [busy_since] BEFORE
+   decrementing [pending], so an observer that reads [pending = 0]
+   cannot miss a live busy slot (SC order, same argument as the old
+   counter); a dead slot's in-flight event was finalized by its death
+   wrapper before [live] dropped. A slot also counts as active while it
+   still OWNS a current queue ([current_color] >= 0): between the end of
+   [execute] and [release_current] the handler is done but the color is
+   still claimed, and an auditor that declared quiescence inside that
+   window would see a stale current color. *)
+let live_active t =
+  let n = ref 0 in
+  Array.iter
+    (fun ws ->
+      if
+        Atomic.get ws.live
+        && (Atomic.get ws.busy_since <> 0 || Atomic.get ws.current_color >= 0)
+      then incr n)
+    t.states;
+  !n
+
 (* Sleep while there is nothing for this worker to do. The predicate
    folds all three modes together: wait while no work is poppable AND
    either someone is still executing (their follow-ups may wake us) or
    the runtime is serving with no stop requested (quiescent but alive).
-   An abort always breaks the sleep. *)
+   An abort, a deliberate kill or a quarantine request always breaks
+   the sleep. *)
 let park t w ws =
   Mutex.lock t.park_mutex;
   Atomic.incr t.n_parked;
@@ -888,8 +1068,10 @@ let park t w ws =
   let slept = ref false in
   while
     Atomic.get t.shutdown <> aborted
+    && (not (Atomic.get ws.kill_flag))
+    && Atomic.get ws.q_state = q_normal
     && Atomic.get t.pending = 0
-    && (Atomic.get t.active > 0
+    && (live_active t > 0
        || (Atomic.get t.serving && Atomic.get t.shutdown = accepting))
   do
     if not !slept then begin
@@ -917,13 +1099,41 @@ let worker_loop t w =
       (* Exit without draining; wake siblings (and [stop]/[quiesce]
          waiters) so they notice the abort too. *)
       broadcast_all t
-    else
+    else if Atomic.get ws.kill_flag then begin
+      (* Deliberate death ([inject_worker_death]): always at an event
+         boundary, so no accepted event is lost. *)
+      Atomic.set ws.kill_flag false;
+      raise Worker_killed
+    end
+    else begin
+      (* Quarantine handshake: the supervisor asked us to stand down
+         (wedge deadline passed while we were inside a handler). Ack
+         and exit before touching [current] again — whoever wins the
+         CAS decides; losing it means we were already confiscated. *)
+      (match Atomic.get ws.q_state with
+      | q when q = q_requested || q = q_confiscated ->
+        ignore (Atomic.compare_and_set ws.q_state q_requested q_acked);
+        raise Worker_quarantined
+      | _ -> ());
       match next_event t ws with
       | Some (event, cq) ->
-        Atomic.incr t.active;
+        (* The busy stamp is raised before [pending] drops (SC): an
+           observer seeing [pending = 0] sees this slot busy, so
+           quiescence cannot be declared under a running handler. The
+           stamp doubles as the heartbeat and the wedge age. *)
+        Atomic.set ws.busy_since (max 1 (now_int ()));
         Atomic.decr t.pending;
         execute t w cq event;
-        Atomic.decr t.active;
+        Atomic.set ws.busy_since 0;
+        Atomic.set ws.hb_last (now_int ());
+        (* Seeded worker-death site: the chaos drills kill workers
+           mid-storm here — after the event's accounting, so
+           conservation survives every kill schedule. *)
+        if Faults.is_active t.faults then begin
+          match Faults.decide t.faults Faults.Kill with
+          | Faults.Pass -> ()
+          | _ -> raise Worker_killed
+        end;
         loop 1
       | None ->
         if t.ws.enabled && Atomic.get t.pending > 0 && try_steal t w then loop 1
@@ -939,7 +1149,7 @@ let worker_loop t w =
           done;
           loop (min max_idle_backoff (backoff * 2))
         end
-        else if Atomic.get t.active > 0 then begin
+        else if live_active t > 0 then begin
           park t w ws;
           loop 1
         end
@@ -952,7 +1162,7 @@ let worker_loop t w =
           park t w ws;
           loop 1
         end
-        else if Atomic.get t.pending > 0 || Atomic.get t.active > 0 then
+        else if Atomic.get t.pending > 0 || live_active t > 0 then
           (* Re-check quiescence now that the closed gate has been
              observed: a register can raise [pending] after our first
              read yet still see [accepting] — but only if its increment
@@ -964,8 +1174,341 @@ let worker_loop t w =
           (* Terminal quiescence: wake parked siblings and [quiesce]
              waiters so they observe it and exit too. *)
           broadcast_all t
+    end
   in
   loop 1
+
+(* ------------------------------------------------------------------ *)
+(* Self-healing: death wrapper, color migration, supervisor domain.    *)
+
+let set_phase ws p = Atomic.set ws.phase (phase_to_int p)
+
+let get_phase ws = phase_of_int (Atomic.get ws.phase)
+
+(* The dying domain's last act: fix the accounting for an event it was
+   mid-way through (the event is consumed exactly once even when the
+   consumer dies under it), leave a Death span in its own ring (still
+   single-writer), and publish the death for the supervisor. [crashed]
+   and the reason are written before [exited]: the supervisor reads
+   them only after seeing [exited], so the atomic orders the plain
+   field. *)
+let on_death t w reason =
+  let ws = t.states.(w) in
+  (match ws.current with
+  | Some cq when Atomic.get ws.busy_since <> 0 && Atomic.get cq.running > 0 ->
+    (* Escaped from inside the handler: finish the event's accounting
+       the same way the contained-failure path would have. *)
+    Atomic.decr cq.running;
+    Atomic.incr t.executed;
+    Metrics.on_execute ws.metrics
+  | _ -> ());
+  Atomic.set ws.busy_since 0;
+  Atomic.set ws.hb_last (now_int ());
+  (match t.trace with
+  | Some tr -> Trace.record_death tr ~worker:w ~reason ~ns:(Clock.now_ns ())
+  | None -> ());
+  ws.death_reason <- reason;
+  Atomic.set ws.crashed true
+
+let worker_main t w =
+  let ws = t.states.(w) in
+  (match worker_loop t w with
+  | () -> Atomic.set ws.crashed false  (* clean terminal-quiescence exit *)
+  | exception Worker_killed -> on_death t w "killed"
+  | exception Worker_quarantined -> on_death t w "quarantined"
+  | exception e -> on_death t w (Printexc.to_string e));
+  Atomic.set ws.live false;
+  Atomic.set ws.exited true;
+  (* Parked siblings re-check liveness, [quiesce]/[stop] waiters
+     re-evaluate, and the supervisor's next tick sees [exited]. *)
+  broadcast_all t
+
+(* Re-home one color-queue onto [target]. The ownership store comes
+   before the inbox push, exactly as in [steal_from], so whoever later
+   claims the queue synchronizes after it; [chained] stays true the
+   whole way, so a racing publisher cannot double-chain it. *)
+let rehome t cq target =
+  Atomic.set cq.owner target;
+  let ts = t.states.(target) in
+  Atomic.incr ts.n_chained;
+  inbox_push ts cq;
+  Atomic.incr t.migration_count
+
+(* Sweep every color off slot [w] and migrate it to survivors,
+   round-robin. Only the supervisor calls this, and only once the
+   slot's domain is confirmed gone (joined, or confiscated past the
+   handshake): nothing else touches the slot's owner-private state.
+   Idempotent — later ticks re-run it to catch straggler publishes
+   that chained onto the dead slot with a pre-sweep [owner] read.
+   Returns false when there is no live slot to migrate to. *)
+let reclaim_slot t w =
+  let ws = t.states.(w) in
+  let targets =
+    Array.to_list
+      (Array.of_seq
+         (Seq.filter_map
+            (fun v ->
+              if v <> w && Atomic.get t.states.(v).live then Some v else None)
+            (Seq.init t.n Fun.id)))
+  in
+  match targets with
+  | [] -> false
+  | _ ->
+    let ntargets = List.length targets in
+    let ti = ref 0 in
+    let next_target () =
+      let v = List.nth targets (!ti mod ntargets) in
+      incr ti;
+      v
+    in
+    let moved = ref 0 in
+    (match ws.current with
+    | Some cq ->
+      (* The in-flight queue: safe to take, the domain is gone (a
+         wedged-but-alive domain goes through [force_confiscate],
+         which never reaches here with [current] still set). Current
+         queues are not counted in [n_chained]. *)
+      ws.current <- None;
+      Atomic.set ws.current_color (-1);
+      Atomic.incr t.reclaim_count;
+      rehome t cq (next_target ());
+      incr moved
+    | None -> ());
+    let rec drain_deque () =
+      match Spmc_queue.pop ws.deque with
+      | Some cq ->
+        Atomic.decr ws.n_chained;
+        Atomic.incr t.reclaim_count;
+        rehome t cq (next_target ());
+        incr moved;
+        drain_deque ()
+      | None -> ()
+    in
+    drain_deque ();
+    (match Atomic.exchange ws.inbox [] with
+    | [] -> ()
+    | got ->
+      List.iter
+        (fun cq ->
+          Atomic.decr ws.n_chained;
+          Atomic.incr t.reclaim_count;
+          rehome t cq (next_target ());
+          incr moved)
+        (List.rev got));
+    if !moved > 0 then wake_parked_n t !moved;
+    true
+
+let spawn_worker t w =
+  let ws = t.states.(w) in
+  Atomic.set ws.q_state q_normal;
+  Atomic.set ws.kill_flag false;
+  Atomic.set ws.busy_since 0;
+  Atomic.set ws.hb_last (now_int ());
+  Atomic.set ws.crashed false;
+  Atomic.set ws.exited false;
+  set_phase ws Supervision.Live;
+  Atomic.set ws.live true;
+  t.slot_domains.(w) <- Some (Domain.spawn (fun () -> worker_main t w))
+
+(* Respawn a dead slot under the restart-backoff + storm breaker: the
+   slot flaps at most [storm_max] times per window, then degrades to
+   N-1 workers instead. *)
+let maybe_restart t w now =
+  if not (Atomic.get t.mon_stop) then begin
+    let ws = t.states.(w) in
+    match Supervision.Breaker.decide t.breakers.(w) ~now_ns:now with
+    | Supervision.Breaker.Restart ->
+      Supervision.Breaker.note_restart t.breakers.(w) ~now_ns:now;
+      Atomic.incr ws.slot_restarts;
+      Atomic.incr t.restart_count;
+      set_phase ws Supervision.Restarting;
+      spawn_worker t w
+    | Supervision.Breaker.Wait _ -> ()
+    | Supervision.Breaker.Give_up ->
+      if get_phase ws <> Supervision.Lost then begin
+        set_phase ws Supervision.Lost;
+        Atomic.set t.degraded true;
+        broadcast_all t
+      end
+  end
+
+(* A quarantined worker never acked within the confirm window: it is
+   wedged inside the handler with no way to preempt it. Win the
+   confiscation CAS (the worker can now only observe it and exit),
+   declare the slot Lost — it is never respawned, so the zombie stays
+   the sole writer of this slot's telemetry/trace shards — abandon the
+   wedged color's backlog (its mutual exclusion cannot be certified
+   while the zombie may still be running it) and migrate the innocent
+   colors to survivors. *)
+let force_confiscate t w =
+  let ws = t.states.(w) in
+  if Atomic.compare_and_set ws.q_state q_requested q_confiscated then begin
+    Atomic.set ws.live false;
+    set_phase ws Supervision.Lost;
+    Atomic.set t.degraded true;
+    (match ws.current with
+    | Some cq ->
+      ws.current <- None;
+      Atomic.set ws.current_color (-1);
+      Atomic.incr t.reclaim_count;
+      let sh = shard_of t cq.color in
+      (* Poison and drain under the shard lock: a push serialized
+         before us is drained here; one serialized after sees
+         [poisoned] and is refused. The wedged in-flight event counts
+         abandoned too — if the zombie ever finishes it, [execute]
+         sees [q_confiscated] and skips the executed increment, so it
+         is never double-counted. *)
+      let dropped = ref 1 in
+      Spinlock.with_lock sh.sh_lock (fun () ->
+          cq.poisoned <- true;
+          let rec drain () =
+            match evq_pop cq with
+            | Some _ ->
+              incr dropped;
+              Atomic.decr t.pending;
+              drain ()
+            | None -> ()
+          in
+          drain ());
+      ignore (Atomic.fetch_and_add t.abandoned !dropped)
+    | None -> ());
+    ignore (reclaim_slot t w);
+    broadcast_all t
+  end
+
+(* Watchdog for one live slot: the busy stamp is the heartbeat. *)
+let check_live_slot t w now =
+  let ws = t.states.(w) in
+  let busy = Atomic.get ws.busy_since in
+  if busy = 0 then begin
+    if get_phase ws = Supervision.Suspect then set_phase ws Supervision.Live;
+    Supervision.Breaker.note_healthy t.breakers.(w) ~now_ns:now
+  end
+  else begin
+    let age = now - busy in
+    let q = Atomic.get ws.q_state in
+    if q = q_normal then begin
+      if age > t.sup.wedge_kill_ns then begin
+        ws.q_since <- now;
+        if Atomic.compare_and_set ws.q_state q_normal q_requested then begin
+          set_phase ws Supervision.Quarantined;
+          broadcast_all t
+        end
+      end
+      else if age > t.sup.wedge_warn_ns then set_phase ws Supervision.Suspect
+    end
+    else if q = q_requested && now - ws.q_since > t.sup.confirm_wait_ns then
+      force_confiscate t w
+  end
+
+(* A slot's domain exited: join it (the wrapper finished, so the join
+   is immediate and provides the happens-before for the sweep), then
+   reclaim and maybe respawn. Clean terminal-quiescence exits released
+   everything themselves; Lost slots were reclaimed at confiscation. *)
+let handle_exit t w now =
+  let ws = t.states.(w) in
+  (match t.slot_domains.(w) with
+  | Some d ->
+    Domain.join d;
+    t.slot_domains.(w) <- None
+  | None -> ());
+  Atomic.set ws.exited false;
+  if Atomic.get ws.crashed && get_phase ws <> Supervision.Lost then begin
+    set_phase ws Supervision.Dead;
+    ignore (reclaim_slot t w);
+    if Atomic.get t.shutdown = accepting then maybe_restart t w now
+  end
+
+let supervise_tick t =
+  let now = now_int () in
+  for w = 0 to t.n - 1 do
+    let ws = t.states.(w) in
+    if Atomic.get ws.exited then handle_exit t w now
+    else if Atomic.get ws.live then check_live_slot t w now
+    else if get_phase ws = Supervision.Dead || get_phase ws = Supervision.Lost
+    then begin
+      (* Down slot: catch straggler publishes that chained onto it
+         behind a pre-sweep [owner] read, then retry the backoff. *)
+      ignore (reclaim_slot t w);
+      if get_phase ws = Supervision.Dead && Atomic.get t.shutdown = accepting
+      then maybe_restart t w now
+    end
+  done;
+  (* With every slot down for good, pending work can never drain:
+     abort so drains and [quiesce] waiters return honestly instead of
+     hanging — the degraded-to-zero endgame. *)
+  if
+    Atomic.get t.pending > 0
+    && Atomic.get t.shutdown <> aborted
+    && (not (Array.exists (fun ws -> Atomic.get ws.live) t.states))
+    && (not (Array.exists (fun ws -> Atomic.get ws.exited) t.states))
+    && not
+         (Atomic.get t.shutdown = accepting
+         && Array.exists (fun ws -> get_phase ws = Supervision.Dead) t.states)
+  then request_abort t
+
+let monitor_loop t =
+  while not (Atomic.get t.mon_stop) do
+    supervise_tick t;
+    Unix.sleepf t.sup.poll_interval_s
+  done;
+  (* Final sweep so domains whose wrapper finished while we were being
+     stopped are joined before the lifecycle collects the rest. *)
+  supervise_tick t
+
+let stop_monitor t =
+  Atomic.set t.mon_stop true;
+  (match t.monitor with Some d -> Domain.join d | None -> ());
+  t.monitor <- None
+
+(* Join every slot domain that can be joined. A force-confiscated
+   zombie that never returned cannot be joined without hanging; its
+   handle is abandoned — the slot is Lost and the runtime degraded,
+   which is the honest cost of a handler that never yields. *)
+let join_workers t =
+  Array.iteri
+    (fun w d ->
+      match d with
+      | None -> ()
+      | Some d ->
+        let ws = t.states.(w) in
+        if get_phase ws <> Supervision.Lost || Atomic.get ws.exited then begin
+          Domain.join d;
+          t.slot_domains.(w) <- None
+        end)
+    t.slot_domains
+
+(* Spawn workers on every joinable slot plus the supervisor. A fresh
+   lifecycle gives previously-Lost slots another chance as long as
+   their zombie was actually joined; [degraded] is recomputed from
+   what is still stuck. *)
+let spawn_all t =
+  Atomic.set t.mon_stop false;
+  for w = 0 to t.n - 1 do
+    if t.slot_domains.(w) = None then spawn_worker t w
+  done;
+  Atomic.set t.degraded
+    (Array.exists (fun ws -> get_phase ws = Supervision.Lost) t.states);
+  t.monitor <- Some (Domain.spawn (fun () -> monitor_loop t))
+
+(* Wait for a moment of quiescence without stopping. Workers broadcast
+   [quiesce_cond] (under the park mutex) every time they observe
+   [pending = 0] with nothing executing on a live slot and waiters
+   present, and terminal quiescence / abort / worker death broadcast
+   unconditionally, so the predicate here cannot miss its wakeup.
+   Counting only *live* slots is what keeps a drain from hanging on a
+   worker that died mid-drain (its colors finish on survivors). *)
+let quiesce t =
+  Mutex.lock t.park_mutex;
+  Atomic.incr t.n_waiters;
+  while
+    Atomic.get t.shutdown <> aborted
+    && not (Atomic.get t.pending = 0 && live_active t = 0)
+  do
+    Condition.wait t.quiesce_cond t.park_mutex
+  done;
+  Atomic.decr t.n_waiters;
+  Mutex.unlock t.park_mutex
 
 let run_until_idle t =
   Mutex.lock t.lifecycle_lock;
@@ -976,8 +1519,13 @@ let run_until_idle t =
   t.running <- true;
   Atomic.set t.shutdown accepting;
   Mutex.unlock t.lifecycle_lock;
-  let domains = List.init t.n (fun w -> Domain.spawn (fun () -> worker_loop t w)) in
-  List.iter Domain.join domains;
+  spawn_all t;
+  (* Workers exit at terminal quiescence (or abort) on their own; the
+     supervisor keeps healing mid-run, so the join set can grow — wait
+     for quiescence first, then stop the supervisor, then collect. *)
+  quiesce t;
+  stop_monitor t;
+  join_workers t;
   Mutex.lock t.lifecycle_lock;
   t.running <- false;
   Mutex.unlock t.lifecycle_lock
@@ -991,7 +1539,7 @@ let start t =
   t.running <- true;
   Atomic.set t.shutdown accepting;
   Atomic.set t.serving true;
-  t.domains <- List.init t.n (fun w -> Domain.spawn (fun () -> worker_loop t w));
+  spawn_all t;
   Mutex.unlock t.lifecycle_lock
 
 let stop t =
@@ -1001,32 +1549,24 @@ let stop t =
     invalid_arg "Rt.Runtime.stop: not serving"
   end;
   (* Close the gate (unless an abort already did) and wake everyone:
-     workers drain the backlog, then exit at quiescence. *)
+     workers drain the backlog, then exit at quiescence. The
+     supervisor stays up during the drain — a worker that dies
+     mid-drain has its colors migrated so the backlog still finishes
+     on survivors before the join. *)
   ignore (Atomic.compare_and_set t.shutdown accepting draining);
   broadcast_all t;
-  let domains = t.domains in
-  t.domains <- [];
-  List.iter Domain.join domains;
+  quiesce t;
+  stop_monitor t;
+  join_workers t;
   Atomic.set t.serving false;
   t.running <- false;
   Mutex.unlock t.lifecycle_lock
 
-(* Wait for a moment of quiescence without stopping. Workers broadcast
-   [quiesce_cond] (under the park mutex) every time they observe
-   [pending = 0 && active = 0] with waiters present, and terminal
-   quiescence / abort broadcast unconditionally, so the predicate here
-   cannot miss its wakeup. *)
-let quiesce t =
-  Mutex.lock t.park_mutex;
-  Atomic.incr t.n_waiters;
-  while
-    Atomic.get t.shutdown <> aborted
-    && not (Atomic.get t.pending = 0 && Atomic.get t.active = 0)
-  do
-    Condition.wait t.quiesce_cond t.park_mutex
-  done;
-  Atomic.decr t.n_waiters;
-  Mutex.unlock t.park_mutex
+let inject_worker_death t w =
+  if w < 0 || w >= t.n then
+    invalid_arg "Rt.Runtime.inject_worker_death: no such worker";
+  Atomic.set t.states.(w).kill_flag true;
+  broadcast_all t
 
 let steal_policy t = Atomic.get t.steal_policy
 let worthy_threshold t = Atomic.get t.worthy_threshold
@@ -1092,6 +1632,20 @@ let pending t = Atomic.get t.pending
 let refused t = Atomic.get t.refused
 let errors t = Atomic.get t.error_count
 let is_serving t = Atomic.get t.serving
+let abandoned t = Atomic.get t.abandoned
+let worker_restarts t = Atomic.get t.restart_count
+let migrations t = Atomic.get t.migration_count
+let is_degraded t = Atomic.get t.degraded
+
+let live_workers t =
+  Array.fold_left
+    (fun acc ws -> if Atomic.get ws.live then acc + 1 else acc)
+    0 t.states
+
+let worker_phase t w =
+  if w < 0 || w >= t.n then
+    invalid_arg "Rt.Runtime.worker_phase: no such worker";
+  phase_of_int (Atomic.get t.states.(w).phase)
 
 let stats t = Array.map (fun ws -> Metrics.snapshot ws.metrics) t.states
 
@@ -1117,7 +1671,7 @@ let trace t = t.trace
 let debug_check_conservation t =
   Array.iter (fun sh -> Spinlock.acquire sh.sh_lock) t.shards;
   let pending_now = Atomic.get t.pending in
-  let active_now = Atomic.get t.active in
+  let active_now = live_active t in
   let quiescent = pending_now = 0 && active_now = 0 in
   let problem = ref None in
   let note fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
@@ -1131,7 +1685,11 @@ let debug_check_conservation t =
           let len = cq_len cq in
           if len < 0 then note "color %d: negative queue length %d" color len;
           total := !total + max 0 len;
-          if quiescent then begin
+          (* A poisoned queue belonged to a confiscated slot: its
+             backlog was abandoned without consuming weight, and its
+             zombie may still hold [running] — the exact quiescent
+             invariants no longer apply to it. *)
+          if quiescent && not cq.poisoned then begin
             if len <> 0 then note "color %d: %d events queued at quiescence" color len;
             let rec walk n acc =
               match Atomic.get n.node_next with None -> acc | Some m -> walk m (acc + 1)
@@ -1195,9 +1753,11 @@ let telemetry_snapshot ?(swap_window = false) t =
        plane's /stats.json?swap=1) drives adaptation for free. *)
     apply_controller t
   end;
+  let snap_now = now_int () in
   let worker w =
     let ws = t.states.(w) in
     let s = Telemetry.sample t.telemetry ~worker:w in
+    let busy = Atomic.get ws.busy_since in
     {
       Telemetry.w_id = w;
       w_metrics = Metrics.snapshot ws.metrics;
@@ -1210,6 +1770,11 @@ let telemetry_snapshot ?(swap_window = false) t =
       w_qwait_win = s.Telemetry.qwait_win;
       w_service_win = s.Telemetry.service_win;
       w_steals_from = s.Telemetry.steals_from;
+      w_live = Atomic.get ws.live;
+      w_phase = phase_of_int (Atomic.get ws.phase);
+      w_hb_age_ns = max 0 (snap_now - Atomic.get ws.hb_last);
+      w_busy_ns = (if busy = 0 then 0 else max 0 (snap_now - busy));
+      w_restarts = Atomic.get ws.slot_restarts;
     }
   in
   (* Workers before globals, explicitly: a worker's executed counter is
@@ -1222,7 +1787,7 @@ let telemetry_snapshot ?(swap_window = false) t =
     s_workers;
     s_executed = Atomic.get t.executed;
     s_pending = Atomic.get t.pending;
-    s_active = Atomic.get t.active;
+    s_active = live_active t;
     s_steals = Atomic.get t.steal_count;
     s_steal_attempts = Atomic.get t.attempt_count;
     s_refused = Atomic.get t.refused;
@@ -1232,4 +1797,13 @@ let telemetry_snapshot ?(swap_window = false) t =
     s_steal_policy = Atomic.get t.steal_policy;
     s_worthy_threshold = Atomic.get t.worthy_threshold;
     s_controller = controller_snapshot t;
+    s_live_workers =
+      Array.fold_left
+        (fun acc ws -> if Atomic.get ws.live then acc + 1 else acc)
+        0 t.states;
+    s_degraded = Atomic.get t.degraded;
+    s_restarts = Atomic.get t.restart_count;
+    s_migrations = Atomic.get t.migration_count;
+    s_reclaimed = Atomic.get t.reclaim_count;
+    s_abandoned = Atomic.get t.abandoned;
   }

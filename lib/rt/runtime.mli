@@ -31,24 +31,40 @@
       Rt.Runtime.stop rt                    (* drain + join *)
     ]}
 
-    Handler exceptions never kill a worker: they are contained at the
-    execution boundary, recorded per-worker in {!Metrics} and globally
-    in {!errors}, and handled per the {!failure_policy} given to
-    {!create}. *)
+    Handler exceptions never kill a worker by accident: they are
+    contained at the execution boundary, recorded per-worker in
+    {!Metrics} and globally in {!errors}, and handled per the
+    {!failure_policy} given to {!create}.
+
+    Worker domains can still die (a deliberate {!Restart_worker}
+    policy, an injected fault, a bug past the containment boundary) or
+    wedge (a handler that never returns). A supervisor domain watches
+    for both: it reclaims every color the failed slot held — inbox,
+    steal deque, and the queue it was draining — and migrates them to
+    survivors with the ownership hand-off ordered exactly like a steal,
+    so per-color mutual exclusion and FIFO survive the failure. Dead
+    slots are respawned under a restart-backoff with a storm breaker
+    that degrades the runtime to fewer workers instead of flapping;
+    see {!Supervision}. *)
 
 type t
 type handler
 
-(** What to do when a handler raises. Either way the failure is counted
-    ({!errors}, {!Metrics.snapshot.errors}) with the handler name and
-    exception text, the event still counts as executed, and the
-    runtime's accounting stays intact. *)
+(** What to do when a handler raises. In every case the failure is
+    counted ({!errors}, {!Metrics.snapshot.errors}) with the handler
+    name and exception text, the event still counts as executed, and
+    the runtime's accounting stays intact. *)
 type failure_policy =
   | Swallow  (** contain the failure; keep serving (default) *)
   | Stop_runtime
       (** abort: refuse further registers, workers exit without
           draining the backlog (inspect {!pending} for what was left);
           a serving runtime still needs {!stop} to join its domains *)
+  | Restart_worker
+      (** treat a handler failure as fatal to its worker domain: finish
+          the event's accounting, then kill the domain and let the
+          supervisor migrate its colors and respawn it under the
+          restart breaker *)
 
 type ctx = {
   worker : int;  (** worker executing the handler *)
@@ -79,6 +95,8 @@ val create :
   ?controller:Policy.Controller.config ->
   ?on_error:failure_policy ->
   ?trace:Trace.config ->
+  ?faults:Faults.t ->
+  ?supervision:Supervision.config ->
   unit ->
   t
 (** [workers] defaults to [Domain.recommended_domain_count () - 1],
@@ -98,7 +116,13 @@ val create :
     the handler-failure policy. [trace] enables the {!Trace} flight
     recorder for the lifetime of the runtime (per-worker span rings,
     optional latency histograms); omitted, recording is compiled in but
-    skipped behind one branch per event. *)
+    skipped behind one branch per event. [faults] (default
+    {!Faults.passthrough}) is consulted at the {!Faults.Kill} site after
+    every executed event: any non-[Pass] decision kills the executing
+    worker domain there, deterministically per seed — the chaos
+    harness's worker-kill storm. [supervision] (default
+    {!Supervision.default_config}) sets the supervisor's poll cadence,
+    wedge deadlines, and restart-breaker windows. *)
 
 val workers : t -> int
 
@@ -162,11 +186,53 @@ val start : t -> unit
 (** Raises [Invalid_argument] if the runtime is already running. *)
 
 val stop : t -> unit
-(** Raises [Invalid_argument] if the runtime is not serving. *)
+(** Raises [Invalid_argument] if the runtime is not serving. The
+    supervisor stays up during the drain: a worker that dies mid-drain
+    has its colors migrated to survivors, so the drain completes on
+    [N - 1] workers instead of hanging. If {e every} worker is lost
+    with work still pending, the supervisor aborts the runtime so
+    [stop] returns honestly rather than waiting forever (the remaining
+    backlog stays in {!pending}). *)
 
 val quiesce : t -> unit
 
 val is_serving : t -> bool
+
+(** {1 Supervision}
+
+    Observability and fault hooks for the self-healing layer; the
+    state machine itself is documented in {!Supervision}. *)
+
+val inject_worker_death : t -> int -> unit
+(** Ask worker [w]'s domain to die at its next event boundary (or on
+    wake, if parked) — the test/chaos hook for deliberate kills.
+    The supervisor then migrates the slot's colors and respawns it
+    under the restart breaker. Raises [Invalid_argument] on a bad
+    index. *)
+
+val live_workers : t -> int
+(** Slots whose worker domain is currently running. *)
+
+val is_degraded : t -> bool
+(** True once any slot is terminally lost — its restart breaker
+    tripped, or a wedged domain was confiscated — so the runtime is
+    serving at reduced width. Latched until the next lifecycle start
+    recomputes it. *)
+
+val worker_restarts : t -> int
+(** Worker-domain respawns performed by the supervisor. *)
+
+val migrations : t -> int
+(** Color-queues re-homed from failed slots to survivors. *)
+
+val abandoned : t -> int
+(** Accepted events dropped during force-confiscation of a wedged
+    slot (the wedged color's backlog plus its in-flight event).
+    Conservation: attempts = executed + pending + refused +
+    abandoned. *)
+
+val worker_phase : t -> int -> Supervision.phase
+(** Supervision phase of slot [w]. *)
 
 (** Counters observed after (or during) a run. *)
 
@@ -197,9 +263,10 @@ val pending : t -> int
     graceful [stop], possibly positive after a [Stop_runtime] abort. *)
 
 val refused : t -> int
-(** Registers rejected by the shutdown gate. Conservation:
-    every register attempt is eventually accounted as executed,
-    pending, or refused. *)
+(** Registers rejected by the shutdown gate (or by the poisoned queue
+    of a confiscated color). Conservation: every register attempt is
+    eventually accounted as executed, pending, refused, or
+    {!abandoned}. *)
 
 val errors : t -> int
 (** Handler invocations that raised, across all workers; per-worker

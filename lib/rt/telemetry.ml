@@ -106,6 +106,14 @@ type worker_snap = {
   w_qwait_win : Mstd.Histogram.t;
   w_service_win : Mstd.Histogram.t;
   w_steals_from : int array;
+  w_live : bool;  (** a worker domain is currently running this slot *)
+  w_phase : Supervision.phase;  (** supervision state at snapshot *)
+  w_hb_age_ns : int;
+      (** ns since the slot's last heartbeat (event boundary); large
+          while idle or wedged — read with [w_busy_ns] to tell apart *)
+  w_busy_ns : int;
+      (** ns the current handler has been executing; 0 when idle *)
+  w_restarts : int;  (** times this slot's domain was respawned *)
 }
 
 type snapshot = {
@@ -124,4 +132,14 @@ type snapshot = {
   s_worthy_threshold : int;  (** worthiness bar in force at snapshot *)
   s_controller : Policy.Controller.snapshot option;
       (** [None] when the runtime was created without a controller *)
+  s_live_workers : int;  (** slots with a running worker domain *)
+  s_degraded : bool;
+      (** some slot is terminally lost (breaker tripped or a wedged
+          domain was confiscated): the runtime serves at reduced width *)
+  s_restarts : int;  (** worker-domain restarts performed *)
+  s_migrations : int;  (** color-queues re-homed off failed workers *)
+  s_reclaimed : int;  (** color-queues swept from failed slots *)
+  s_abandoned : int;
+      (** accepted events dropped during force-confiscation of a wedged
+          slot; conservation counts them alongside executed/refused *)
 }

@@ -52,6 +52,11 @@ type span =
       (** overload armor refused work for this color (503 load shed) *)
   | Evict of { ev_color : int; ev_ns : int64 }
       (** a deadline evicted this color's connection (408 slow-loris) *)
+  | Death of { d_reason : string; d_ns : int64 }
+      (** this worker's domain died (escape past the execute boundary,
+          a deliberate kill, or a quarantine ack); recorded by the
+          dying domain itself in its death wrapper, so the ring stays
+          single-writer *)
 
 type ring = {
   spans : span array;
@@ -149,6 +154,9 @@ let record_shed t ~worker ~color ~ns =
 
 let record_evict t ~worker ~color ~ns =
   push t.recorders.(worker).ring (Evict { ev_color = color; ev_ns = ns })
+
+let record_death t ~worker ~reason ~ns =
+  push t.recorders.(worker).ring (Death { d_reason = reason; d_ns = ns })
 
 (* ------------------------------------------------------------------ *)
 (* Offline access.                                                     *)
@@ -375,7 +383,14 @@ let export_chrome ?(pid = 0) t =
               (Printf.sprintf
                  "{\"name\":\"evict\",\"cat\":\"overload\",\"ph\":\"i\",\"s\":\"t\",\
                   \"ts\":%.3f,\"pid\":%d,\"tid\":%d,\"args\":{\"color\":%d}}"
-                 (us e.ev_ns) pid w e.ev_color))
+                 (us e.ev_ns) pid w e.ev_color)
+          | Death d ->
+            emit
+              (Printf.sprintf
+                 "{\"name\":\"worker-death\",\"cat\":\"lifecycle\",\"ph\":\"i\",\
+                  \"s\":\"t\",\"ts\":%.3f,\"pid\":%d,\"tid\":%d,\
+                  \"args\":{\"reason\":\"%s\"}}"
+                 (us d.d_ns) pid w (json_escape d.d_reason)))
         (spans t w))
     t.recorders;
   Buffer.add_string buf "\n]}\n";

@@ -55,6 +55,11 @@ type span =
   | Evict of { ev_color : int; ev_ns : int64 }
       (** a per-connection deadline fired and this color's connection
           was evicted (slow-loris 408) *)
+  | Death of { d_reason : string; d_ns : int64 }
+      (** this worker's domain died (escape past the execute boundary,
+          deliberate kill, or quarantine ack) — recorded by the dying
+          domain itself, keeping the ring single-writer; the supervisor
+          then reclaims the slot's colors and respawns or degrades *)
 
 type config = {
   capacity : int;  (** spans retained per worker ring *)
@@ -93,6 +98,7 @@ val record_park : t -> worker:int -> start_ns:int64 -> end_ns:int64 -> unit
 val record_start : t -> worker:int -> ns:int64 -> unit
 val record_shed : t -> worker:int -> color:int -> ns:int64 -> unit
 val record_evict : t -> worker:int -> color:int -> ns:int64 -> unit
+val record_death : t -> worker:int -> reason:string -> ns:int64 -> unit
 
 (** {1 Offline access} *)
 

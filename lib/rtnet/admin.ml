@@ -60,6 +60,22 @@ let metrics_text (rt : Rt.Telemetry.snapshot) (net : net) =
   gauge ~name:"mely_runtime_accepting"
     ~help:"1 while the shutdown gate accepts registers, 0 once draining"
     (if rt.s_accepting then 1.0 else 0.0);
+  (* Self-healing plane. *)
+  gauge ~name:"mely_runtime_live_workers"
+    ~help:"Worker slots with a running domain" (float_of_int rt.s_live_workers);
+  gauge ~name:"mely_runtime_degraded"
+    ~help:"1 once any worker slot is terminally lost (breaker tripped or wedged \
+           domain confiscated)"
+    (if rt.s_degraded then 1.0 else 0.0);
+  counter ~name:"mely_runtime_restarts_total"
+    ~help:"Worker-domain respawns by the supervisor" rt.s_restarts;
+  counter ~name:"mely_runtime_migrations_total"
+    ~help:"Color-queues re-homed off failed workers" rt.s_migrations;
+  counter ~name:"mely_runtime_reclaimed_colors_total"
+    ~help:"Color-queues swept from failed slots" rt.s_reclaimed;
+  counter ~name:"mely_runtime_abandoned_total"
+    ~help:"Accepted events dropped when a wedged slot was confiscated"
+    rt.s_abandoned;
   gauge ~name:"mely_telemetry_epoch" ~help:"Streaming-window epoch"
     (float_of_int rt.s_epoch);
   gauge ~name:"mely_runtime_worthy_threshold"
@@ -117,6 +133,18 @@ let metrics_text (rt : Rt.Telemetry.snapshot) (net : net) =
       gauge ~name:"mely_worker_inbox_depth"
         ~help:"Colors currently chained to worker" ~labels
         (float_of_int w.w_inbox_depth);
+      gauge ~name:"mely_worker_live" ~help:"1 while a domain runs this slot"
+        ~labels
+        (if w.w_live then 1.0 else 0.0);
+      gauge ~name:"mely_worker_heartbeat_age_seconds"
+        ~help:"Seconds since the slot's last event-boundary heartbeat" ~labels
+        (float_of_int w.w_hb_age_ns /. 1e9);
+      gauge ~name:"mely_worker_inflight_seconds"
+        ~help:"Seconds the current handler has been executing (0 when idle)"
+        ~labels
+        (float_of_int w.w_busy_ns /. 1e9);
+      counter ~name:"mely_worker_restarts_total"
+        ~help:"Times this slot's domain was respawned" ~labels w.w_restarts;
       gauge ~name:"mely_worker_busy_seconds_total"
         ~help:"Seconds spent executing handlers" ~labels
         (float_of_int w.w_service_sum_ns /. 1e9);
@@ -237,6 +265,11 @@ let worker_json (w : Rt.Telemetry.worker_snap) =
       ("inbox_depth", int w.w_inbox_depth);
       ("current_color", int w.w_current_color);
       ("busy_ns", int w.w_service_sum_ns);
+      ("live", Bool w.w_live);
+      ("phase", Str (Rt.Supervision.phase_name w.w_phase));
+      ("heartbeat_age_ns", int w.w_hb_age_ns);
+      ("inflight_ns", int w.w_busy_ns);
+      ("restarts", int w.w_restarts);
       ("queue_wait", hist_json ~sum_ns:w.w_qwait_sum_ns w.w_qwait);
       ("queue_wait_window", hist_json w.w_qwait_win);
       ("service", hist_json ~sum_ns:w.w_service_sum_ns w.w_service);
@@ -287,6 +320,12 @@ let stats_json (rt : Rt.Telemetry.snapshot) (net : net) =
                ("accepting", Bool rt.s_accepting);
                ("steal_policy", Str (Rt.Policy.batch_to_string rt.s_steal_policy));
                ("worthy_threshold", int rt.s_worthy_threshold);
+               ("live_workers", int rt.s_live_workers);
+               ("degraded", Bool rt.s_degraded);
+               ("restarts", int rt.s_restarts);
+               ("migrations", int rt.s_migrations);
+               ("reclaimed", int rt.s_reclaimed);
+               ("abandoned", int rt.s_abandoned);
              ] );
          ( "controller",
            match rt.s_controller with

@@ -471,6 +471,16 @@ let admin_respond t (req : Httpkit.Request.t) =
       if draining then
         Httpkit.Response.build ~status:Httpkit.Response.Service_unavailable
           ~content_type:"text/plain" ~keep_alive:false ~body:"draining\n" ()
+      else if Rt.Runtime.is_degraded t.rt then
+        (* Still 200: a degraded runtime serves correctly at reduced
+           width, so load balancers should keep routing — but probes
+           and dashboards see the state change. *)
+        Httpkit.Response.build ~content_type:"text/plain" ~keep_alive
+          ~body:
+            (Printf.sprintf "degraded %d/%d\n"
+               (Rt.Runtime.live_workers t.rt)
+               (Rt.Runtime.workers t.rt))
+          ()
       else
         Httpkit.Response.build ~content_type:"text/plain" ~keep_alive
           ~body:"ok\n" ()

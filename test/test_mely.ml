@@ -18,6 +18,7 @@ let () =
       ("rt-stress", Test_rt_stress.suite);
       ("rt-trace", Test_rt_trace.suite);
       ("rt-telemetry", Test_rt_telemetry.suite);
+      ("rt-supervision", Test_rt_supervision.suite);
       ("rtnet", Test_rtnet.suite);
       ("rtnet-chaos", Test_rtnet_chaos.suite);
       ("properties", Test_properties.suite);
